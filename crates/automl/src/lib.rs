@@ -1,0 +1,16 @@
+//! # catdb-automl — AutoML baseline simulations
+//!
+//! Behavioural re-implementations of the paper's AutoML baselines —
+//! Auto-Sklearn (1/2), H2O AutoML, FLAML, AutoGluon — as time-budgeted
+//! model searches over the `catdb-ml` estimators, each with its signature
+//! search strategy and its failure envelope (OOM / TO / N/A cells from
+//! Tables 5 and 7). All tools share the same deliberately *basic* internal
+//! preprocessing ([`BasicFeaturizer`]): imputation + ordinal encoding, no
+//! data-centric cleaning — which is why they degrade on dirty data while
+//! CatDB's generated pipelines do not.
+
+mod featurize;
+mod tools;
+
+pub use featurize::BasicFeaturizer;
+pub use tools::{run_automl, AutoMlConfig, AutoMlOutcome, SearchStrategy, ToolProfile};

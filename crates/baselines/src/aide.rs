@@ -1,0 +1,182 @@
+//! AIDE (Weco AI technical report): an end-to-end LLM solution generator
+//! driven by a *concise human-written task description* — no profiling,
+//! no data catalog, no structured error management. On failure it simply
+//! resubmits (up to 20 times in the paper's runs), so its cost and
+//! reliability track the underlying LLM: cheap when generation succeeds
+//! first try, expensive or failing when it does not (Figure 12, Table 8).
+
+use crate::common::BaselineOutcome;
+use catdb_llm::{LanguageModel, LlmTaskKind, Prompt};
+use catdb_ml::TaskKind;
+use catdb_pipeline::{execute, parse, Environment, ExecutionConfig};
+use catdb_table::Table;
+use std::time::Instant;
+
+/// AIDE configuration.
+#[derive(Debug, Clone)]
+pub struct AideConfig {
+    /// Maximum resubmissions (paper: "AIDE up to 20 times").
+    pub max_attempts: usize,
+    /// The human-written one-liner describing the task.
+    pub description: String,
+    pub seed: u64,
+}
+
+impl Default for AideConfig {
+    fn default() -> Self {
+        AideConfig {
+            max_attempts: 20,
+            description: "Train the best model for this tabular dataset.".into(),
+            seed: 31,
+        }
+    }
+}
+
+/// The concise AIDE prompt: a human description and the bare dataset
+/// facts a practitioner would type — target name, task — but *no* schema
+/// or profiling metadata.
+fn aide_prompt(description: &str, target: &str, task: TaskKind, n_rows: usize) -> Prompt {
+    Prompt::new(
+        "You are an autonomous data-science agent. Output a pipeline program.",
+        format!(
+            "<TASK>{}</TASK>\n<DATASET name=\"task\" rows=\"{n_rows}\" target=\"{target}\" task=\"{}\" />\n{description}\n",
+            LlmTaskKind::PipelineGeneration.tag(),
+            task.label(),
+        ),
+    )
+}
+
+/// Run AIDE: generate → execute → resubmit on failure.
+pub fn run_aide(
+    train: &Table,
+    test: &Table,
+    target: &str,
+    task: TaskKind,
+    llm: &dyn LanguageModel,
+    cfg: &AideConfig,
+) -> BaselineOutcome {
+    let started = Instant::now();
+    let mut ledger = catdb_llm::CostLedger::default();
+    let mut llm_seconds = 0.0;
+    // AIDE installs whatever its generated code imports (it runs in a
+    // permissive environment); model package gaps are not its failure
+    // mode, prompt blindness is.
+    let mut env = Environment::default();
+    for pkg in catdb_pipeline::INSTALLABLE {
+        let _ = env.install(pkg);
+    }
+    let exec_cfg = ExecutionConfig::new(task);
+
+    let prompt = aide_prompt(&cfg.description, target, task, train.n_rows());
+    for attempt in 1..=cfg.max_attempts {
+        let Ok(completion) = llm.complete(&prompt) else {
+            continue;
+        };
+        ledger.record_generation(completion.usage);
+        llm_seconds += completion.latency_seconds;
+        let Ok(program) = parse(&completion.text) else { continue };
+        match execute(&program, train, test, &env, &exec_cfg) {
+            Ok(eval) => {
+                return BaselineOutcome {
+                    system: "aide",
+                    success: true,
+                    failure: None,
+                    train_score: Some(eval.train.headline()),
+                    test_score: Some(eval.test.headline()),
+                    train_accuracy_pct: Some(eval.train.accuracy_pct()),
+                    test_accuracy_pct: Some(eval.test.accuracy_pct()),
+                    ledger,
+                    llm_seconds,
+                    elapsed_seconds: started.elapsed().as_secs_f64(),
+                    attempts: attempt,
+                }
+            }
+            Err(_) => continue, // plain resubmission, no error feedback
+        }
+    }
+    BaselineOutcome {
+        ledger,
+        llm_seconds,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+        attempts: cfg.max_attempts,
+        ..BaselineOutcome::failed("aide", "N/A")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_llm::{ModelProfile, SimLlm};
+    use catdb_table::Column;
+
+    fn clean_dataset() -> (Table, Table) {
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|i| (i % 40) as f64).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i % 40) < 20 { "n" } else { "p" }).collect();
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64(x)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap();
+        t.train_test_split(0.7, 1).unwrap()
+    }
+
+    fn dirty_dataset() -> (Table, Table) {
+        let n = 400;
+        let x: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 7 == 0 { None } else { Some((i % 40) as f64) }).collect();
+        let g: Vec<String> = (0..n).map(|i| format!("cat_{}", i % 30)).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i % 40) < 20 { "n" } else { "p" }).collect();
+        let t = Table::from_columns(vec![
+            ("x", Column::Float(x)),
+            ("g", Column::from_strings(g)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap();
+        t.train_test_split(0.7, 1).unwrap()
+    }
+
+    #[test]
+    fn aide_succeeds_on_clean_data_with_strong_model() {
+        let (train, test) = clean_dataset();
+        let llm = SimLlm::new(ModelProfile::gpt_4o(), 4);
+        let out = run_aide(
+            &train,
+            &test,
+            "y",
+            TaskKind::BinaryClassification,
+            &llm,
+            &AideConfig::default(),
+        );
+        assert!(out.success, "{:?}", out.failure);
+        assert!(out.test_score.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn aide_retries_on_dirty_data_and_may_fail_with_weak_model() {
+        let (train, test) = dirty_dataset();
+        // A profile that never takes initiative and always faults: AIDE's
+        // blind resubmission cannot converge.
+        let profile = ModelProfile {
+            initiative: 0.0,
+            semantic_fault_rate: 1.0,
+            fix_skill: 0.0,
+            ..ModelProfile::llama3_1_70b()
+        };
+        let llm = SimLlm::new(profile, 4);
+        let cfg = AideConfig { max_attempts: 5, ..Default::default() };
+        let out = run_aide(&train, &test, "y", TaskKind::BinaryClassification, &llm, &cfg);
+        assert!(!out.success);
+        assert_eq!(out.attempts, 5);
+        assert_eq!(out.cell(), "N/A");
+        // Every retry costs tokens.
+        assert!(out.ledger.n_calls >= 5);
+    }
+
+    #[test]
+    fn aide_prompt_is_concise() {
+        let p = aide_prompt("desc", "y", TaskKind::BinaryClassification, 100);
+        assert!(p.token_len() < 100, "AIDE prompts are tiny: {}", p.token_len());
+        assert!(!p.user.contains("<SCHEMA>"));
+    }
+}

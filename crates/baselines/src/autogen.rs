@@ -1,0 +1,185 @@
+//! AutoGen (Wu et al., ICLR'24 LLM-agents workshop): a multi-agent
+//! conversation — a writer agent produces the solution, an executor agent
+//! runs it and feeds errors back into the conversation. Compared to AIDE
+//! it *does* resend the error text, but like AIDE it has no data catalog:
+//! the fix prompts carry no column metadata, so runtime errors that need
+//! data knowledge converge slowly or "require human intervention" (the
+//! paper: failing to generate a pipeline for Gas-Drift after 15 attempts
+//! with Llama).
+
+use crate::common::BaselineOutcome;
+use catdb_llm::{LanguageModel, LlmTaskKind, Prompt};
+use catdb_ml::TaskKind;
+use catdb_pipeline::{execute, parse, Environment, ExecutionConfig, PipelineError};
+use catdb_table::Table;
+use std::time::Instant;
+
+/// AutoGen configuration.
+#[derive(Debug, Clone)]
+pub struct AutoGenConfig {
+    /// Conversation rounds (paper: "AutoGen up to 15").
+    pub max_rounds: usize,
+    pub description: String,
+    pub seed: u64,
+}
+
+impl Default for AutoGenConfig {
+    fn default() -> Self {
+        AutoGenConfig {
+            max_rounds: 15,
+            description: "Build and train an ML pipeline for the dataset.".into(),
+            seed: 37,
+        }
+    }
+}
+
+fn writer_prompt(description: &str, target: &str, task: TaskKind, n_rows: usize) -> Prompt {
+    Prompt::new(
+        "You are the writer agent of a multi-agent data-science team.",
+        format!(
+            "<TASK>{}</TASK>\n<DATASET name=\"conversation\" rows=\"{n_rows}\" target=\"{target}\" task=\"{}\" />\n{description}\n",
+            LlmTaskKind::PipelineGeneration.tag(),
+            task.label(),
+        ),
+    )
+}
+
+/// The executor agent's feedback message: code + error, *no metadata*.
+fn feedback_prompt(code: &str, error: &PipelineError) -> Prompt {
+    Prompt::new(
+        "You are the writer agent; the executor reported an error. Fix the pipeline.",
+        format!(
+            "<TASK>{}</TASK>\n<CODE>\n{code}</CODE>\n<ERROR>\n{}\n</ERROR>\n",
+            LlmTaskKind::ErrorFix.tag(),
+            error.render(),
+        ),
+    )
+}
+
+/// Run the AutoGen conversation loop.
+pub fn run_autogen(
+    train: &Table,
+    test: &Table,
+    target: &str,
+    task: TaskKind,
+    llm: &dyn LanguageModel,
+    cfg: &AutoGenConfig,
+) -> BaselineOutcome {
+    let started = Instant::now();
+    let mut ledger = catdb_llm::CostLedger::default();
+    let mut llm_seconds = 0.0;
+    let mut env = Environment::default();
+    for pkg in catdb_pipeline::INSTALLABLE {
+        let _ = env.install(pkg);
+    }
+    let exec_cfg = ExecutionConfig::new(task);
+
+    let initial = writer_prompt(&cfg.description, target, task, train.n_rows());
+    let mut source = match llm.complete(&initial) {
+        Ok(c) => {
+            ledger.record_generation(c.usage);
+            llm_seconds += c.latency_seconds;
+            c.text
+        }
+        Err(_) => {
+            return BaselineOutcome::failed("autogen", "needs human intervention");
+        }
+    };
+
+    for round in 1..=cfg.max_rounds {
+        let error = match parse(&source) {
+            Ok(program) => match execute(&program, train, test, &env, &exec_cfg) {
+                Ok(eval) => {
+                    return BaselineOutcome {
+                        system: "autogen",
+                        success: true,
+                        failure: None,
+                        train_score: Some(eval.train.headline()),
+                        test_score: Some(eval.test.headline()),
+                        train_accuracy_pct: Some(eval.train.accuracy_pct()),
+                        test_accuracy_pct: Some(eval.test.accuracy_pct()),
+                        ledger,
+                        llm_seconds,
+                        elapsed_seconds: started.elapsed().as_secs_f64(),
+                        attempts: round,
+                    }
+                }
+                Err(e) => e,
+            },
+            Err(e) => e,
+        };
+        // Feed the error back into the conversation (no catalog metadata).
+        match llm.complete(&feedback_prompt(&source, &error)) {
+            Ok(c) => {
+                ledger.record_error_fix(c.usage);
+                llm_seconds += c.latency_seconds;
+                source = c.text;
+            }
+            Err(_) => break,
+        }
+    }
+    BaselineOutcome {
+        ledger,
+        llm_seconds,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+        attempts: cfg.max_rounds,
+        ..BaselineOutcome::failed("autogen", "needs human intervention")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_llm::{ModelProfile, SimLlm};
+    use catdb_table::Column;
+
+    fn dataset() -> (Table, Table) {
+        let n = 400;
+        let x: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 9 == 0 { None } else { Some((i % 40) as f64) }).collect();
+        let g: Vec<&str> = (0..n).map(|i| ["u", "v"][i % 2]).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i % 40) < 20 { "n" } else { "p" }).collect();
+        let t = Table::from_columns(vec![
+            ("x", Column::Float(x)),
+            ("g", Column::from_strings(g)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap();
+        t.train_test_split(0.7, 1).unwrap()
+    }
+
+    #[test]
+    fn autogen_converges_via_error_feedback() {
+        let (train, test) = dataset();
+        let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 8);
+        let out = run_autogen(
+            &train,
+            &test,
+            "y",
+            TaskKind::BinaryClassification,
+            &llm,
+            &AutoGenConfig::default(),
+        );
+        assert!(out.success, "{:?}", out.failure);
+        assert!(out.test_score.unwrap() > 0.7);
+    }
+
+    #[test]
+    fn autogen_fails_after_rounds_exhausted() {
+        let (train, test) = dataset();
+        let profile = ModelProfile {
+            initiative: 0.0,
+            semantic_fault_rate: 1.0,
+            fix_skill: 0.0,
+            fix_without_metadata: 0.0,
+            ..ModelProfile::llama3_1_70b()
+        };
+        let llm = SimLlm::new(profile, 8);
+        let cfg = AutoGenConfig { max_rounds: 4, ..Default::default() };
+        let out = run_autogen(&train, &test, "y", TaskKind::BinaryClassification, &llm, &cfg);
+        assert!(!out.success);
+        assert_eq!(out.failure.as_deref(), Some("needs human intervention"));
+        // Error-fix calls are recorded separately from generations.
+        assert!(out.ledger.error_fixing.total() > 0);
+    }
+}

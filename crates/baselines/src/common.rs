@@ -1,0 +1,50 @@
+//! Shared result type and helpers for the LLM-based baselines.
+
+use catdb_llm::CostLedger;
+
+/// Outcome of one baseline run, with the same accounting surface as
+//  CatDB's `GenerationOutcome` so experiment tables can mix them.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    pub system: &'static str,
+    pub success: bool,
+    /// Failure cell for the tables: "OOM", "N/A", "doesn't support", ...
+    pub failure: Option<String>,
+    /// Headline scores (AUC / R²).
+    pub train_score: Option<f64>,
+    pub test_score: Option<f64>,
+    /// Accuracy-style percentages (Table 5).
+    pub train_accuracy_pct: Option<f64>,
+    pub test_accuracy_pct: Option<f64>,
+    pub ledger: CostLedger,
+    pub llm_seconds: f64,
+    pub elapsed_seconds: f64,
+    pub attempts: usize,
+}
+
+impl BaselineOutcome {
+    pub fn failed(system: &'static str, reason: impl Into<String>) -> BaselineOutcome {
+        BaselineOutcome {
+            system,
+            success: false,
+            failure: Some(reason.into()),
+            train_score: None,
+            test_score: None,
+            train_accuracy_pct: None,
+            test_accuracy_pct: None,
+            ledger: CostLedger::default(),
+            llm_seconds: 0.0,
+            elapsed_seconds: 0.0,
+            attempts: 0,
+        }
+    }
+
+    /// Table-cell rendering.
+    pub fn cell(&self) -> String {
+        match (&self.test_score, &self.failure) {
+            (Some(s), _) => format!("{:.1}", s * 100.0),
+            (None, Some(f)) => f.clone(),
+            _ => "N/A".to_string(),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # catdb-baselines — the LLM-based baseline systems
+//!
+//! Behavioural re-implementations of the three LLM-based baselines the
+//! paper compares against, sharing the CatDB substrate (LLM simulator,
+//! pipeline DSL, ML library) so the comparison isolates *architecture*:
+//!
+//! * **CAAFE** — fixed preprocessing, LLM feature engineering accepted on
+//!   validation improvement, fixed TabPFN (input-limited) or RandomForest
+//!   model; schema + 10 samples per feature in every prompt.
+//! * **AIDE** — concise human description, blind resubmission on failure,
+//!   no error management.
+//! * **AutoGen** — multi-agent conversation that feeds execution errors
+//!   back to the writer agent, but without any data-catalog metadata.
+
+mod aide;
+mod autogen;
+mod caafe;
+mod common;
+
+pub use aide::{run_aide, AideConfig};
+pub use autogen::{run_autogen, AutoGenConfig};
+pub use caafe::{run_caafe, CaafeConfig, CaafeModel};
+pub use common::BaselineOutcome;

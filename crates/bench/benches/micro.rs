@@ -1,0 +1,155 @@
+//! Criterion microbenchmarks backing the runtime tables: profiling
+//! throughput, catalog refinement, prompt construction, DSL
+//! parse + execute, and the model-training kernels. These double as
+//! ablation benches for the design choices DESIGN.md calls out
+//! (embedding-based profiling, single vs chain prompt construction,
+//! per-column vs wildcard pipelines).
+
+use catdb_core::{PromptBuilder, PromptOptions};
+use catdb_data::{generate, GenOptions};
+use catdb_llm::{ModelProfile, SimLlm};
+use catdb_ml::{Classifier, ForestConfig, LogisticRegression, Matrix, RandomForestClassifier};
+use catdb_pipeline::{execute, parse, Environment, ExecutionConfig};
+use catdb_profiler::{profile_table, ProfileOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    for (name, rows) in [("diabetes", 768), ("gas-drift", 2000)] {
+        let g = generate(name, &GenOptions { max_rows: rows, scale: 1.0, seed: 3 }).unwrap();
+        let flat = g.dataset.materialize().unwrap();
+        group.bench_function(format!("{name}_{rows}rows"), |b| {
+            b.iter(|| profile_table(name, black_box(&flat), &ProfileOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let g = generate("etailing", &GenOptions { max_rows: 439, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = profile_table("etailing", &flat, &ProfileOptions::default());
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 3);
+    c.bench_function("catalog_refinement_etailing", |b| {
+        b.iter(|| {
+            catdb_catalog::refine_dataset(
+                "etailing",
+                black_box(&flat),
+                &profile,
+                "target",
+                &llm,
+                &catdb_catalog::RefineOptions::default(),
+            )
+        })
+    });
+}
+
+fn bench_prompt_construction(c: &mut Criterion) {
+    let g = generate("kdd98", &GenOptions { max_rows: 1000, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = profile_table("kdd98", &flat, &ProfileOptions::default());
+    let entry = catdb_catalog::CatalogEntry::new(
+        "kdd98",
+        "target",
+        catdb_ml::TaskKind::BinaryClassification,
+        profile,
+    );
+    let mut group = c.benchmark_group("prompt_construction");
+    group.bench_function("single_478cols", |b| {
+        let builder = PromptBuilder::new(&entry, PromptOptions::default());
+        b.iter(|| black_box(builder.single_prompt()))
+    });
+    group.bench_function("chain_478cols_beta4", |b| {
+        let builder =
+            PromptBuilder::new(&entry, PromptOptions { beta: 4, ..Default::default() });
+        b.iter(|| {
+            let chunks = builder.chain_chunks();
+            for chunk in &chunks {
+                black_box(builder.stage_prompt(
+                    catdb_llm::LlmTaskKind::Preprocessing,
+                    chunk,
+                    None,
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_parse_execute(c: &mut Criterion) {
+    let g = generate("diabetes", &GenOptions { max_rows: 768, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let (train, test) = flat.train_test_split(0.7, 1).unwrap();
+    let source = r#"pipeline {
+  impute * strategy median;
+  impute * strategy most_frequent;
+  encode * method onehot;
+  model classifier decision_tree target "target" depth 8;
+}"#;
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("parse", |b| b.iter(|| parse(black_box(source)).unwrap()));
+    let program = parse(source).unwrap();
+    let env = Environment::default();
+    let cfg = ExecutionConfig::new(catdb_ml::TaskKind::BinaryClassification);
+    group.bench_function("execute_diabetes", |b| {
+        b.iter(|| execute(black_box(&program), &train, &test, &env, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let n = 1000;
+    let d = 20;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * (j + 3)) % 97) as f64 / 97.0).collect())
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    let y: Vec<usize> = (0..n).map(|i| ((i * 7) % 97 > 48) as usize).collect();
+    let mut group = c.benchmark_group("models");
+    group.sample_size(10);
+    group.bench_function("random_forest_20trees_1000x20", |b| {
+        b.iter_batched(
+            || {
+                RandomForestClassifier {
+                    config: ForestConfig { n_trees: 20, ..Default::default() },
+                }
+            },
+            |clf| clf.fit(black_box(&x), &y, 2).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("logistic_1000x20", |b| {
+        b.iter(|| LogisticRegression::default().fit(black_box(&x), &y, 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_llm_generation(c: &mut Criterion) {
+    let g = generate("survey", &GenOptions { max_rows: 800, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = profile_table("survey", &flat, &ProfileOptions::default());
+    let entry = catdb_catalog::CatalogEntry::new(
+        "survey",
+        "target",
+        catdb_ml::TaskKind::MulticlassClassification,
+        profile,
+    );
+    let builder = PromptBuilder::new(&entry, PromptOptions::default());
+    let prompt = builder.single_prompt();
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 3);
+    c.bench_function("simllm_pipeline_generation", |b| {
+        b.iter(|| catdb_llm::LanguageModel::complete(&llm, black_box(&prompt)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_profiling,
+    bench_refinement,
+    bench_prompt_construction,
+    bench_parse_execute,
+    bench_models,
+    bench_llm_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Figure 11 — pipeline quality over 10 prompt-execution iterations on
+//! Diabetes, Gas-Drift, and Volkert, for CatDB / CatDB Chain and the
+//! LLM-based baselines across the three LLM profiles.
+//!
+//! Paper shapes: CAAFE(TabPFN) is stable on small data but fails on the
+//! high-dimensional Volkert; AIDE/AutoGen are unstable across LLMs; CatDB
+//! variants deliver comparable-or-better AUC with somewhat higher
+//! variance.
+
+use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
+use catdb_bench::{llm_for, paper_llms, pct, prepare, render_table, run_catdb, save_results, test_score, BenchArgs};
+use catdb_data::generate;
+use serde_json::json;
+
+const DATASETS: [&str; 3] = ["diabetes", "gas-drift", "volkert"];
+
+fn stats(scores: &[f64]) -> (f64, f64, usize) {
+    let ok: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    let fails = scores.len() - ok.len();
+    if ok.is_empty() {
+        return (f64::NAN, 0.0, fails);
+    }
+    let mean = ok.iter().sum::<f64>() / ok.len() as f64;
+    let var = ok.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / ok.len() as f64;
+    (mean, var.sqrt(), fails)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let iterations = if args.quick { 3 } else { 10 };
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+
+    for name in DATASETS {
+        let g = generate(name, &args.gen_options()).expect("known dataset");
+        for llm_name in paper_llms() {
+            let prep_llm = llm_for(llm_name, args.seed);
+            let p = prepare(&g, true, &prep_llm, args.seed);
+            let systems: Vec<(&str, Box<dyn Fn(u64) -> f64>)> = vec![
+                (
+                    "catdb",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        test_score(&run_catdb(&p, &llm, 1, seed))
+                    }),
+                ),
+                (
+                    "catdb_chain",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        test_score(&run_catdb(&p, &llm, 2, seed))
+                    }),
+                ),
+                (
+                    "caafe_tabpfn",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        let cfg = CaafeConfig { seed, ..Default::default() };
+                        run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                            .test_score
+                            .unwrap_or(f64::NAN)
+                    }),
+                ),
+                (
+                    "caafe_rforest",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        let cfg = CaafeConfig { model: CaafeModel::RandomForest, seed, ..Default::default() };
+                        run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                            .test_score
+                            .unwrap_or(f64::NAN)
+                    }),
+                ),
+                (
+                    "aide",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        let cfg = AideConfig { seed, ..Default::default() };
+                        run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                            .test_score
+                            .unwrap_or(f64::NAN)
+                    }),
+                ),
+                (
+                    "autogen",
+                    Box::new(|seed| {
+                        let llm = llm_for(llm_name, seed);
+                        let cfg = AutoGenConfig { seed, ..Default::default() };
+                        run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                            .test_score
+                            .unwrap_or(f64::NAN)
+                    }),
+                ),
+            ];
+            for (system, run) in systems {
+                let scores: Vec<f64> =
+                    (0..iterations).map(|i| run(args.seed + 1000 * i as u64)).collect();
+                let (mean, std, fails) = stats(&scores);
+                rows.push(vec![
+                    name.to_string(),
+                    llm_name.to_string(),
+                    system.to_string(),
+                    pct(mean),
+                    format!("{:.1}", std * 100.0),
+                    fails.to_string(),
+                ]);
+                records.push(json!({
+                    "dataset": name, "llm": llm_name, "system": system,
+                    "scores": scores, "mean": mean, "std": std, "failures": fails,
+                }));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 11: AUC over {iterations} iterations"),
+            &["dataset", "llm", "system", "mean AUC %", "std %", "failures"],
+            &rows,
+        )
+    );
+    save_results("fig11_iterations", &json!({ "iterations": iterations, "records": records }));
+}

@@ -1,0 +1,104 @@
+//! Figure 12 — token cost and total runtime over 10 iterations on
+//! Diabetes, Gas-Drift, and Volkert for the LLM-based systems.
+//!
+//! Paper shapes: CatDB is cheaper than CatDB Chain; CAAFE's cost is
+//! dominated by input tokens (schema + 10 samples per feature); AIDE is
+//! cheap when generation succeeds and expensive when it retries; CatDB's
+//! pipeline runtime is the smallest.
+
+use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig};
+use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, BenchArgs};
+use catdb_data::generate;
+use serde_json::json;
+
+const DATASETS: [&str; 3] = ["diabetes", "gas-drift", "volkert"];
+
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    input: usize,
+    output: usize,
+    llm_seconds: f64,
+    local_seconds: f64,
+    runs: usize,
+}
+
+impl Acc {
+    fn add(&mut self, input: usize, output: usize, llm_s: f64, local_s: f64) {
+        self.input += input;
+        self.output += output;
+        self.llm_seconds += llm_s;
+        self.local_seconds += local_s;
+        self.runs += 1;
+    }
+
+    fn row(&self, dataset: &str, llm: &str, system: &str) -> Vec<String> {
+        let n = self.runs.max(1) as f64;
+        vec![
+            dataset.to_string(),
+            llm.to_string(),
+            system.to_string(),
+            format!("{:.0}", self.input as f64 / n),
+            format!("{:.0}", self.output as f64 / n),
+            format!("{:.2}", self.llm_seconds / n),
+            format!("{:.3}", self.local_seconds / n),
+        ]
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let iterations = if args.quick { 2 } else { 10 };
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for name in DATASETS {
+        let g = generate(name, &args.gen_options()).expect("known dataset");
+        for llm_name in paper_llms() {
+            let prep_llm = llm_for(llm_name, args.seed);
+            let p = prepare(&g, true, &prep_llm, args.seed);
+            let mut accs: Vec<(&str, Acc)> = vec![
+                ("catdb", Acc::default()),
+                ("catdb_chain", Acc::default()),
+                ("caafe", Acc::default()),
+                ("aide", Acc::default()),
+                ("autogen", Acc::default()),
+            ];
+            for i in 0..iterations {
+                let seed = args.seed + 31 * i as u64;
+                let llm = llm_for(llm_name, seed);
+                let o = run_catdb(&p, &llm, 1, seed);
+                accs[0].1.add(o.ledger.total().input, o.ledger.total().output, o.llm_seconds, o.elapsed_seconds);
+                let llm = llm_for(llm_name, seed);
+                let o = run_catdb(&p, &llm, 2, seed);
+                accs[1].1.add(o.ledger.total().input, o.ledger.total().output, o.llm_seconds, o.elapsed_seconds);
+                let llm = llm_for(llm_name, seed);
+                let b = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig { seed, ..Default::default() });
+                accs[2].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+                let llm = llm_for(llm_name, seed);
+                let b = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig { seed, ..Default::default() });
+                accs[3].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+                let llm = llm_for(llm_name, seed);
+                let b = run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig { seed, ..Default::default() });
+                accs[4].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+            }
+            for (system, acc) in &accs {
+                rows.push(acc.row(name, llm_name, system));
+                records.push(json!({
+                    "dataset": name, "llm": llm_name, "system": system,
+                    "avg_input_tokens": acc.input as f64 / acc.runs.max(1) as f64,
+                    "avg_output_tokens": acc.output as f64 / acc.runs.max(1) as f64,
+                    "avg_llm_seconds": acc.llm_seconds / acc.runs.max(1) as f64,
+                    "avg_local_seconds": acc.local_seconds / acc.runs.max(1) as f64,
+                }));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 12: Cost and runtime, averaged over {iterations} iterations"),
+            &["dataset", "llm", "system", "in tok", "out tok", "llm s", "local s"],
+            &rows,
+        )
+    );
+    save_results("fig12_cost", &json!({ "iterations": iterations, "records": records }));
+}

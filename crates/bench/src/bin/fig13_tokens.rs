@@ -1,0 +1,90 @@
+//! Figure 13 — token consumption including error management across ten
+//! datasets (the Table 7 eight plus Diabetes and Gas-Drift), split into
+//! initial-generation vs error-management tokens per LLM.
+//!
+//! Paper shapes: CatDB and CAAFE have comparable totals; CatDB Chain is
+//! sometimes costlier; error-management cost dominates for the Llama
+//! profile and for regression / multi-table datasets.
+
+use catdb_baselines::{run_caafe, CaafeConfig};
+use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, BenchArgs};
+use catdb_data::generate;
+use serde_json::json;
+
+const DATASETS: [&str; 10] = [
+    "airline",
+    "imdb",
+    "accidents",
+    "financial",
+    "cmc",
+    "bike-sharing",
+    "house-sales",
+    "nyc",
+    "diabetes",
+    "gas-drift",
+];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let llms = if args.quick { vec!["gemini-1.5-pro"] } else { paper_llms() };
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for name in DATASETS {
+        let g = generate(name, &args.gen_options()).expect("known dataset");
+        for llm_name in &llms {
+            let prep_llm = llm_for(llm_name, args.seed);
+            let p = prepare(&g, true, &prep_llm, args.seed);
+            for (system, beta) in [("catdb", 1usize), ("catdb_chain", 3)] {
+                let llm = llm_for(llm_name, args.seed);
+                let o = run_catdb(&p, &llm, beta, args.seed);
+                rows.push(vec![
+                    name.to_string(),
+                    llm_name.to_string(),
+                    system.to_string(),
+                    o.ledger.generation.total().to_string(),
+                    o.ledger.error_fixing.total().to_string(),
+                    o.ledger.total().total().to_string(),
+                ]);
+                records.push(json!({
+                    "dataset": name, "llm": llm_name, "system": system,
+                    "generation_tokens": o.ledger.generation.total(),
+                    "error_tokens": o.ledger.error_fixing.total(),
+                    "total_tokens": o.ledger.total().total(),
+                }));
+            }
+            // CAAFE total for comparison (single ledger bucket).
+            let llm = llm_for(llm_name, args.seed);
+            let b = run_caafe(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm,
+                &CaafeConfig::default(),
+            );
+            rows.push(vec![
+                name.to_string(),
+                llm_name.to_string(),
+                "caafe".to_string(),
+                b.ledger.generation.total().to_string(),
+                b.ledger.error_fixing.total().to_string(),
+                b.ledger.total().total().to_string(),
+            ]);
+            records.push(json!({
+                "dataset": name, "llm": llm_name, "system": "caafe",
+                "generation_tokens": b.ledger.generation.total(),
+                "error_tokens": b.ledger.error_fixing.total(),
+                "total_tokens": b.ledger.total().total(),
+            }));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 13: Token consumption incl. error management",
+            &["dataset", "llm", "system", "gen tokens", "err tokens", "total"],
+            &rows,
+        )
+    );
+    save_results("fig13_tokens", &json!({ "records": records }));
+}

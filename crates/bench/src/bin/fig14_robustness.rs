@@ -1,0 +1,102 @@
+//! Figure 14 — end-to-end robustness study: inject outliers, missing
+//! values, and mixed corruptions (0–5 %) into Utility (regression) and
+//! Volkert (classification) and compare CatDB against the AutoML tools
+//! and CAAFE.
+//!
+//! Paper shapes: CatDB holds its quality as corruption grows; AutoML
+//! tools deteriorate beyond ~1 % outliers; missing values in regression
+//! are handled by several tools; mixed errors hurt AutoML most.
+
+use catdb_automl::{run_automl, AutoMlConfig, AutoMlOutcome, ToolProfile};
+use catdb_baselines::{run_caafe, CaafeConfig, CaafeModel};
+use catdb_bench::{llm_for, pct, render_table, save_results, BenchArgs};
+use catdb_catalog::CatalogEntry;
+use catdb_core::{generate_pipeline, CatDbConfig};
+use catdb_data::{corrupt, generate, Corruption};
+use catdb_profiler::{profile_table, ProfileOptions};
+use serde_json::json;
+
+const RATIOS: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for name in ["utility", "volkert"] {
+        let g = generate(name, &args.gen_options()).expect("known dataset");
+        let flat = g.dataset.materialize().expect("materialize");
+        for kind in [Corruption::Outliers, Corruption::MissingValues, Corruption::Mixed] {
+            for ratio in RATIOS {
+                let corrupted = corrupt(&flat, &g.target, kind, ratio, args.seed);
+                let (train, test) = corrupted.train_test_split(0.7, args.seed).expect("split");
+                // CatDB re-profiles the corrupted data (its rules see the
+                // injected missingness/outliers and react).
+                let profile = profile_table(name, &corrupted, &ProfileOptions::default());
+                let entry = CatalogEntry::new(name, g.target.clone(), g.task, profile);
+                // CatDB's score per cell is the mean of three generation
+                // seeds (single generations are noisy; the paper's curves
+                // average over repetitions).
+                let catdb_scores: Vec<f64> = (0..3u64)
+                    .filter_map(|i| {
+                        let seed = args.seed + 97 * i;
+                        let llm = llm_for("gemini-1.5-pro", seed);
+                        let cfg = CatDbConfig { seed, ..Default::default() };
+                        let o = generate_pipeline(&entry, &train, &test, &llm, &cfg);
+                        o.evaluation.map(|e| e.test.headline())
+                    })
+                    .collect();
+                let catdb_mean = if catdb_scores.is_empty() {
+                    f64::NAN
+                } else {
+                    catdb_scores.iter().sum::<f64>() / catdb_scores.len() as f64
+                };
+
+                let automl_cfg = AutoMlConfig { time_budget_seconds: 8.0, seed: args.seed };
+                let mut cells = vec![
+                    name.to_string(),
+                    kind.label().to_string(),
+                    format!("{:.0}%", ratio * 100.0),
+                    pct(catdb_mean),
+                ];
+                let mut rec = serde_json::Map::new();
+                rec.insert("dataset".into(), json!(name));
+                rec.insert("corruption".into(), json!(kind.label()));
+                rec.insert("ratio".into(), json!(ratio));
+                rec.insert("catdb".into(), json!(catdb_mean));
+                for tool in [ToolProfile::flaml(), ToolProfile::autogluon(), ToolProfile::h2o()] {
+                    let out = run_automl(&tool, &train, &test, &g.target, g.task, &automl_cfg);
+                    cells.push(out.cell());
+                    rec.insert(
+                        tool.name.to_string(),
+                        json!(match &out {
+                            AutoMlOutcome::Success { test_score, .. } => Some(*test_score),
+                            _ => None,
+                        }),
+                    );
+                }
+                let llm2 = llm_for("gemini-1.5-pro", args.seed);
+                let caafe = run_caafe(
+                    &train,
+                    &test,
+                    &g.target,
+                    g.task,
+                    &llm2,
+                    &CaafeConfig { model: CaafeModel::RandomForest, ..Default::default() },
+                );
+                cells.push(caafe.cell());
+                rec.insert("caafe".into(), json!(caafe.test_score));
+                rows.push(cells);
+                records.push(serde_json::Value::Object(rec));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 14: Robustness to injected corruption (test score %)",
+            &["dataset", "corruption", "ratio", "catdb", "flaml", "autogluon", "h2o", "caafe_rf"],
+            &rows,
+        )
+    );
+    save_results("fig14_robustness", &json!({ "records": records }));
+}

@@ -1,0 +1,117 @@
+//! Table 8 — end-to-end generation runtime across the eight Table 7
+//! datasets per LLM: failure counts, average and total runtimes
+//! (catalog work + LLM latency + validation + execution).
+//!
+//! Paper shapes: CatDB and CatDB Chain finish on every dataset with every
+//! LLM (Fail = 0); CAAFE fails on the large datasets; AIDE/AutoGen fail
+//! sporadically and their runtime tracks the LLM.
+
+use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
+use catdb_bench::{llm_for, paper_llms, prepare, run_catdb, render_table, save_results, BenchArgs};
+use catdb_data::generate;
+use serde_json::json;
+
+const DATASETS: [&str; 8] = [
+    "airline",
+    "imdb",
+    "accidents",
+    "financial",
+    "cmc",
+    "bike-sharing",
+    "house-sales",
+    "nyc",
+];
+
+#[derive(Default)]
+struct Tally {
+    fails: usize,
+    total_seconds: f64,
+    successes: usize,
+}
+
+impl Tally {
+    fn add(&mut self, success: bool, seconds: f64) {
+        if success {
+            self.successes += 1;
+            self.total_seconds += seconds;
+        } else {
+            self.fails += 1;
+        }
+    }
+
+    fn row(&self, system: &str, llm: &str) -> Vec<String> {
+        let avg = if self.successes > 0 { self.total_seconds / self.successes as f64 } else { 0.0 };
+        vec![
+            system.to_string(),
+            llm.to_string(),
+            self.fails.to_string(),
+            format!("{avg:.2}"),
+            format!("{:.2}", self.total_seconds),
+        ]
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for llm_name in paper_llms() {
+        let mut tallies: Vec<(&str, Tally)> = vec![
+            ("catdb", Tally::default()),
+            ("catdb_chain", Tally::default()),
+            ("caafe_tabpfn", Tally::default()),
+            ("caafe_rforest", Tally::default()),
+            ("aide", Tally::default()),
+            ("autogen", Tally::default()),
+        ];
+        for name in DATASETS {
+            let g = generate(name, &args.gen_options()).expect("known dataset");
+            let prep_llm = llm_for(llm_name, args.seed);
+            let p = prepare(&g, true, &prep_llm, args.seed);
+
+            let llm = llm_for(llm_name, args.seed);
+            let o = run_catdb(&p, &llm, 1, args.seed);
+            tallies[0].1.add(o.success, o.elapsed_seconds + o.llm_seconds);
+            let llm = llm_for(llm_name, args.seed);
+            let o = run_catdb(&p, &llm, 3, args.seed);
+            tallies[1].1.add(o.success, o.elapsed_seconds + o.llm_seconds);
+            let llm = llm_for(llm_name, args.seed);
+            let b = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default());
+            tallies[2].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
+            let llm = llm_for(llm_name, args.seed);
+            let b = run_caafe(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm,
+                &CaafeConfig { model: CaafeModel::RandomForest, ..Default::default() },
+            );
+            tallies[3].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
+            let llm = llm_for(llm_name, args.seed);
+            let b = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig::default());
+            tallies[4].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
+            let llm = llm_for(llm_name, args.seed);
+            let b = run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig::default());
+            tallies[5].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
+        }
+        for (system, tally) in &tallies {
+            rows.push(tally.row(system, llm_name));
+            records.push(json!({
+                "system": system, "llm": llm_name,
+                "fail": tally.fails,
+                "avg_seconds": if tally.successes > 0 { tally.total_seconds / tally.successes as f64 } else { 0.0 },
+                "sum_seconds": tally.total_seconds,
+            }));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 8: End-to-end runtime across 8 datasets [s]",
+            &["system", "llm", "fail", "avg", "sum"],
+            &rows,
+        )
+    );
+    save_results("tab8_e2e", &json!({ "records": records }));
+}

@@ -1,0 +1,14 @@
+//! # catdb-clean — data-cleaning baselines (SAGA, Learn2Clean)
+//!
+//! Re-implements the cleaning stage of the paper's "AutoML w/ Cleaning &
+//! Augmentation" workflows: the eight cleaning primitives of Table 7
+//! (DS, ED, AD, IQR, LOF, EM, MEDIAN, DROP), searched either by SAGA's
+//! evolutionary optimizer or Learn2Clean's greedy sequential selection,
+//! with a quick proxy-model fitness. Augmentation (ADASYN / SMOGN) lives
+//! in `catdb-ml`'s `Augmenter` and is composed by the benchmark harness.
+
+mod ops;
+mod search;
+
+pub use ops::{sequence_label, CleanOp};
+pub use search::{learn2clean, saga, CleaningError, CleaningResult, SagaConfig};

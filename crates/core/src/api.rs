@@ -1,0 +1,132 @@
+//! The user-facing CatDB API, mirroring the paper's snippet:
+//!
+//! ```text
+//! md  = catdb_collect(M)            /* collect metadata            */
+//! llm = LLM(model, client_url, cfg) /* configure LLM               */
+//! P   = catdb_pipgen(md, llm)       /* P.code, P.results           */
+//! ```
+//!
+//! [`catdb_collect`] materializes a (possibly multi-table) dataset,
+//! profiles it, optionally runs the LLM-assisted catalog refinement, and
+//! returns the catalog entry together with the prepared table.
+//! [`catdb_pipgen`] splits the prepared data, runs Algorithm 4, and
+//! returns the generated code plus its execution results.
+
+use crate::generate::{generate_pipeline, CatDbConfig, GenerationOutcome};
+use catdb_catalog::{
+    refine_dataset, CatalogEntry, MultiTableDataset, RefineOptions, RefinementReport,
+};
+use catdb_llm::LanguageModel;
+use catdb_ml::TaskKind;
+use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_table::Table;
+
+/// Options for metadata collection.
+#[derive(Debug, Clone, Default)]
+pub struct CollectOptions {
+    pub profile: ProfileOptions,
+    /// Run the LLM-assisted catalog refinement + data preparation.
+    pub refine: bool,
+    pub refine_options: RefineOptions,
+}
+
+/// `catdb_collect`: profile (and optionally refine) a dataset into a
+/// catalog entry plus the prepared single-table data.
+pub fn catdb_collect(
+    dataset: &MultiTableDataset,
+    target: &str,
+    task: TaskKind,
+    llm: &dyn LanguageModel,
+    opts: &CollectOptions,
+) -> Result<(CatalogEntry, Table, Option<RefinementReport>), catdb_table::TableError> {
+    let materialized = dataset.materialize()?;
+    let profile = profile_table(&dataset.name, &materialized, &opts.profile);
+    if !opts.refine {
+        let entry = CatalogEntry::new(dataset.name.clone(), target, task, profile);
+        return Ok((entry, materialized, None));
+    }
+    let (prepared, refined_profile, report) = refine_dataset(
+        &dataset.name,
+        &materialized,
+        &profile,
+        target,
+        llm,
+        &opts.refine_options,
+    );
+    let entry = CatalogEntry::new(dataset.name.clone(), target, task, refined_profile);
+    Ok((entry, prepared, Some(report)))
+}
+
+/// The result object of `catdb_pipgen` (`P.code` / `P.results`).
+pub struct PipgenResult {
+    /// `P.code` — source of the generated pipeline.
+    pub code: String,
+    /// `P.results` — outputs of the pipeline's execution plus session
+    /// accounting.
+    pub results: GenerationOutcome,
+}
+
+/// `catdb_pipgen`: generate and validate a pipeline for a catalogued,
+/// prepared dataset. Splits 70/30 like all paper experiments.
+pub fn catdb_pipgen(
+    entry: &CatalogEntry,
+    prepared: &Table,
+    llm: &dyn LanguageModel,
+    cfg: &CatDbConfig,
+) -> Result<PipgenResult, catdb_table::TableError> {
+    let (train, test) = prepared.train_test_split(0.7, cfg.seed)?;
+    let outcome = generate_pipeline(entry, &train, &test, llm, cfg);
+    Ok(PipgenResult { code: outcome.source.clone(), results: outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_llm::{ModelProfile, SimLlm};
+    use catdb_table::Column;
+
+    fn toy_dataset() -> MultiTableDataset {
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let g: Vec<&str> = (0..n).map(|i| ["F", "Female", "M", "Male"][i % 4]).collect();
+        let y: Vec<&str> = (0..n).map(|i| if i < n / 2 { "lo" } else { "hi" }).collect();
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64(x)),
+            ("gender", Column::from_strings(g)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap();
+        MultiTableDataset::single("toy", t)
+    }
+
+    #[test]
+    fn collect_then_pipgen_mirrors_paper_api() {
+        let dataset = toy_dataset();
+        let llm = SimLlm::new(ModelProfile::gpt_4o(), 2);
+        let opts = CollectOptions { refine: true, ..Default::default() };
+        let (entry, prepared, report) =
+            catdb_collect(&dataset, "y", TaskKind::BinaryClassification, &llm, &opts).unwrap();
+        assert!(report.is_some());
+        let result = catdb_pipgen(&entry, &prepared, &llm, &CatDbConfig::default()).unwrap();
+        assert!(result.results.success);
+        assert!(result.code.contains("pipeline {"));
+        assert!(result.results.evaluation.is_some());
+    }
+
+    #[test]
+    fn collect_without_refinement_keeps_raw_values(){
+        let dataset = toy_dataset();
+        let llm = SimLlm::new(ModelProfile::gpt_4o(), 2);
+        let (entry, prepared, report) = catdb_collect(
+            &dataset,
+            "y",
+            TaskKind::BinaryClassification,
+            &llm,
+            &CollectOptions::default(),
+        )
+        .unwrap();
+        assert!(report.is_none());
+        assert_eq!(entry.column("gender").unwrap().distinct_count, 4);
+        assert_eq!(prepared.n_rows(), 400);
+    }
+}

@@ -1,0 +1,219 @@
+//! `catdb` — command-line front end for the CatDB reproduction.
+//!
+//! ```text
+//! catdb run --csv data.csv --target label --task binary [--model gpt-4o]
+//!           [--beta N] [--alpha K] [--no-refine] [--seed N]
+//! catdb profile --csv data.csv
+//! ```
+//!
+//! `run` profiles the CSV, refines the catalog with the simulated LLM,
+//! generates + validates a pipeline, and prints the program with its
+//! evaluation. `profile` prints the data profile only.
+
+use catdb_catalog::MultiTableDataset;
+use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
+use catdb_llm::{ModelProfile, SimLlm};
+use catdb_ml::TaskKind;
+use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_table::{read_csv_path, CsvOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N]\n  catdb profile --csv FILE"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    csv: Option<String>,
+    target: Option<String>,
+    task: Option<String>,
+    model: String,
+    beta: usize,
+    alpha: Option<usize>,
+    refine: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().collect();
+    let command = argv.get(1)?.clone();
+    let mut args = Args {
+        command,
+        csv: None,
+        target: None,
+        task: None,
+        model: "gpt-4o".into(),
+        beta: 1,
+        alpha: None,
+        refine: true,
+        seed: 42,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => args.csv = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--target" => args.target = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--task" => args.task = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--model" => {
+                if let Some(m) = argv.get(i + 1) {
+                    args.model = m.clone();
+                    i += 1;
+                }
+            }
+            "--beta" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.beta = v;
+                    i += 1;
+                }
+            }
+            "--alpha" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.alpha = Some(v);
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.seed = v;
+                    i += 1;
+                }
+            }
+            "--no-refine" => args.refine = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return None;
+            }
+        }
+        i += 1;
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    match args.command.as_str() {
+        "profile" => cmd_profile(&args),
+        "run" => cmd_run(&args),
+        _ => usage(),
+    }
+}
+
+fn load_table(args: &Args) -> Result<(String, catdb_table::Table), ExitCode> {
+    let Some(path) = &args.csv else {
+        eprintln!("--csv is required");
+        return Err(usage());
+    };
+    match read_csv_path(path, &CsvOptions::default()) {
+        Ok(t) => {
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("dataset")
+                .to_string();
+            Ok((name, t))
+        }
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_profile(args: &Args) -> ExitCode {
+    let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
+    let profile = profile_table(&name, &table, &ProfileOptions::default());
+    println!("dataset: {name} ({} rows × {} cols)", table.n_rows(), table.n_cols());
+    println!(
+        "{:<20} {:<8} {:<12} {:>8} {:>9} {:>9}",
+        "column", "type", "feature", "distinct", "missing%", "top%"
+    );
+    for col in &profile.columns {
+        println!(
+            "{:<20} {:<8} {:<12} {:>8} {:>8.1}% {:>8.1}%",
+            col.name,
+            col.data_type.name(),
+            col.feature_type.label(),
+            col.distinct_count,
+            col.missing_percentage * 100.0,
+            col.top_value_ratio * 100.0,
+        );
+    }
+    println!("profiled in {:.3}s", profile.elapsed_seconds);
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
+    let Some(target) = &args.target else {
+        eprintln!("--target is required");
+        return usage();
+    };
+    let task = match args.task.as_deref() {
+        Some("binary") => TaskKind::BinaryClassification,
+        Some("multiclass") => TaskKind::MulticlassClassification,
+        Some("regression") => TaskKind::Regression,
+        _ => {
+            eprintln!("--task must be binary, multiclass, or regression");
+            return usage();
+        }
+    };
+    let Some(profile) = ModelProfile::by_name(&args.model) else {
+        eprintln!("unknown model '{}'; use gpt-4o, gemini-1.5-pro, or llama3.1-70b", args.model);
+        return ExitCode::FAILURE;
+    };
+    let llm = SimLlm::new(profile, args.seed);
+
+    let dataset = MultiTableDataset::single(name, table);
+    let opts = CollectOptions { refine: args.refine, ..Default::default() };
+    let (entry, prepared, report) = match catdb_collect(&dataset, target, task, &llm, &opts) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report) = &report {
+        eprintln!(
+            "[catalog refined: {} column change(s), {} LLM call(s)]",
+            report.refinements.len(),
+            report.llm_calls
+        );
+    }
+    let cfg = CatDbConfig {
+        prompt: PromptOptions { beta: args.beta, alpha: args.alpha, ..Default::default() },
+        seed: args.seed,
+        ..Default::default()
+    };
+    let result = match catdb_pipgen(&entry, &prepared, &llm, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", result.code);
+    match &result.results.evaluation {
+        Some(eval) => {
+            eprintln!("train: {:?}", eval.train);
+            eprintln!("test:  {:?}", eval.test);
+            eprintln!(
+                "tokens: {} | llm calls: {} | attempts: {} | errors handled: {}",
+                result.results.ledger.total().total(),
+                result.results.ledger.n_calls,
+                result.results.attempts,
+                result.results.traces.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("no executable pipeline found; errors:");
+            for t in &result.results.traces {
+                eprintln!("  attempt {}: {}", t.attempt, t.kind.code());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

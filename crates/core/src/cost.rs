@@ -1,0 +1,84 @@
+//! The token cost model of Section 4.1 (Equations 1 and 2).
+//!
+//! `C(P_p, P_e, γ, τ₂) = γ·L(P_p) + Σᵢ Σⱼ L(P_eᵢⱼ)` for single-prompt
+//! CatDB, and the chain variant adds per-chunk pre-processing and
+//! feature-engineering prompt costs. These are *predictions* from prompt
+//! sizes; actual measured usage lives in [`catdb_llm::CostLedger`].
+
+/// Eq. 1 — predicted cost of single-prompt CatDB.
+///
+/// * `pipeline_prompt_tokens` — `L(P_p)`.
+/// * `error_prompt_tokens[i][j]` — `L(P_eᵢⱼ)` for interaction `i`,
+///   correction attempt `j` (ragged; attempts vary per interaction).
+pub fn single_prompt_cost(
+    pipeline_prompt_tokens: usize,
+    gamma: usize,
+    error_prompt_tokens: &[Vec<usize>],
+) -> usize {
+    let base = gamma * pipeline_prompt_tokens;
+    let fixes: usize = error_prompt_tokens.iter().flatten().sum();
+    base + fixes
+}
+
+/// Eq. 2 — predicted cost of CatDB Chain: the model-selection prompt cost
+/// plus, for each of the β chunks, the pre-processing and feature-
+/// engineering prompt costs (each with their own error-handling terms).
+pub struct ChainStageCost {
+    pub prompt_tokens: usize,
+    pub gamma: usize,
+    pub error_prompt_tokens: Vec<Vec<usize>>,
+}
+
+impl ChainStageCost {
+    pub fn cost(&self) -> usize {
+        single_prompt_cost(self.prompt_tokens, self.gamma, &self.error_prompt_tokens)
+    }
+}
+
+pub fn chain_cost(
+    model_selection: &ChainStageCost,
+    preprocessing: &[ChainStageCost],
+    feature_engineering: &[ChainStageCost],
+) -> usize {
+    model_selection.cost()
+        + preprocessing.iter().map(|s| s.cost()).sum::<usize>()
+        + feature_engineering.iter().map(|s| s.cost()).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_sums_interactions_and_fixes() {
+        // γ=2 interactions at 100 tokens, with fixes of 10+20 and 5.
+        let cost = single_prompt_cost(100, 2, &[vec![10, 20], vec![5]]);
+        assert_eq!(cost, 235);
+        assert_eq!(single_prompt_cost(100, 1, &[]), 100);
+    }
+
+    #[test]
+    fn eq2_adds_stage_costs() {
+        let stage = |p: usize| ChainStageCost {
+            prompt_tokens: p,
+            gamma: 1,
+            error_prompt_tokens: vec![],
+        };
+        let total = chain_cost(&stage(50), &[stage(30), stage(30)], &[stage(40), stage(40)]);
+        assert_eq!(total, 190);
+    }
+
+    #[test]
+    fn chain_costs_exceed_single_for_same_content() {
+        // The chain re-sends context per stage, so with equal per-prompt
+        // sizes and more prompts it always costs at least as much.
+        let single = single_prompt_cost(120, 1, &[]);
+        let stage = |p: usize| ChainStageCost {
+            prompt_tokens: p,
+            gamma: 1,
+            error_prompt_tokens: vec![],
+        };
+        let chain = chain_cost(&stage(120), &[stage(80)], &[stage(80)]);
+        assert!(chain > single);
+    }
+}

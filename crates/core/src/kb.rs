@@ -1,0 +1,271 @@
+//! The CatDB knowledge base and the error-trace dataset.
+//!
+//! The KB API is the cost-free local correction channel (Figure 7):
+//! environment/package errors are fixed by installing or reinstalling
+//! packages; transient environment failures resolve on retry; syntax
+//! errors get a local AST-level cleanup before any LLM resubmission. All
+//! error occurrences are recorded as traces — the "substantial error
+//! traces dataset" behind Table 2 and Figure 8.
+
+use catdb_llm::clean_pipeline_syntax;
+use catdb_pipeline::{Environment, ErrorCategory, ErrorKind, PipelineError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How an error occurrence was ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FixedBy {
+    KnowledgeBase,
+    LocalSyntaxCleanup,
+    LlmResubmission,
+    Handcrafted,
+    Unfixed,
+}
+
+/// One recorded error occurrence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorTrace {
+    pub dataset: String,
+    pub llm: String,
+    pub kind: ErrorKind,
+    pub category: ErrorCategory,
+    pub attempt: usize,
+    pub fixed_by: FixedBy,
+}
+
+/// The error-trace dataset (Table 2 / Figure 8).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrorTraceDb {
+    traces: Vec<ErrorTrace>,
+}
+
+impl ErrorTraceDb {
+    pub fn record(&mut self, trace: ErrorTrace) {
+        self.traces.push(trace);
+    }
+
+    pub fn extend(&mut self, traces: impl IntoIterator<Item = ErrorTrace>) {
+        self.traces.extend(traces);
+    }
+
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    pub fn traces(&self) -> &[ErrorTrace] {
+        &self.traces
+    }
+
+    /// Table 2's row for one LLM: (total, KB %, SE %, RE %).
+    pub fn category_distribution(&self, llm: &str) -> (usize, f64, f64, f64) {
+        let relevant: Vec<&ErrorTrace> =
+            self.traces.iter().filter(|t| t.llm == llm).collect();
+        let total = relevant.len();
+        if total == 0 {
+            return (0, 0.0, 0.0, 0.0);
+        }
+        let pct = |cat: ErrorCategory| {
+            relevant.iter().filter(|t| t.category == cat).count() as f64 / total as f64 * 100.0
+        };
+        (
+            total,
+            pct(ErrorCategory::KnowledgeBase),
+            pct(ErrorCategory::Syntax),
+            pct(ErrorCategory::Runtime),
+        )
+    }
+
+    /// Figure 8's per-kind occurrence counts, all LLMs combined.
+    pub fn kind_distribution(&self) -> BTreeMap<ErrorKind, usize> {
+        let mut out = BTreeMap::new();
+        for t in &self.traces {
+            *out.entry(t.kind).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// A local fix the knowledge base performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KbFix {
+    /// A package was installed / reinstalled; re-run the same pipeline.
+    EnvironmentRepaired { package: String },
+    /// Transient failure; re-run the same pipeline.
+    Retry,
+    /// Syntax locally cleaned; here is the new source.
+    CleanedSource(String),
+    /// The KB has no local remedy; escalate to the LLM.
+    NotFixable,
+}
+
+/// The knowledge-base API.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase;
+
+impl KnowledgeBase {
+    /// Attempt a local, LLM-free fix.
+    pub fn try_fix(&self, error: &PipelineError, source: &str, env: &mut Environment) -> KbFix {
+        match error.kind.category() {
+            ErrorCategory::KnowledgeBase => match error.kind {
+                ErrorKind::MissingPackage => {
+                    // "No module named 'x'" / "package 'x' not found".
+                    let Some(pkg) = quoted_entity(&error.message) else {
+                        return KbFix::NotFixable;
+                    };
+                    match env.install(&pkg) {
+                        Ok(()) => KbFix::EnvironmentRepaired { package: pkg },
+                        Err(_) => KbFix::NotFixable, // hallucinated package → LLM
+                    }
+                }
+                ErrorKind::PackageVersionMismatch => {
+                    let Some(pkg) = quoted_entity(&error.message) else {
+                        return KbFix::NotFixable;
+                    };
+                    match env.reinstall_latest(&pkg) {
+                        // Reinstalling does not satisfy a stale pin in the
+                        // code itself; strip pins locally too.
+                        Ok(()) => KbFix::CleanedSource(strip_version_pins(source)),
+                        Err(_) => KbFix::NotFixable,
+                    }
+                }
+                // Transient environment conditions clear on retry.
+                ErrorKind::EnvironmentPathError
+                | ErrorKind::PermissionDenied
+                | ErrorKind::ResourceTemporarilyUnavailable
+                | ErrorKind::MissingSystemDependency => KbFix::Retry,
+                _ => KbFix::NotFixable,
+            },
+            ErrorCategory::Syntax => {
+                // Local AST-style cleanup (uncommented text, missing
+                // semicolons, indentation) — "typically fixed in one
+                // iteration".
+                let cleaned = clean_pipeline_syntax(source);
+                if cleaned != source {
+                    KbFix::CleanedSource(cleaned)
+                } else {
+                    KbFix::NotFixable
+                }
+            }
+            ErrorCategory::Runtime => KbFix::NotFixable,
+        }
+    }
+}
+
+/// First single-quoted entity in an error message.
+fn quoted_entity(message: &str) -> Option<String> {
+    let open = message.find('\'')?;
+    let close = message[open + 1..].find('\'')?;
+    Some(message[open + 1..open + 1 + close].to_string())
+}
+
+/// Remove `==version` pins from require statements.
+fn strip_version_pins(source: &str) -> String {
+    source
+        .lines()
+        .map(|l| {
+            if l.trim_start().starts_with("require") && l.contains("==") {
+                if let (Some(start), Some(end)) = (l.find("=="), l.rfind('"')) {
+                    if start < end {
+                        let mut s = l.to_string();
+                        s.replace_range(start..end, "");
+                        return s;
+                    }
+                }
+            }
+            l.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_missing_packages() {
+        let kb = KnowledgeBase;
+        let mut env = Environment::default();
+        let err = PipelineError::new(ErrorKind::MissingPackage, "No module named 'boosting'");
+        let fix = kb.try_fix(&err, "pipeline {\n}\n", &mut env);
+        assert_eq!(fix, KbFix::EnvironmentRepaired { package: "boosting".into() });
+        assert!(env.is_installed("boosting"));
+    }
+
+    #[test]
+    fn hallucinated_package_escalates() {
+        let kb = KnowledgeBase;
+        let mut env = Environment::default();
+        let err = PipelineError::new(ErrorKind::MissingPackage, "No module named 'magic_automl'");
+        assert_eq!(kb.try_fix(&err, "", &mut env), KbFix::NotFixable);
+    }
+
+    #[test]
+    fn version_pin_is_stripped_and_reinstalled() {
+        let kb = KnowledgeBase;
+        let mut env = Environment::default();
+        let err = PipelineError::new(
+            ErrorKind::PackageVersionMismatch,
+            "package 'models' 1.2.0 installed but 0.9.0 required",
+        );
+        let src = "pipeline {\n  require \"models==0.9.0\";\n}\n";
+        match kb.try_fix(&err, src, &mut env) {
+            KbFix::CleanedSource(s) => assert!(s.contains("require \"models\";"), "{s}"),
+            other => panic!("unexpected fix {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_get_local_cleanup() {
+        let kb = KnowledgeBase;
+        let mut env = Environment::default();
+        let err = PipelineError::new(ErrorKind::StrayProse, "unexpected text");
+        let src = "Sure! Here's the pipeline:\npipeline {\n  drop_constant;\n}\n";
+        match kb.try_fix(&err, src, &mut env) {
+            KbFix::CleanedSource(s) => assert!(!s.contains("Sure!")),
+            other => panic!("unexpected fix {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_errors_escalate_to_llm() {
+        let kb = KnowledgeBase;
+        let mut env = Environment::default();
+        let err = PipelineError::new(ErrorKind::NanInFeatures, "input contains NaN");
+        assert_eq!(kb.try_fix(&err, "", &mut env), KbFix::NotFixable);
+    }
+
+    #[test]
+    fn trace_db_distributions() {
+        let mut db = ErrorTraceDb::default();
+        for (kind, n) in [
+            (ErrorKind::NanInFeatures, 8),
+            (ErrorKind::MissingPackage, 1),
+            (ErrorKind::MissingSemicolon, 1),
+        ] {
+            for i in 0..n {
+                db.record(ErrorTrace {
+                    dataset: "d".into(),
+                    llm: "llama3.1-70b".into(),
+                    kind,
+                    category: kind.category(),
+                    attempt: i,
+                    fixed_by: FixedBy::LlmResubmission,
+                });
+            }
+        }
+        let (total, kb_pct, se_pct, re_pct) = db.category_distribution("llama3.1-70b");
+        assert_eq!(total, 10);
+        assert_eq!(kb_pct, 10.0);
+        assert_eq!(se_pct, 10.0);
+        assert_eq!(re_pct, 80.0);
+        assert_eq!(db.kind_distribution()[&ErrorKind::NanInFeatures], 8);
+        let (none, _, _, _) = db.category_distribution("gpt-4o");
+        assert_eq!(none, 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Overall prompt construction — paper Algorithm 3 and Figure 6.
+//!
+//! Builds CatDB's single prompt (β = 1) or the CatDB Chain prompt sequence
+//! (β > 1: per-chunk pre-processing and feature-engineering prompts plus
+//! one model-selection prompt that carries the accumulated `<CODE>`), plus
+//! the Figure 7 error-correction prompt templates.
+
+use crate::rules::{derive_rules, schema_line, MetadataConfig};
+use catdb_catalog::CatalogEntry;
+use catdb_llm::{LlmTaskKind, Prompt};
+use catdb_profiler::{ColumnProfile, FeatureType};
+
+/// System message shared by all generation prompts.
+const SYSTEM: &str = "You are an expert data scientist. Reply ONLY with a pipeline program in the \
+                      declarative pipeline DSL, no explanations.";
+
+/// Prompt construction parameters (Algorithm 3's α and β).
+#[derive(Debug, Clone)]
+pub struct PromptOptions {
+    pub metadata: MetadataConfig,
+    /// Top-K column selection; `None` keeps every column.
+    pub alpha: Option<usize>,
+    /// Number of chain chunks; 1 = single prompt (CatDB default).
+    pub beta: usize,
+    /// Drop columns with fewer than this fraction of non-null values
+    /// (Algorithm 3 removes columns with values in < 2 % of rows).
+    pub min_coverage: f64,
+}
+
+impl Default for PromptOptions {
+    fn default() -> Self {
+        PromptOptions {
+            metadata: MetadataConfig::full(),
+            alpha: None,
+            beta: 1,
+            min_coverage: 0.02,
+        }
+    }
+}
+
+/// Builder over one catalog entry.
+pub struct PromptBuilder<'a> {
+    entry: &'a CatalogEntry,
+    opts: PromptOptions,
+}
+
+impl<'a> PromptBuilder<'a> {
+    pub fn new(entry: &'a CatalogEntry, opts: PromptOptions) -> PromptBuilder<'a> {
+        PromptBuilder { entry, opts }
+    }
+
+    /// CLEANDATACATALOG: remove empty, constant, and low-coverage columns.
+    pub fn clean_columns(&self) -> Vec<&'a ColumnProfile> {
+        self.entry
+            .feature_columns()
+            .filter(|c| {
+                let coverage = 1.0 - c.missing_percentage;
+                c.distinct_count > 1 && coverage >= self.opts.min_coverage
+            })
+            .collect()
+    }
+
+    /// SELECTTOPKCOLUMNS: priority groups — (1) categorical, (2) features
+    /// highly correlated with the target but with missing values,
+    /// (3) sentence/list, (4) numerical, (5) boolean (Section 3.4).
+    pub fn select_columns(&self) -> Vec<&'a ColumnProfile> {
+        let cols = self.clean_columns();
+        let Some(alpha) = self.opts.alpha else { return cols };
+        let priority = |c: &ColumnProfile| -> (u8, f64) {
+            let target_corr = c
+                .correlations
+                .iter()
+                .find(|(n, _)| n == &self.entry.target)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            let group = match c.feature_type {
+                FeatureType::Categorical => 0,
+                _ if target_corr > 0.3 && c.missing_count > 0 => 1,
+                FeatureType::Sentence | FeatureType::List => 2,
+                FeatureType::Numerical => 3,
+                FeatureType::Boolean => 4,
+            };
+            // Within a group, prefer stronger target correlation.
+            (group, -target_corr)
+        };
+        let mut ranked = cols;
+        ranked.sort_by(|a, b| {
+            let (ga, sa) = priority(a);
+            let (gb, sb) = priority(b);
+            ga.cmp(&gb).then(sa.total_cmp(&sb)).then_with(|| a.name.cmp(&b.name))
+        });
+        ranked.truncate(alpha);
+        ranked
+    }
+
+    fn dataset_line(&self) -> String {
+        format!(
+            "<DATASET name=\"{}\" format=\"{}\" delimiter=\"{}\" rows=\"{}\" target=\"{}\" task=\"{}\" />",
+            self.entry.dataset_name,
+            self.entry.format,
+            self.entry.delimiter,
+            self.entry.profile.n_rows,
+            self.entry.target,
+            self.entry.task
+        )
+    }
+
+    fn schema_block(&self, cols: &[&ColumnProfile]) -> String {
+        let mut block = String::from("<SCHEMA>\n");
+        for col in cols {
+            block.push_str(&schema_line(col, self.entry, &self.opts.metadata));
+            block.push('\n');
+        }
+        // The target column's schema line is always present and flagged.
+        if let Some(target) = self.entry.column(&self.entry.target) {
+            let mut line = schema_line(target, self.entry, &self.opts.metadata);
+            line.push_str(" role=\"target\"");
+            block.push_str(&line);
+            block.push('\n');
+        }
+        block.push_str("</SCHEMA>\n");
+        block
+    }
+
+    fn rules_block(&self, cols: &[&ColumnProfile], stages: &[&str]) -> String {
+        let mut block = String::from("<RULES>\n");
+        for rule in derive_rules(self.entry, cols) {
+            let stage = rule.split_whitespace().nth(1).unwrap_or("");
+            if stages.is_empty() || stages.contains(&stage) {
+                block.push_str(&rule);
+                block.push('\n');
+            }
+        }
+        block.push_str("</RULES>\n");
+        block
+    }
+
+    fn description_block(&self) -> String {
+        match (&self.entry.user_description, self.opts.metadata.user_description) {
+            (Some(desc), true) => format!("<DESCRIPTION>{desc}</DESCRIPTION>\n"),
+            _ => String::new(),
+        }
+    }
+
+    /// β = 1: the single CatDB prompt (all metadata and rules together).
+    pub fn single_prompt(&self) -> Prompt {
+        let cols = self.select_columns();
+        let user = format!(
+            "<TASK>{}</TASK>\n{}\n{}{}{}",
+            LlmTaskKind::PipelineGeneration.tag(),
+            self.dataset_line(),
+            self.description_block(),
+            self.schema_block(&cols),
+            self.rules_block(&cols, &[]),
+        );
+        Prompt::new(SYSTEM, user)
+    }
+
+    /// Column chunks for CatDB Chain (β > 1): ⌈|c| / β⌉ columns each.
+    pub fn chain_chunks(&self) -> Vec<Vec<&'a ColumnProfile>> {
+        let cols = self.select_columns();
+        let beta = self.opts.beta.max(1);
+        let k = cols.len().div_ceil(beta).max(1);
+        cols.chunks(k).map(|c| c.to_vec()).collect()
+    }
+
+    /// One chain-stage prompt over a column chunk. `code` carries the
+    /// pipeline accumulated by earlier stages (Figure 6's ordering).
+    pub fn stage_prompt(
+        &self,
+        stage: LlmTaskKind,
+        cols: &[&ColumnProfile],
+        code: Option<&str>,
+    ) -> Prompt {
+        let stages: &[&str] = match stage {
+            LlmTaskKind::Preprocessing => &["preprocessing"],
+            LlmTaskKind::FeatureEngineering => &["fe"],
+            LlmTaskKind::ModelSelection => &["model"],
+            _ => &[],
+        };
+        let mut user = format!(
+            "<TASK>{}</TASK>\n{}\n{}{}{}",
+            stage.tag(),
+            self.dataset_line(),
+            self.description_block(),
+            self.schema_block(cols),
+            self.rules_block(cols, stages),
+        );
+        if let Some(code) = code {
+            user.push_str("<CODE>\n");
+            user.push_str(code);
+            if !code.ends_with('\n') {
+                user.push('\n');
+            }
+            user.push_str("</CODE>\n");
+        }
+        Prompt::new(SYSTEM, user)
+    }
+
+    /// Figure 7's error-correction template: code + error, plus projected
+    /// metadata for runtime errors (`relevant_columns` filters the schema
+    /// to what the error touches; empty = include everything).
+    pub fn error_prompt(
+        &self,
+        code: &str,
+        error: &str,
+        include_metadata: bool,
+        relevant_columns: &[String],
+    ) -> Prompt {
+        let mut user = format!("<TASK>{}</TASK>\n{}\n", LlmTaskKind::ErrorFix.tag(), self.dataset_line());
+        if include_metadata {
+            let cols: Vec<&ColumnProfile> = if relevant_columns.is_empty() {
+                self.select_columns()
+            } else {
+                self.select_columns()
+                    .into_iter()
+                    .filter(|c| relevant_columns.iter().any(|r| r == &c.name))
+                    .collect()
+            };
+            user.push_str(&self.schema_block(&cols));
+        }
+        user.push_str("<CODE>\n");
+        user.push_str(code);
+        if !code.ends_with('\n') {
+            user.push('\n');
+        }
+        user.push_str("</CODE>\n<ERROR>\n");
+        user.push_str(error);
+        user.push_str("\n</ERROR>\n");
+        Prompt::new(
+            "You fix broken pipeline programs. Reply ONLY with the corrected pipeline.",
+            user,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_ml::TaskKind;
+    use catdb_profiler::{profile_table, ProfileOptions};
+    use catdb_table::{Column, Table};
+
+    fn make_entry() -> CatalogEntry {
+        let n = 500;
+        let age: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 9 == 0 { None } else { Some(20.0 + (i % 45) as f64) }).collect();
+        let city: Vec<&str> = (0..n).map(|i| ["paris", "rome", "oslo"][i % 3]).collect();
+        let constant: Vec<i64> = vec![7; n];
+        let sparse: Vec<Option<i64>> =
+            (0..n).map(|i| if i % 100 == 0 { Some(i as i64) } else { None }).collect();
+        let y: Vec<&str> = (0..n).map(|i| if i % 4 == 0 { "q" } else { "p" }).collect();
+        let t = Table::from_columns(vec![
+            ("age", Column::Float(age)),
+            ("city", Column::from_strings(city)),
+            ("constant", Column::from_i64(constant)),
+            ("sparse", Column::Int(sparse)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap();
+        let profile = profile_table("toy", &t, &ProfileOptions::default());
+        CatalogEntry::new("toy", "y", TaskKind::BinaryClassification, profile)
+    }
+
+    #[test]
+    fn cleaning_drops_constant_and_sparse_columns() {
+        let entry = make_entry();
+        let builder = PromptBuilder::new(&entry, PromptOptions::default());
+        let names: Vec<&str> = builder.clean_columns().iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"age"));
+        assert!(names.contains(&"city"));
+        assert!(!names.contains(&"constant"));
+        assert!(!names.contains(&"sparse"));
+    }
+
+    #[test]
+    fn alpha_limits_columns_with_categorical_priority() {
+        let entry = make_entry();
+        let opts = PromptOptions { alpha: Some(1), ..Default::default() };
+        let builder = PromptBuilder::new(&entry, opts);
+        let selected = builder.select_columns();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].name, "city"); // categorical outranks numeric
+    }
+
+    #[test]
+    fn single_prompt_carries_all_sections() {
+        let entry = make_entry();
+        let builder = PromptBuilder::new(&entry, PromptOptions::default());
+        let prompt = builder.single_prompt();
+        assert!(prompt.user.contains("<TASK>pipeline_generation</TASK>"));
+        assert!(prompt.user.contains("target=\"y\""));
+        assert!(prompt.user.contains("col name=\"age\""));
+        assert!(prompt.user.contains("role=\"target\""));
+        assert!(prompt.user.contains("rule model model_selection"));
+    }
+
+    #[test]
+    fn chain_chunks_partition_columns() {
+        let entry = make_entry();
+        let opts = PromptOptions { beta: 2, ..Default::default() };
+        let builder = PromptBuilder::new(&entry, opts);
+        let chunks = builder.chain_chunks();
+        assert_eq!(chunks.len(), 2);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, builder.clean_columns().len());
+    }
+
+    #[test]
+    fn stage_prompts_filter_rules_by_stage() {
+        let entry = make_entry();
+        let builder = PromptBuilder::new(&entry, PromptOptions::default());
+        let cols = builder.clean_columns();
+        let pre = builder.stage_prompt(LlmTaskKind::Preprocessing, &cols, None);
+        assert!(pre.user.contains("rule preprocessing impute_missing"));
+        assert!(!pre.user.contains("rule model"));
+        let model = builder.stage_prompt(LlmTaskKind::ModelSelection, &cols, Some("pipeline {\n}\n"));
+        assert!(model.user.contains("rule model model_selection"));
+        assert!(model.user.contains("<CODE>"));
+        assert!(!model.user.contains("rule preprocessing"));
+    }
+
+    #[test]
+    fn error_prompt_projects_relevant_metadata() {
+        let entry = make_entry();
+        let builder = PromptBuilder::new(&entry, PromptOptions::default());
+        let p = builder.error_prompt(
+            "pipeline {\n}\n",
+            "[RE] line 2: column 'age' not found (column_not_found)",
+            true,
+            &["age".to_string()],
+        );
+        assert!(p.user.contains("col name=\"age\""));
+        assert!(!p.user.contains("col name=\"city\""));
+        assert!(p.user.contains("<ERROR>"));
+        let no_meta = builder.error_prompt("pipeline {\n}\n", "err", false, &[]);
+        assert!(!no_meta.user.contains("<SCHEMA>"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Metadata projection and rule definition — paper Algorithm 2 and the
+//! Table 1 metadata combinations.
+//!
+//! Prompts consist of **S** (schema & metadata lines, filtered/projected
+//! per a [`MetadataConfig`]) and **R** (rules derived from the data
+//! characteristics: imputation when columns have missing values,
+//! rebalancing when labels are imbalanced, augmentation for small
+//! datasets, encoding / selection / model-selection guidance).
+
+use catdb_catalog::CatalogEntry;
+use catdb_ml::TaskKind;
+use catdb_profiler::{ColumnProfile, FeatureType};
+
+/// Which data-profiling items go into the schema lines — the columns of
+/// paper Table 1. Schema (names + types) is always present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataConfig {
+    pub distinct_count: bool,
+    pub missing_frequency: bool,
+    pub statistics: bool,
+    pub categorical_values: bool,
+    pub user_description: bool,
+    /// Refined ML feature types (always on for CatDB proper; off models a
+    /// catalog without refinement).
+    pub feature_types: bool,
+}
+
+impl MetadataConfig {
+    /// Table 1's combination `#n` (1–11). User description defaults off;
+    /// toggle it separately.
+    pub fn combination(n: usize) -> MetadataConfig {
+        let base = MetadataConfig {
+            distinct_count: false,
+            missing_frequency: false,
+            statistics: false,
+            categorical_values: false,
+            user_description: false,
+            feature_types: true,
+        };
+        match n {
+            1 => base,
+            2 => MetadataConfig { distinct_count: true, ..base },
+            3 => MetadataConfig { missing_frequency: true, ..base },
+            4 => MetadataConfig { statistics: true, ..base },
+            5 => MetadataConfig { categorical_values: true, ..base },
+            6 => MetadataConfig { distinct_count: true, missing_frequency: true, ..base },
+            7 => MetadataConfig { distinct_count: true, statistics: true, ..base },
+            8 => MetadataConfig { missing_frequency: true, statistics: true, ..base },
+            9 => MetadataConfig { missing_frequency: true, categorical_values: true, ..base },
+            10 => MetadataConfig { statistics: true, categorical_values: true, ..base },
+            _ => MetadataConfig::full(),
+        }
+    }
+
+    /// Combination #11: everything (CatDB's default).
+    pub fn full() -> MetadataConfig {
+        MetadataConfig {
+            distinct_count: true,
+            missing_frequency: true,
+            statistics: true,
+            categorical_values: true,
+            user_description: false,
+            feature_types: true,
+        }
+    }
+}
+
+impl Default for MetadataConfig {
+    fn default() -> Self {
+        MetadataConfig::full()
+    }
+}
+
+/// Render one column's schema line (`col name="…" …`) under the config.
+pub fn schema_line(col: &ColumnProfile, entry: &CatalogEntry, cfg: &MetadataConfig) -> String {
+    let mut line = format!("col name=\"{}\" type=\"{}\"", col.name, col.data_type.name());
+    if cfg.feature_types {
+        line.push_str(&format!(" feature=\"{}\"", col.feature_type.label()));
+        if col.feature_type == FeatureType::List {
+            line.push_str(" sep=\",\"");
+        }
+    }
+    if cfg.distinct_count {
+        line.push_str(&format!(
+            " distinct=\"{:.4}\" distinct_count=\"{}\"",
+            col.distinct_percentage, col.distinct_count
+        ));
+    }
+    if cfg.missing_frequency {
+        line.push_str(&format!(" missing=\"{:.4}\"", col.missing_percentage));
+    }
+    if cfg.statistics {
+        if let Some(stats) = &col.statistics {
+            line.push_str(&format!(
+                " min=\"{}\" max=\"{}\" median=\"{}\"",
+                stats.min, stats.max, stats.median
+            ));
+        }
+    }
+    if cfg.categorical_values && col.is_categorical() {
+        let rendered = col
+            .samples
+            .iter()
+            .take(24)
+            .map(|s| s.replace('"', "'").replace('|', "/"))
+            .collect::<Vec<_>>()
+            .join("|");
+        line.push_str(&format!(" values=\"{rendered}\""));
+    }
+    // Correlation with the target helps top-K selection downstream.
+    if let Some((_, corr)) = col.correlations.iter().find(|(n, _)| n == &entry.target) {
+        line.push_str(&format!(" corr_target=\"{corr:.3}\""));
+    }
+    line
+}
+
+/// Is the classification target imbalanced enough to warrant rebalancing?
+/// (majority class holds over 1.5× its fair share).
+pub fn labels_imbalanced(entry: &CatalogEntry) -> bool {
+    if !entry.task_kind().is_classification() {
+        return false;
+    }
+    let Some(target) = entry.column(&entry.target) else { return false };
+    let n_classes = target.distinct_count.max(2) as f64;
+    target.top_value_ratio > (1.5 / n_classes).min(0.95)
+}
+
+/// Algorithm 2's rule derivation: returns `rule <stage> <name> …` lines.
+pub fn derive_rules(entry: &CatalogEntry, cols: &[&ColumnProfile]) -> Vec<String> {
+    let mut rules = Vec::new();
+    let task = entry.task_kind();
+
+    // --- Data preparation rules ---
+    if cols.iter().any(|c| c.missing_count > 0) {
+        rules.push("rule preprocessing impute_missing".to_string());
+    }
+    if cols.iter().any(|c| c.distinct_count <= 1) {
+        rules.push("rule preprocessing drop_constant".to_string());
+    }
+    if cols.iter().any(|c| c.missing_percentage > 0.9) {
+        rules.push("rule preprocessing drop_high_missing".to_string());
+    }
+    // Outlier guidance: a numeric column whose max is far outside the bulk.
+    let has_outliers = cols.iter().any(|c| {
+        c.statistics
+            .as_ref()
+            .map(|s| s.std > 1e-12 && (s.max - s.mean) / s.std > 4.0)
+            .unwrap_or(false)
+    });
+    if has_outliers {
+        rules.push("rule preprocessing outlier_removal".to_string());
+    }
+    // --- Data augmentation rules (small or imbalanced data) ---
+    if labels_imbalanced(entry) {
+        rules.push("rule preprocessing rebalance".to_string());
+    } else if entry.profile.n_rows < 600 {
+        rules.push("rule preprocessing augmentation".to_string());
+    }
+
+    // --- Feature engineering rules ---
+    if cols.iter().any(|c| {
+        matches!(
+            c.feature_type,
+            FeatureType::Categorical | FeatureType::Sentence | FeatureType::List
+        )
+    }) {
+        rules.push("rule fe encode_categorical".to_string());
+    }
+    // Normalization guidance when numeric scales are wildly different.
+    let scales: Vec<f64> = cols
+        .iter()
+        .filter_map(|c| c.statistics.as_ref())
+        .map(|s| (s.max - s.min).abs().max(1e-12))
+        .collect();
+    if let (Some(max), Some(min)) = (
+        scales.iter().cloned().reduce(f64::max),
+        scales.iter().cloned().reduce(f64::min),
+    ) {
+        if max / min > 1e3 {
+            rules.push("rule fe normalize".to_string());
+        }
+    }
+    if cols.len() > 64 {
+        rules.push(format!("rule fe feature_selection k=\"{}\"", (cols.len() / 2).max(32)));
+    }
+
+    // --- Model selection rules ---
+    let mut model_rule = "rule model model_selection".to_string();
+    if task == TaskKind::Regression {
+        model_rule.push_str(" task=\"regression\"");
+    } else {
+        model_rule.push_str(" task=\"classification\"");
+    }
+    rules.push(model_rule);
+    rules.push("rule model multithreading".to_string());
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_profiler::{profile_table, ProfileOptions};
+    use catdb_table::{Column, Table};
+
+    fn entry_with(table: &Table, target: &str, task: TaskKind) -> CatalogEntry {
+        let profile = profile_table("t", table, &ProfileOptions::default());
+        CatalogEntry::new("t", target, task, profile)
+    }
+
+    fn imbalanced_table() -> Table {
+        let n = 1000;
+        let y: Vec<&str> = (0..n).map(|i| if i % 10 == 0 { "pos" } else { "neg" }).collect();
+        let x: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 11 == 0 { None } else { Some(i as f64) }).collect();
+        let c: Vec<&str> = (0..n).map(|i| ["a", "b", "c"][i % 3]).collect();
+        Table::from_columns(vec![
+            ("x", Column::Float(x)),
+            ("cat", Column::from_strings(c)),
+            ("y", Column::from_strings(y)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn combinations_match_table_1() {
+        let c1 = MetadataConfig::combination(1);
+        assert!(!c1.distinct_count && !c1.missing_frequency && !c1.statistics);
+        let c6 = MetadataConfig::combination(6);
+        assert!(c6.distinct_count && c6.missing_frequency && !c6.statistics);
+        let c11 = MetadataConfig::combination(11);
+        assert!(c11.distinct_count && c11.missing_frequency && c11.statistics && c11.categorical_values);
+    }
+
+    #[test]
+    fn schema_line_respects_config() {
+        let t = imbalanced_table();
+        let entry = entry_with(&t, "y", TaskKind::BinaryClassification);
+        let col = entry.column("x").unwrap();
+        let bare = schema_line(col, &entry, &MetadataConfig::combination(1));
+        assert!(!bare.contains("missing="));
+        assert!(!bare.contains("min="));
+        let full = schema_line(col, &entry, &MetadataConfig::full());
+        assert!(full.contains("missing="));
+        assert!(full.contains("min="));
+        let cat = entry.column("cat").unwrap();
+        let cat_line = schema_line(cat, &entry, &MetadataConfig::full());
+        assert!(cat_line.contains("values=\"a|b|c\""), "{cat_line}");
+    }
+
+    #[test]
+    fn rules_react_to_data_characteristics() {
+        let t = imbalanced_table();
+        let entry = entry_with(&t, "y", TaskKind::BinaryClassification);
+        let cols: Vec<&ColumnProfile> = entry.feature_columns().collect();
+        let rules = derive_rules(&entry, &cols);
+        assert!(rules.iter().any(|r| r.contains("impute_missing")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.contains("rebalance")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.contains("encode_categorical")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.contains("model_selection")), "{rules:?}");
+    }
+
+    #[test]
+    fn clean_balanced_data_has_fewer_rules() {
+        let n = 1000;
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64((0..n).map(|i| i as f64).collect())),
+            (
+                "y",
+                Column::from_strings(
+                    (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let entry = entry_with(&t, "y", TaskKind::BinaryClassification);
+        let cols: Vec<&ColumnProfile> = entry.feature_columns().collect();
+        let rules = derive_rules(&entry, &cols);
+        assert!(!rules.iter().any(|r| r.contains("impute_missing")));
+        assert!(!rules.iter().any(|r| r.contains("rebalance")));
+    }
+
+    #[test]
+    fn small_dataset_triggers_augmentation_rule() {
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64((0..100).map(f64::from).collect())),
+            (
+                "y",
+                Column::from_strings(
+                    (0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let entry = entry_with(&t, "y", TaskKind::BinaryClassification);
+        let cols: Vec<&ColumnProfile> = entry.feature_columns().collect();
+        let rules = derive_rules(&entry, &cols);
+        assert!(rules.iter().any(|r| r.contains("augmentation")), "{rules:?}");
+    }
+
+    #[test]
+    fn regression_targets_are_never_imbalanced() {
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0])),
+            ("y", Column::from_f64(vec![1.0, 1.0])),
+        ])
+        .unwrap();
+        let entry = entry_with(&t, "y", TaskKind::Regression);
+        assert!(!labels_imbalanced(&entry));
+    }
+}

@@ -1,0 +1,52 @@
+//! The `LanguageModel` abstraction: CatDB is LLM-agnostic (Section 2) and
+//! talks to any backend through this trait. The repo ships a deterministic
+//! simulator ([`crate::SimLlm`]); a production deployment would implement
+//! the same trait over a real API client.
+
+use crate::prompt::Prompt;
+use crate::tokens::TokenUsage;
+use std::fmt;
+
+/// Errors an LLM backend can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt does not fit the model's context window.
+    ContextLengthExceeded { prompt_tokens: usize, window: usize },
+    /// Transient service failure (retriable).
+    ServiceUnavailable(String),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::ContextLengthExceeded { prompt_tokens, window } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds the {window}-token context window"
+            ),
+            LlmError::ServiceUnavailable(msg) => write!(f, "service unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// One model response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    pub text: String,
+    pub usage: TokenUsage,
+    /// Simulated wall-clock seconds for this call (returned, not slept, so
+    /// experiments can account for LLM latency without waiting for it).
+    pub latency_seconds: f64,
+}
+
+/// A text-completion backend.
+pub trait LanguageModel: Send + Sync {
+    fn model_name(&self) -> &str;
+
+    /// Context window in tokens (prompts beyond it are rejected).
+    fn context_window(&self) -> usize;
+
+    /// Complete a prompt.
+    fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError>;
+}

@@ -1,0 +1,36 @@
+//! # catdb-llm — LLM abstraction and deterministic simulator
+//!
+//! CatDB is LLM-agnostic: it talks to a backend through the
+//! [`LanguageModel`] trait. The original system uses GPT-4o, Gemini-1.5-pro
+//! and Llama3.1-70b over commercial APIs; this reproduction ships
+//! [`SimLlm`], a deterministic, seeded simulator whose behaviour is
+//! parameterized by a per-model [`ModelProfile`] (context window, attention
+//! budget, instruction following, fault rates calibrated to the paper's
+//! Table 2 error-trace mix, fix skill, verbosity, latency).
+//!
+//! The simulator understands the structured prompt grammar of
+//! [`prompt::PromptSpec`] and answers four task families: pipeline
+//! generation (single prompt or chain stages), error fixing, feature-type
+//! inference, and categorical-value refinement. Responses are *text* —
+//! pipeline-DSL programs that `catdb-pipeline` parses, with faults injected
+//! at the rates the profile specifies, so the CatDB error-management loop
+//! sees exactly the failure surface the paper describes.
+
+mod client;
+mod profile;
+mod prompt;
+mod sim;
+mod tokens;
+
+pub use client::{Completion, LanguageModel, LlmError};
+pub use profile::ModelProfile;
+pub use prompt::{
+    parse_attrs as prompt_attrs, ColumnInfo, DatasetInfo, LlmTaskKind, Prompt, PromptSpec,
+    RuleInfo,
+};
+pub use sim::codegen::GenStage;
+pub use sim::fixer::clean_syntax as clean_pipeline_syntax;
+pub use sim::dedup::{parse_response as parse_refinement_response, refine_values};
+pub use sim::typeinfer::{infer_feature_type, parse_response as parse_typeinfer_response};
+pub use sim::SimLlm;
+pub use tokens::{estimate_tokens, CostLedger, TokenUsage};

@@ -1,0 +1,338 @@
+//! Prompt representation and the structured prompt grammar.
+//!
+//! CatDB prompts are plain text, but — like the original's carefully
+//! engineered templates (Figure 3) — they carry structured sections the
+//! model can recognize: a task tag, dataset attributes, schema lines, rule
+//! lines, and optional `<CODE>` / `<ERROR>` blocks for chaining and error
+//! correction. The simulator *parses the text* (it has no side channel),
+//! subject to the model's context window and attention budget, which is
+//! how over-long prompts lose rules and columns exactly as Figure 10(c)
+//! describes.
+
+use crate::tokens::estimate_tokens;
+use std::collections::HashMap;
+
+/// A rendered prompt (system + user messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    pub system: String,
+    pub user: String,
+}
+
+impl Prompt {
+    pub fn new(system: impl Into<String>, user: impl Into<String>) -> Prompt {
+        Prompt { system: system.into(), user: user.into() }
+    }
+
+    pub fn token_len(&self) -> usize {
+        estimate_tokens(&self.system) + estimate_tokens(&self.user)
+    }
+}
+
+/// The task a prompt asks for, recognized from its `<TASK>` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlmTaskKind {
+    /// Full single-prompt pipeline generation (CatDB, β = 1).
+    PipelineGeneration,
+    /// Chain stage: data pre-processing steps only.
+    Preprocessing,
+    /// Chain stage: feature engineering steps only.
+    FeatureEngineering,
+    /// Chain stage: model selection on top of prior `<CODE>`.
+    ModelSelection,
+    /// Repair the pipeline in `<CODE>` given `<ERROR>`.
+    ErrorFix,
+    /// Catalog refinement: infer feature types from name + samples.
+    FeatureTypeInference,
+    /// Catalog refinement: map semantically-equivalent categorical values.
+    CategoricalRefinement,
+    /// Anything else (free-form); the simulator answers generically.
+    Unknown,
+}
+
+impl LlmTaskKind {
+    pub fn tag(self) -> &'static str {
+        match self {
+            LlmTaskKind::PipelineGeneration => "pipeline_generation",
+            LlmTaskKind::Preprocessing => "preprocessing",
+            LlmTaskKind::FeatureEngineering => "feature_engineering",
+            LlmTaskKind::ModelSelection => "model_selection",
+            LlmTaskKind::ErrorFix => "error_fix",
+            LlmTaskKind::FeatureTypeInference => "feature_type_inference",
+            LlmTaskKind::CategoricalRefinement => "categorical_refinement",
+            LlmTaskKind::Unknown => "unknown",
+        }
+    }
+
+    fn parse(s: &str) -> LlmTaskKind {
+        match s {
+            "pipeline_generation" => LlmTaskKind::PipelineGeneration,
+            "preprocessing" => LlmTaskKind::Preprocessing,
+            "feature_engineering" => LlmTaskKind::FeatureEngineering,
+            "model_selection" => LlmTaskKind::ModelSelection,
+            "error_fix" => LlmTaskKind::ErrorFix,
+            "feature_type_inference" => LlmTaskKind::FeatureTypeInference,
+            "categorical_refinement" => LlmTaskKind::CategoricalRefinement,
+            _ => LlmTaskKind::Unknown,
+        }
+    }
+}
+
+/// Parsed `key="value"` attributes of a line.
+pub fn parse_attrs(line: &str) -> HashMap<String, String> {
+    let mut attrs = HashMap::new();
+    let mut rest = line;
+    while let Some(eq) = rest.find("=\"") {
+        let key_start = rest[..eq].rfind(|c: char| c.is_whitespace()).map(|p| p + 1).unwrap_or(0);
+        let key = rest[key_start..eq].trim().to_string();
+        let after = &rest[eq + 2..];
+        let Some(end) = after.find('"') else { break };
+        attrs.insert(key, after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    attrs
+}
+
+/// What a prompt says about the dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetInfo {
+    pub name: Option<String>,
+    pub target: Option<String>,
+    pub task: Option<String>,
+    pub n_rows: Option<usize>,
+    pub format: Option<String>,
+    pub delimiter: Option<String>,
+}
+
+/// What a prompt says about one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnInfo {
+    pub name: String,
+    pub dtype: Option<String>,
+    pub feature: Option<String>,
+    pub missing: Option<f64>,
+    pub distinct_ratio: Option<f64>,
+    pub distinct_count: Option<usize>,
+    pub values: Option<Vec<String>>,
+    pub separator: Option<String>,
+    pub has_stats: bool,
+    pub target_correlation: Option<f64>,
+    /// Token offset of this line inside the prompt (for attention decay).
+    pub token_pos: usize,
+}
+
+/// One rule line: `rule <stage> <name> key="v" ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleInfo {
+    pub stage: String,
+    pub name: String,
+    pub attrs: HashMap<String, String>,
+    pub token_pos: usize,
+}
+
+impl RuleInfo {
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Everything the simulator understood from a prompt.
+#[derive(Debug, Clone, Default)]
+pub struct PromptSpec {
+    pub task: Option<LlmTaskKind>,
+    pub dataset: DatasetInfo,
+    pub columns: Vec<ColumnInfo>,
+    pub rules: Vec<RuleInfo>,
+    pub code: Option<String>,
+    pub error: Option<String>,
+    /// Total prompt tokens (before any truncation).
+    pub total_tokens: usize,
+    /// True when the prompt exceeded the window and was truncated.
+    pub truncated: bool,
+}
+
+impl PromptSpec {
+    /// Parse a prompt, reading at most `max_tokens` tokens of it (the
+    /// model's context window). Content past the limit is simply unseen.
+    pub fn parse(prompt: &Prompt, max_tokens: usize) -> PromptSpec {
+        let full = format!("{}\n{}", prompt.system, prompt.user);
+        let total_tokens = estimate_tokens(&full);
+        let mut spec = PromptSpec { total_tokens, ..Default::default() };
+        let char_limit = max_tokens * 4;
+        let visible: &str = if full.len() > char_limit {
+            spec.truncated = true;
+            &full[..char_limit]
+        } else {
+            &full
+        };
+
+        let mut consumed = 0usize; // bytes, for token positions
+        let mut section: Option<&str> = None;
+        let mut block = String::new();
+        for line in visible.lines() {
+            let token_pos = consumed / 4;
+            consumed += line.len() + 1;
+            let trimmed = line.trim();
+            match section {
+                Some("CODE") => {
+                    if trimmed == "</CODE>" {
+                        spec.code = Some(std::mem::take(&mut block));
+                        section = None;
+                    } else {
+                        block.push_str(line);
+                        block.push('\n');
+                    }
+                    continue;
+                }
+                Some("ERROR") => {
+                    if trimmed == "</ERROR>" {
+                        spec.error = Some(std::mem::take(&mut block).trim().to_string());
+                        section = None;
+                    } else {
+                        block.push_str(line);
+                        block.push('\n');
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(rest) = trimmed.strip_prefix("<TASK>") {
+                if let Some(tag) = rest.strip_suffix("</TASK>") {
+                    spec.task = Some(LlmTaskKind::parse(tag.trim()));
+                }
+            } else if trimmed.starts_with("<DATASET") {
+                let attrs = parse_attrs(trimmed);
+                spec.dataset = DatasetInfo {
+                    name: attrs.get("name").cloned(),
+                    target: attrs.get("target").cloned(),
+                    task: attrs.get("task").cloned(),
+                    n_rows: attrs.get("rows").and_then(|s| s.parse().ok()),
+                    format: attrs.get("format").cloned(),
+                    delimiter: attrs.get("delimiter").cloned(),
+                };
+            } else if trimmed.starts_with("col ") {
+                let attrs = parse_attrs(trimmed);
+                if let Some(name) = attrs.get("name") {
+                    spec.columns.push(ColumnInfo {
+                        name: name.clone(),
+                        dtype: attrs.get("type").cloned(),
+                        feature: attrs.get("feature").cloned(),
+                        missing: attrs.get("missing").and_then(|s| s.parse().ok()),
+                        distinct_ratio: attrs.get("distinct").and_then(|s| s.parse().ok()),
+                        distinct_count: attrs.get("distinct_count").and_then(|s| s.parse().ok()),
+                        values: attrs
+                            .get("values")
+                            .map(|v| v.split('|').map(|s| s.to_string()).collect()),
+                        separator: attrs.get("sep").cloned(),
+                        has_stats: attrs.contains_key("min") || attrs.contains_key("median"),
+                        target_correlation: attrs.get("corr_target").and_then(|s| s.parse().ok()),
+                        token_pos,
+                    });
+                }
+            } else if trimmed.starts_with("rule ") {
+                let mut parts = trimmed.splitn(4, ' ');
+                parts.next(); // "rule"
+                let stage = parts.next().unwrap_or("").to_string();
+                let name = parts.next().unwrap_or("").to_string();
+                let attrs = parts.next().map(parse_attrs).unwrap_or_default();
+                if !stage.is_empty() && !name.is_empty() {
+                    spec.rules.push(RuleInfo { stage, name, attrs, token_pos });
+                }
+            } else if trimmed == "<CODE>" {
+                section = Some("CODE");
+                block.clear();
+            } else if trimmed == "<ERROR>" {
+                section = Some("ERROR");
+                block.clear();
+            }
+        }
+        spec
+    }
+
+    /// Look up a rule by name (any stage).
+    pub fn rule(&self, name: &str) -> Option<&RuleInfo> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnInfo> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_prompt() -> Prompt {
+        Prompt::new(
+            "You are a data science assistant.",
+            r#"<TASK>pipeline_generation</TASK>
+<DATASET name="salary" format="csv" delimiter="," rows="1000" target="income" task="regression" />
+<SCHEMA>
+col name="age" type="float" feature="numerical" missing="0.05" distinct="0.2" min="20" max="60" median="40"
+col name="gender" type="string" feature="categorical" missing="0" distinct="0.01" values="Male|Female"
+col name="skills" type="string" feature="list" sep="," distinct="0.9"
+</SCHEMA>
+<RULES>
+rule preprocessing impute_missing
+rule fe feature_selection k="20"
+rule model model_selection
+</RULES>
+"#,
+        )
+    }
+
+    #[test]
+    fn parses_task_dataset_columns_rules() {
+        let spec = PromptSpec::parse(&sample_prompt(), 100_000);
+        assert_eq!(spec.task, Some(LlmTaskKind::PipelineGeneration));
+        assert_eq!(spec.dataset.target.as_deref(), Some("income"));
+        assert_eq!(spec.dataset.n_rows, Some(1000));
+        assert_eq!(spec.columns.len(), 3);
+        let age = spec.column("age").unwrap();
+        assert_eq!(age.missing, Some(0.05));
+        assert!(age.has_stats);
+        let gender = spec.column("gender").unwrap();
+        assert_eq!(gender.values.as_ref().unwrap().len(), 2);
+        let skills = spec.column("skills").unwrap();
+        assert_eq!(skills.separator.as_deref(), Some(","));
+        assert_eq!(spec.rules.len(), 3);
+        assert_eq!(spec.rule("feature_selection").unwrap().attr("k"), Some("20"));
+        assert!(!spec.truncated);
+    }
+
+    #[test]
+    fn truncation_drops_late_content() {
+        let prompt = sample_prompt();
+        // A window that covers the header but not the rules.
+        let spec = PromptSpec::parse(&prompt, 60);
+        assert!(spec.truncated);
+        assert!(spec.rules.len() < 3);
+    }
+
+    #[test]
+    fn code_and_error_blocks_are_captured() {
+        let prompt = Prompt::new(
+            "",
+            "<TASK>error_fix</TASK>\n<CODE>\npipeline {\n  drop_constant;\n}\n</CODE>\n<ERROR>\n[RE] line 2: column 'x' not found (column_not_found)\n</ERROR>\n",
+        );
+        let spec = PromptSpec::parse(&prompt, 100_000);
+        assert_eq!(spec.task, Some(LlmTaskKind::ErrorFix));
+        assert!(spec.code.as_ref().unwrap().contains("drop_constant;"));
+        assert!(spec.error.as_ref().unwrap().contains("column_not_found"));
+    }
+
+    #[test]
+    fn token_positions_increase() {
+        let spec = PromptSpec::parse(&sample_prompt(), 100_000);
+        assert!(spec.columns[0].token_pos < spec.columns[2].token_pos);
+        assert!(spec.columns[2].token_pos < spec.rules[0].token_pos);
+    }
+
+    #[test]
+    fn attr_parser_handles_adjacent_pairs() {
+        let attrs = parse_attrs(r#"col name="a b" type="string" values="x|y""#);
+        assert_eq!(attrs.get("name").map(|s| s.as_str()), Some("a b"));
+        assert_eq!(attrs.get("values").map(|s| s.as_str()), Some("x|y"));
+    }
+}

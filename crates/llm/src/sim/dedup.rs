@@ -1,0 +1,320 @@
+//! Categorical value refinement responses.
+//!
+//! The catalog refinement submits the distinct values of a categorical
+//! column (with frequencies when available) and asks for a mapping of
+//! semantically-equivalent variants onto canonical values — the paper's
+//! Gender example: {F, Female, fem., M, Male} → {Female, Male}. The
+//! simulator implements the merging with normalization, abbreviation
+//! resolution, and edit-distance typo folding; response lines are
+//! `map "original" => "canonical"`.
+
+use crate::profile::ModelProfile;
+use crate::prompt::PromptSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Levenshtein distance (small strings only).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Semantic normalization of duration phrases ("12 Months" and
+/// "two years" both mean an amount of years) — the kind of equivalence
+/// only a language model resolves, shown in the paper's Experience column
+/// (Figure 5: {12 Months, two years, ...} → {1 year, 2 years, ...}).
+fn semantic_normalize(v: &str) -> Option<String> {
+    const WORDS: [&str; 13] = [
+        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+        "eleven", "twelve",
+    ];
+    let lower = v.trim().to_lowercase();
+    let parts: Vec<&str> = lower.split_whitespace().collect();
+    if parts.len() != 2 {
+        return None;
+    }
+    let n = parts[0]
+        .parse::<f64>()
+        .ok()
+        .or_else(|| WORDS.iter().position(|w| *w == parts[0]).map(|i| i as f64))?;
+    let unit = parts[1].trim_end_matches('.').trim_end_matches('s');
+    let years = match unit {
+        "year" | "yr" => n,
+        "month" | "mo" => n / 12.0,
+        _ => return None,
+    };
+    if years.fract().abs() < 1e-9 && years >= 0.0 {
+        Some(format!("{} year", years as i64))
+    } else {
+        Some(format!("{years:.2} year"))
+    }
+}
+
+fn normalize(v: &str) -> String {
+    if let Some(sem) = semantic_normalize(v) {
+        return sem;
+    }
+    let mut s = v.trim().to_lowercase();
+    s.retain(|c| c.is_alphanumeric() || c == ' ');
+    let s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    // Crude singular/plural folding.
+    if s.len() > 3 && s.ends_with('s') && !s.ends_with("ss") {
+        s[..s.len() - 1].to_string()
+    } else {
+        s
+    }
+}
+
+/// A value with an optional occurrence count ("Male:53").
+fn split_count(v: &str) -> (&str, usize) {
+    match v.rsplit_once(':') {
+        Some((name, count)) => match count.parse::<usize>() {
+            Ok(c) => (name, c),
+            Err(_) => (v, 1),
+        },
+        None => (v, 1),
+    }
+}
+
+/// Compute the canonical mapping for a list of distinct values.
+/// Returns pairs `(original, canonical)` only where they differ.
+pub fn refine_values(values: &[String]) -> Vec<(String, String)> {
+    // Group by normalized form; canonical is the most frequent (ties: the
+    // longest, then lexicographic — prefers "Female" over "F").
+    let parsed: Vec<(String, usize)> = values
+        .iter()
+        .map(|v| {
+            let (name, count) = split_count(v);
+            (name.to_string(), count)
+        })
+        .collect();
+    let mut groups: HashMap<String, Vec<(String, usize)>> = HashMap::new();
+    for (name, count) in &parsed {
+        groups.entry(normalize(name)).or_default().push((name.clone(), *count));
+    }
+
+    // Fold small groups into larger groups when the normalized keys are one
+    // edit apart (typos) or when the key is the first letter of another
+    // (abbreviations: "f" → "female") and the expansion is unambiguous.
+    let mut keys: Vec<String> = groups.keys().cloned().collect();
+    keys.sort();
+    let mut fold: HashMap<String, String> = HashMap::new();
+    for key in &keys {
+        if key.len() == 1 {
+            let expansions: Vec<&String> = keys
+                .iter()
+                .filter(|k| k.len() > 1 && k.starts_with(key.as_str()))
+                .collect();
+            if expansions.len() == 1 {
+                fold.insert(key.clone(), expansions[0].clone());
+                continue;
+            }
+        }
+        if key.len() >= 4 {
+            // Typo folding into a strictly-more-frequent group. Values
+            // that differ in their digits ("1 year" vs "2 year") are NOT
+            // typos — only letter-level edits fold.
+            let digits = |s: &str| -> String { s.chars().filter(|c| c.is_ascii_digit()).collect() };
+            let my_weight: usize = groups[key].iter().map(|(_, c)| c).sum();
+            let candidate = keys
+                .iter()
+                .filter(|k| {
+                    *k != key
+                        && k.len() >= 4
+                        && edit_distance(k, key) == 1
+                        && digits(k) == digits(key)
+                })
+                .max_by_key(|k| groups[*k].iter().map(|(_, c)| c).sum::<usize>());
+            if let Some(c) = candidate {
+                let weight: usize = groups[c].iter().map(|(_, c)| c).sum();
+                if weight > my_weight {
+                    fold.insert(key.clone(), c.clone());
+                }
+            }
+        }
+    }
+
+    // Resolve fold chains (one level is enough by construction, but be
+    // safe) and build the final mapping.
+    let resolve = |k: &String| -> String {
+        let mut cur = k.clone();
+        let mut hops = 0;
+        while let Some(next) = fold.get(&cur) {
+            cur = next.clone();
+            hops += 1;
+            if hops > 3 {
+                break;
+            }
+        }
+        cur
+    };
+
+    // Merge folded groups.
+    let mut merged: HashMap<String, Vec<(String, usize)>> = HashMap::new();
+    for (key, members) in groups {
+        merged.entry(resolve(&key)).or_default().extend(members);
+    }
+
+    let mut mapping = Vec::new();
+    for (_, members) in merged {
+        if members.len() < 2 {
+            continue;
+        }
+        let canonical = members
+            .iter()
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then_with(|| a.0.len().cmp(&b.0.len()))
+                    .then_with(|| b.0.cmp(&a.0))
+            })
+            .expect("non-empty group")
+            .0
+            .clone();
+        for (name, _) in members {
+            if name != canonical {
+                mapping.push((name, canonical.clone()));
+            }
+        }
+    }
+    mapping.sort();
+    mapping
+}
+
+/// Build the response for a categorical-refinement prompt. The prompt
+/// carries one `col` line per column with `values="a|b:3|c"`.
+pub fn respond(spec: &PromptSpec, profile: &ModelProfile, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for col in &spec.columns {
+        let Some(values) = &col.values else { continue };
+        let mut mapping = refine_values(values);
+        // A weak model occasionally misses a merge (drops a mapping line).
+        let reliability = 0.92 + 0.08 * profile.quality;
+        mapping.retain(|_| rng.gen::<f64>() < reliability);
+        for (orig, canon) in mapping {
+            out.push_str(&format!("map \"{}\" \"{orig}\" => \"{canon}\"\n", col.name));
+        }
+    }
+    out
+}
+
+/// Parse a refinement response into `(column, original, canonical)`.
+pub fn parse_response(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("map ") else { continue };
+        let mut parts = Vec::new();
+        let mut cur = String::new();
+        let mut in_q = false;
+        for ch in rest.chars() {
+            if ch == '"' {
+                if in_q {
+                    parts.push(std::mem::take(&mut cur));
+                }
+                in_q = !in_q;
+            } else if in_q {
+                cur.push(ch);
+            }
+        }
+        if parts.len() == 3 {
+            out.push((parts[0].clone(), parts[1].clone(), parts[2].clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn merges_gender_variants() {
+        let mapping = refine_values(&vals(&["F:10", "Female:40", "M:5", "Male:45", "male:2"]));
+        let get = |orig: &str| {
+            mapping.iter().find(|(o, _)| o == orig).map(|(_, c)| c.as_str())
+        };
+        assert_eq!(get("F"), Some("Female"));
+        assert_eq!(get("M"), Some("Male"));
+        assert_eq!(get("male"), Some("Male"));
+        assert_eq!(get("Female"), None); // canonical keeps itself
+    }
+
+    #[test]
+    fn folds_typos_into_frequent_spelling() {
+        let mapping = refine_values(&vals(&["Torontoo:1", "Toronto:99"]));
+        assert_eq!(mapping, vec![("Torontoo".to_string(), "Toronto".to_string())]);
+    }
+
+    #[test]
+    fn distinct_values_stay_distinct() {
+        let mapping = refine_values(&vals(&["red", "blue", "green"]));
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_abbreviation_is_left_alone() {
+        // "m" could be "male" or "manager" → no merge.
+        let mapping = refine_values(&vals(&["m:5", "male:10", "manager:10"]));
+        assert!(!mapping.iter().any(|(o, _)| o == "m"));
+    }
+
+    #[test]
+    fn plural_folding() {
+        let mapping = refine_values(&vals(&["2 years:4", "2 year:9"]));
+        assert_eq!(mapping.len(), 1);
+        assert_eq!(mapping[0].1, "2 year");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let text = "map \"gender\" \"F\" => \"Female\"\nmap \"gender\" \"M\" => \"Male\"\n";
+        let parsed = parse_response(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("gender".to_string(), "F".to_string(), "Female".to_string()));
+    }
+
+    #[test]
+    fn duration_phrases_merge_semantically() {
+        let mapping = refine_values(&vals(&["1 year:10", "12 Months:3", "one year:2"]));
+        // All three share the canonical duration; the most frequent
+        // spelling wins.
+        let get = |orig: &str| mapping.iter().find(|(o, _)| o == orig).map(|(_, c)| c.as_str());
+        assert_eq!(get("12 Months"), Some("1 year"));
+        assert_eq!(get("one year"), Some("1 year"));
+    }
+
+    #[test]
+    fn different_durations_stay_distinct() {
+        let mapping = refine_values(&vals(&["1 year:5", "2 years:5", "3 years:5"]));
+        assert!(mapping.is_empty(), "{mapping:?}");
+    }
+
+    #[test]
+    fn fractional_durations_normalize_consistently() {
+        let mapping = refine_values(&vals(&["6 months:4", "6 Months:2"]));
+        assert_eq!(mapping.len(), 1);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "ab"), 2);
+    }
+}

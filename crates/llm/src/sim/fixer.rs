@@ -1,0 +1,461 @@
+//! Error-fix responses.
+//!
+//! CatDB's error prompts combine the erroneous pipeline (`<CODE>`), the
+//! error message with line numbers (`<ERROR>`), and — for runtime errors —
+//! projected catalog metadata (Figure 7). The simulator repairs the
+//! program accordingly: syntax problems are cleaned deterministically
+//! (they are fixed "typically in one iteration" per the paper), while
+//! semantic repairs depend on the model's `fix_skill` and on whether the
+//! prompt actually carries the metadata the fix needs.
+
+use crate::profile::ModelProfile;
+use crate::prompt::PromptSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const STEP_KEYWORDS: &[&str] = &[
+    "require", "impute", "scale", "encode", "drop", "drop_high_missing", "drop_constant",
+    "dedup", "drop_null_rows", "outliers", "augment", "rebalance", "select_topk", "model",
+];
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn nearest_keyword(word: &str) -> Option<&'static str> {
+    STEP_KEYWORDS
+        .iter()
+        .map(|k| (*k, edit_distance(word, k)))
+        .filter(|(_, d)| *d <= 2)
+        .min_by_key(|(_, d)| *d)
+        .map(|(k, _)| k)
+}
+
+/// Deterministic syntax cleaning: strip prose, restore braces, fix keyword
+/// typos, close quotes, terminate statements.
+pub fn clean_syntax(code: &str) -> String {
+    let mut lines = Vec::new();
+    for raw in code.lines() {
+        let t = raw.trim();
+        if t.is_empty() || t == "pipeline {" || t == "}" || t.starts_with('#') {
+            continue;
+        }
+        let mut t = t.to_string();
+        let first = t.split_whitespace().next().unwrap_or("").trim_end_matches(';').to_string();
+        if !STEP_KEYWORDS.contains(&first.as_str()) {
+            match nearest_keyword(&first) {
+                Some(k) => t = t.replacen(&first, k, 1),
+                None => continue, // prose line — drop it
+            }
+        }
+        if t.matches('"').count() % 2 == 1 {
+            match t.rfind(';') {
+                Some(p) => t.insert(p, '"'),
+                None => t.push('"'),
+            }
+        }
+        if !t.ends_with(';') {
+            t.push(';');
+        }
+        lines.push(format!("  {t}"));
+    }
+    format!("pipeline {{\n{}\n}}\n", lines.join("\n"))
+}
+
+/// The error code embedded in a rendered `PipelineError` ("(snake_case)")
+/// and the quoted entity (column/package) if present.
+fn parse_error(message: &str) -> (Option<String>, Option<String>) {
+    let code = message
+        .rfind('(')
+        .and_then(|open| message[open + 1..].find(')').map(|close| {
+            message[open + 1..open + 1 + close].to_string()
+        }))
+        .filter(|c| c.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+    let entity = message.find('\'').and_then(|open| {
+        message[open + 1..].find('\'').map(|close| message[open + 1..open + 1 + close].to_string())
+    });
+    (code, entity)
+}
+
+fn insert_before_model(lines: &mut Vec<String>, new_lines: &[&str]) {
+    let pos = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("model "))
+        .unwrap_or(lines.len().saturating_sub(1));
+    for (i, nl) in new_lines.iter().enumerate() {
+        lines.insert(pos + i, format!("  {nl}"));
+    }
+}
+
+/// Apply the semantic repair for one error kind to the body lines
+/// (wrapper lines excluded).
+fn repair(lines: &mut Vec<String>, code: &str, entity: Option<&str>, spec: &PromptSpec) {
+    match code {
+        "column_not_found" => {
+            let Some(bad) = entity else { return };
+            // Prefer mapping to a real column from the metadata.
+            let replacement = spec
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), edit_distance(&c.name, bad)))
+                .filter(|(_, d)| *d <= 4)
+                .min_by_key(|(_, d)| *d)
+                .map(|(n, _)| n)
+                .or_else(|| bad.strip_suffix("_id").map(|s| s.to_string()));
+            match replacement {
+                Some(real) if real != bad => {
+                    for l in lines.iter_mut() {
+                        *l = l.replace(&format!("\"{bad}\""), &format!("\"{real}\""));
+                    }
+                }
+                _ => lines.retain(|l| !l.contains(&format!("\"{bad}\""))),
+            }
+        }
+        "nan_in_features" => {
+            insert_before_model(
+                lines,
+                &["impute * strategy median;", "impute * strategy most_frequent;"],
+            );
+        }
+        "string_conversion" => {
+            let hash = entity
+                .and_then(|e| {
+                    // The message quotes an example value, not the column;
+                    // look for any known high-cardinality column instead.
+                    let _ = e;
+                    spec.columns.iter().find(|c| c.distinct_count.unwrap_or(0) > 60)
+                })
+                .is_some();
+            let step = if hash {
+                "encode * method hash buckets 32;"
+            } else {
+                "encode * method onehot;"
+            };
+            insert_before_model(lines, &[step]);
+        }
+        "wrong_type_for_operation" => {
+            if let Some(col) = entity {
+                for l in lines.iter_mut() {
+                    if l.contains(&format!("\"{col}\"")) && l.contains("strategy") {
+                        *l = l
+                            .replace("strategy mean", "strategy most_frequent")
+                            .replace("strategy median", "strategy most_frequent");
+                    }
+                }
+            }
+        }
+        "target_not_found" => {
+            if let Some(real) = &spec.dataset.target {
+                if let Some(bad) = entity {
+                    for l in lines.iter_mut() {
+                        *l = l.replace(&format!("\"{bad}\""), &format!("\"{real}\""));
+                    }
+                }
+            } else if let Some(bad) = entity {
+                if let Some(stripped) = bad.strip_suffix("_column") {
+                    for l in lines.iter_mut() {
+                        *l = l.replace(&format!("\"{bad}\""), &format!("\"{stripped}\""));
+                    }
+                }
+            }
+        }
+        "model_task_mismatch" => {
+            let classification = spec
+                .dataset
+                .task
+                .as_deref()
+                .map(|t| t.contains("class"))
+                .unwrap_or(true);
+            for l in lines.iter_mut() {
+                if !l.trim_start().starts_with("model ") {
+                    continue;
+                }
+                if classification {
+                    *l = l
+                        .replace("model regressor", "model classifier")
+                        .replace("ridge", "logistic");
+                } else {
+                    *l = l
+                        .replace("model classifier", "model regressor")
+                        .replace("logistic", "ridge")
+                        .replace("gaussian_nb", "ridge")
+                        .replace("tabpfn", "random_forest");
+                }
+            }
+        }
+        "memory_exhausted" => {
+            for l in lines.iter_mut() {
+                if l.contains("method onehot") {
+                    *l = l.replace("method onehot", "method hash buckets 32");
+                }
+            }
+        }
+        "model_limit_exceeded" => {
+            for l in lines.iter_mut() {
+                *l = l.replace(" tabpfn ", " random_forest ");
+            }
+            lines.retain(|l| !l.contains("require \"tabpfn\""));
+        }
+        "unseen_label" | "single_class_target" | "empty_training_set" => {
+            // Row-dropping / row-synthesizing steps are the usual culprits.
+            let killers = ["outliers", "dedup", "augment", "rebalance", "drop_null_rows"];
+            if let Some(i) = lines
+                .iter()
+                .position(|l| killers.iter().any(|k| l.trim_start().starts_with(k)))
+            {
+                lines.remove(i);
+            }
+        }
+        "numerical_instability" => {
+            for l in lines.iter_mut() {
+                if l.trim_start().starts_with("model classifier") {
+                    *l = "  model classifier random_forest target TARGET trees 50;".to_string();
+                } else if l.trim_start().starts_with("model regressor") {
+                    *l = "  model regressor random_forest target TARGET trees 50;".to_string();
+                }
+            }
+            // Restore the target name from metadata or leave a wildcard the
+            // next round will fix.
+            let target = spec.dataset.target.clone().unwrap_or_else(|| "target".into());
+            for l in lines.iter_mut() {
+                *l = l.replace("target TARGET", &format!("target \"{target}\""));
+            }
+        }
+        "missing_package" => {
+            let Some(pkg) = entity else { return };
+            lines.retain(|l| !(l.contains("require") && l.contains(&format!("\"{pkg}"))));
+            // If a model step depended on it, fall back to a pre-installed
+            // algorithm.
+            for l in lines.iter_mut() {
+                if pkg == "boosting" {
+                    *l = l.replace("gradient_boosting", "random_forest");
+                }
+                if pkg == "tabpfn" {
+                    *l = l.replace(" tabpfn ", " random_forest ");
+                }
+            }
+        }
+        "package_version_mismatch" => {
+            for l in lines.iter_mut() {
+                if l.contains("require") && l.contains("==") {
+                    if let (Some(start), Some(end)) = (l.find("=="), l.rfind('"')) {
+                        if start < end {
+                            l.replace_range(start..end, "");
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Produce the fixed pipeline for an error-fix prompt.
+pub fn fix(spec: &PromptSpec, profile: &ModelProfile, rng: &mut StdRng) -> String {
+    let Some(code) = &spec.code else {
+        return "pipeline {\n}\n".to_string();
+    };
+    let cleaned = clean_syntax(code);
+    let Some(error) = &spec.error else {
+        return cleaned;
+    };
+    let (kind, entity) = parse_error(error);
+    let Some(kind) = kind else {
+        return cleaned;
+    };
+
+    let is_syntax = matches!(
+        kind.as_str(),
+        "unterminated_string" | "unbalanced_braces" | "missing_semicolon" | "unknown_keyword"
+            | "stray_prose"
+    );
+    if is_syntax {
+        // Deterministic cleanup handles all syntax classes in one shot.
+        return cleaned;
+    }
+
+    // Semantic repairs require skill, and metadata when the error concerns
+    // data semantics.
+    let has_metadata = !spec.columns.is_empty() || spec.dataset.target.is_some();
+    let success_prob = if has_metadata {
+        profile.fix_skill
+    } else {
+        profile.fix_skill * profile.fix_without_metadata
+    };
+    if rng.gen::<f64>() > success_prob {
+        // Unsuccessful round: the model returns a confidently wrong,
+        // superficially cleaned pipeline; the loop will try again.
+        return cleaned;
+    }
+
+    let mut lines: Vec<String> = cleaned
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && t != "pipeline {" && t != "}"
+        })
+        .map(|l| l.to_string())
+        .collect();
+    repair(&mut lines, &kind, entity.as_deref(), spec);
+    format!("pipeline {{\n{}\n}}\n", lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::Prompt;
+    use rand::SeedableRng;
+
+    fn spec_of(user: &str) -> PromptSpec {
+        PromptSpec::parse(&Prompt::new("", user), 100_000)
+    }
+
+    fn sure_profile() -> ModelProfile {
+        ModelProfile { fix_skill: 1.0, ..ModelProfile::gpt_4o() }
+    }
+
+    #[test]
+    fn clean_syntax_removes_prose_and_restores_structure() {
+        let dirty = "Here is your pipeline:\npipeline {\n  imputate \"age\" strategy mean\n  drop \"x;\n";
+        let cleaned = clean_syntax(dirty);
+        assert!(cleaned.starts_with("pipeline {\n"));
+        assert!(cleaned.trim_end().ends_with('}'));
+        assert!(cleaned.contains("impute \"age\" strategy mean;"));
+        assert!(cleaned.contains("drop \"x\";"), "{cleaned}");
+        assert!(!cleaned.contains("Here is"));
+    }
+
+    #[test]
+    fn fixes_hallucinated_column_with_metadata() {
+        let user = r#"<TASK>error_fix</TASK>
+<DATASET target="y" task="binary_classification" />
+<SCHEMA>
+col name="age" type="float"
+</SCHEMA>
+<CODE>
+pipeline {
+  impute "age_id" strategy mean;
+  model classifier random_forest target "y";
+}
+</CODE>
+<ERROR>
+[RE] line 2: column 'age_id' not found (column_not_found)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &sure_profile(), &mut rng);
+        assert!(fixed.contains("impute \"age\" strategy mean;"), "{fixed}");
+    }
+
+    #[test]
+    fn fixes_nan_by_adding_imputation() {
+        let user = r#"<TASK>error_fix</TASK>
+<DATASET target="y" />
+<CODE>
+pipeline {
+  model classifier random_forest target "y";
+}
+</CODE>
+<ERROR>
+[RE] line 2: input contains NaN or infinity (training features) (nan_in_features)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &sure_profile(), &mut rng);
+        let impute_pos = fixed.find("impute *").expect("imputation added");
+        let model_pos = fixed.find("model ").unwrap();
+        assert!(impute_pos < model_pos);
+    }
+
+    #[test]
+    fn fixes_task_mismatch_using_dataset_attr() {
+        let user = r#"<TASK>error_fix</TASK>
+<DATASET target="price" task="regression" />
+<CODE>
+pipeline {
+  model classifier logistic target "price";
+}
+</CODE>
+<ERROR>
+[RE] line 2: task is regression but the pipeline trains a classifier (model_task_mismatch)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &sure_profile(), &mut rng);
+        assert!(fixed.contains("model regressor ridge"), "{fixed}");
+    }
+
+    #[test]
+    fn low_skill_model_may_return_unrepaired_code() {
+        let user = r#"<TASK>error_fix</TASK>
+<CODE>
+pipeline {
+  model classifier random_forest target "y";
+}
+</CODE>
+<ERROR>
+[RE] line 2: input contains NaN or infinity (training features) (nan_in_features)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let profile = ModelProfile { fix_skill: 0.0, ..ModelProfile::llama3_1_70b() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &profile, &mut rng);
+        assert!(!fixed.contains("impute"));
+    }
+
+    #[test]
+    fn memory_fix_replaces_onehot_with_hashing() {
+        let user = r#"<TASK>error_fix</TASK>
+<DATASET target="y" />
+<CODE>
+pipeline {
+  encode "id" method onehot;
+  model classifier random_forest target "y";
+}
+</CODE>
+<ERROR>
+[RE] line 2: working set 99999999 bytes exceeds the 1000-byte memory limit (memory_exhausted)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &sure_profile(), &mut rng);
+        assert!(fixed.contains("method hash buckets 32"), "{fixed}");
+    }
+
+    #[test]
+    fn missing_hallucinated_package_is_dropped() {
+        let user = r#"<TASK>error_fix</TASK>
+<DATASET target="y" />
+<CODE>
+pipeline {
+  require "auto_feature_magic";
+  model classifier random_forest target "y";
+}
+</CODE>
+<ERROR>
+[KB] line 2: package 'auto_feature_magic' not found in index (missing_package)
+</ERROR>
+"#;
+        let spec = spec_of(user);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixed = fix(&spec, &sure_profile(), &mut rng);
+        assert!(!fixed.contains("auto_feature_magic"), "{fixed}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Feature-type inference responses.
+//!
+//! The catalog refinement (paper Section 3.2) sends each candidate column's
+//! name and ~10 sample values to the LLM and asks for its ML feature type.
+//! The simulator infers the type from the samples with an accuracy knob:
+//! a weak model occasionally mislabels borderline columns, which downstream
+//! shows up as slightly worse refined catalogs.
+
+use crate::profile::ModelProfile;
+use crate::prompt::PromptSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The separators list features commonly use, in detection order.
+const SEPARATORS: &[&str] = &[",", ";", "|", "/"];
+
+fn looks_numeric(s: &str) -> bool {
+    s.trim().parse::<f64>().is_ok()
+}
+
+fn looks_boolean(s: &str) -> bool {
+    matches!(
+        s.trim().to_ascii_lowercase().as_str(),
+        "true" | "false" | "yes" | "no" | "y" | "n" | "0" | "1" | "t" | "f"
+    )
+}
+
+/// Infer the feature type of one column from its samples. Returns the type
+/// label and, for lists, the separator.
+pub fn infer_feature_type(samples: &[String]) -> (String, Option<String>) {
+    let non_empty: Vec<&str> = samples.iter().map(|s| s.as_str()).filter(|s| !s.trim().is_empty()).collect();
+    if non_empty.is_empty() {
+        return ("categorical".to_string(), None);
+    }
+    if non_empty.iter().all(|s| looks_boolean(s)) {
+        return ("boolean".to_string(), None);
+    }
+    if non_empty.iter().all(|s| looks_numeric(s)) {
+        return ("numerical".to_string(), None);
+    }
+    // List detection: a separator splitting most samples into >1 atomic
+    // (short, non-sentence) items.
+    for sep in SEPARATORS {
+        let split_counts: Vec<usize> =
+            non_empty.iter().map(|s| s.split(sep).filter(|p| !p.trim().is_empty()).count()).collect();
+        let multi = split_counts.iter().filter(|&&c| c > 1).count();
+        if multi * 2 >= non_empty.len() {
+            let items_short = non_empty.iter().all(|s| {
+                s.split(sep).all(|item| item.trim().len() <= 24 && item.trim().split(' ').count() <= 3)
+            });
+            if items_short {
+                return ("list".to_string(), Some(sep.to_string()));
+            }
+        }
+    }
+    // Composite values: a stable multi-token shape mixing digit and alpha
+    // parts ("7050 CA") — reported as `sentence` so the catalog's
+    // refinement splits them into part columns.
+    let shapes: Vec<Vec<char>> = non_empty
+        .iter()
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| {
+                    if t.chars().all(|c| c.is_ascii_digit()) {
+                        'd'
+                    } else if t.chars().all(|c| c.is_alphabetic()) {
+                        'a'
+                    } else {
+                        'm'
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    if let Some(first) = shapes.first() {
+        if first.len() >= 2
+            && first.contains(&'d')
+            && shapes.iter().all(|s| s == first)
+        {
+            return ("sentence".to_string(), None);
+        }
+    }
+    // Sentence: long values or many words.
+    let avg_words: f64 = non_empty
+        .iter()
+        .map(|s| s.split_whitespace().count())
+        .sum::<usize>() as f64
+        / non_empty.len() as f64;
+    if avg_words > 3.0 || non_empty.iter().any(|s| s.len() > 48) {
+        return ("sentence".to_string(), None);
+    }
+    ("categorical".to_string(), None)
+}
+
+/// A deliberately wrong-but-plausible alternative (what a weak model says).
+fn confuse(label: &str) -> String {
+    match label {
+        "list" => "sentence".to_string(),
+        "sentence" => "categorical".to_string(),
+        "boolean" => "categorical".to_string(),
+        "numerical" => "categorical".to_string(),
+        _ => "sentence".to_string(),
+    }
+}
+
+/// Build the full response for a feature-type-inference prompt: one
+/// `col "name" feature="..."` line per column.
+pub fn respond(spec: &PromptSpec, profile: &ModelProfile, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for col in &spec.columns {
+        let samples = col.values.clone().unwrap_or_default();
+        let (mut label, sep) = infer_feature_type(&samples);
+        // Imperfect models occasionally mislabel borderline columns.
+        let accuracy = 0.9 + 0.1 * profile.quality;
+        if rng.gen::<f64>() > accuracy {
+            label = confuse(&label);
+        }
+        match (&label[..], sep) {
+            ("list", Some(sep)) => {
+                out.push_str(&format!("col \"{}\" feature=\"list\" sep=\"{sep}\"\n", col.name))
+            }
+            _ => out.push_str(&format!("col \"{}\" feature=\"{label}\"\n", col.name)),
+        }
+    }
+    out
+}
+
+/// Parse a type-inference response back into `(column, feature, sep)`
+/// triples (used by the catalog; exposed here so both sides share one
+/// format definition).
+pub fn parse_response(text: &str) -> Vec<(String, String, Option<String>)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let attrs = crate::prompt_attrs(line);
+        // Lines look like: col "name" feature="list" sep=","
+        if let Some(rest) = line.trim().strip_prefix("col ") {
+            let name = rest
+                .strip_prefix('"')
+                .and_then(|r| r.split('"').next())
+                .map(|s| s.to_string());
+            if let (Some(name), Some(feature)) = (name, attrs.get("feature")) {
+                out.push((name, feature.clone(), attrs.get("sep").cloned()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn detects_core_types() {
+        assert_eq!(infer_feature_type(&s(&["1.5", "2", "-3"])).0, "numerical");
+        assert_eq!(infer_feature_type(&s(&["yes", "no", "yes"])).0, "boolean");
+        assert_eq!(infer_feature_type(&s(&["red", "blue", "green"])).0, "categorical");
+    }
+
+    #[test]
+    fn detects_list_with_separator() {
+        let (label, sep) = infer_feature_type(&s(&["Python, Java", "C++, Python", "Java"]));
+        assert_eq!(label, "list");
+        assert_eq!(sep.as_deref(), Some(","));
+    }
+
+    #[test]
+    fn detects_sentences() {
+        let (label, _) = infer_feature_type(&s(&[
+            "I have been working for twelve years in retail",
+            "two years of customer support experience",
+        ]));
+        assert_eq!(label, "sentence");
+    }
+
+    #[test]
+    fn mixed_experience_values_are_sentences_not_lists() {
+        let (label, _) = infer_feature_type(&s(&["12 Months", "two years", "1 year"]));
+        assert_eq!(label, "categorical"); // short phrases, few words
+    }
+}

@@ -1,0 +1,106 @@
+//! Token accounting.
+//!
+//! The paper's cost analysis (Section 4.1, Eq. 1–2 and Figures 12–13) is
+//! denominated in tokens. The simulator uses the standard ≈4 characters per
+//! token heuristic, which is accurate enough for relative comparisons
+//! between systems (the quantity every experiment reports).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Estimated token count of a text (≈ 4 chars/token, minimum 1 for
+/// non-empty text).
+pub fn estimate_tokens(text: &str) -> usize {
+    if text.is_empty() {
+        0
+    } else {
+        (text.len() + 3) / 4
+    }
+}
+
+/// Input/output token usage of one or more LLM calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenUsage {
+    pub input: usize,
+    pub output: usize,
+}
+
+impl TokenUsage {
+    pub fn new(input: usize, output: usize) -> TokenUsage {
+        TokenUsage { input, output }
+    }
+
+    pub fn total(&self) -> usize {
+        self.input + self.output
+    }
+}
+
+impl Add for TokenUsage {
+    type Output = TokenUsage;
+    fn add(self, rhs: TokenUsage) -> TokenUsage {
+        TokenUsage { input: self.input + rhs.input, output: self.output + rhs.output }
+    }
+}
+
+impl AddAssign for TokenUsage {
+    fn add_assign(&mut self, rhs: TokenUsage) {
+        self.input += rhs.input;
+        self.output += rhs.output;
+    }
+}
+
+/// Running ledger of LLM interactions for one session, split by purpose so
+/// Figure 13 can separate initial-prompt cost from error-management cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    pub generation: TokenUsage,
+    pub error_fixing: TokenUsage,
+    pub refinement: TokenUsage,
+    pub n_calls: usize,
+}
+
+impl CostLedger {
+    pub fn total(&self) -> TokenUsage {
+        self.generation + self.error_fixing + self.refinement
+    }
+
+    pub fn record_generation(&mut self, usage: TokenUsage) {
+        self.generation += usage;
+        self.n_calls += 1;
+    }
+
+    pub fn record_error_fix(&mut self, usage: TokenUsage) {
+        self.error_fixing += usage;
+        self.n_calls += 1;
+    }
+
+    pub fn record_refinement(&mut self, usage: TokenUsage) {
+        self.refinement += usage;
+        self.n_calls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_estimate_is_quarter_of_chars() {
+        assert_eq!(estimate_tokens(""), 0);
+        assert_eq!(estimate_tokens("abcd"), 1);
+        assert_eq!(estimate_tokens("abcde"), 2);
+        assert_eq!(estimate_tokens(&"x".repeat(400)), 100);
+    }
+
+    #[test]
+    fn ledger_separates_purposes() {
+        let mut ledger = CostLedger::default();
+        ledger.record_generation(TokenUsage::new(100, 50));
+        ledger.record_error_fix(TokenUsage::new(200, 30));
+        ledger.record_refinement(TokenUsage::new(10, 5));
+        assert_eq!(ledger.n_calls, 3);
+        assert_eq!(ledger.total().input, 310);
+        assert_eq!(ledger.total().output, 85);
+        assert_eq!(ledger.error_fixing.total(), 230);
+    }
+}

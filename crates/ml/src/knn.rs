@@ -1,0 +1,212 @@
+//! k-nearest-neighbour classifier and regressor (brute force, internally
+//! standardized, inverse-distance weighting).
+
+use crate::estimator::{
+    check_finite, validate_classification, validate_regression, Classifier, ClassifierModel,
+    Regressor, RegressorModel, Result,
+};
+use crate::matrix::Matrix;
+
+/// Shared k-NN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5 }
+    }
+}
+
+/// Column means / stds for internal standardization (duplicated rather than
+/// shared with `linear` to keep the modules self-contained).
+fn fit_scaling(x: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let n = x.rows() as f64;
+    let d = x.cols();
+    let mut means = vec![0.0; d];
+    for r in 0..x.rows() {
+        for (m, v) in means.iter_mut().zip(x.row(r)) {
+            *m += v;
+        }
+    }
+    means.iter_mut().for_each(|m| *m /= n);
+    let mut stds = vec![0.0; d];
+    for r in 0..x.rows() {
+        for ((s, v), m) in stds.iter_mut().zip(x.row(r)).zip(&means) {
+            *s += (v - m).powi(2);
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n).sqrt();
+        if *s < 1e-12 {
+            *s = 1.0;
+        }
+    }
+    (means, stds)
+}
+
+fn scale_row(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(means)
+        .zip(stds)
+        .map(|((v, m), s)| (v - m) / s)
+        .collect()
+}
+
+/// Indices and distances of the k nearest training rows to `q`.
+fn neighbours(train: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut dists: Vec<(usize, f64)> = train
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let d: f64 = t.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum();
+            (i, d.sqrt())
+        })
+        .collect();
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+    dists.truncate(k.max(1));
+    dists
+}
+
+/// k-NN classifier.
+#[derive(Debug, Clone, Default)]
+pub struct KnnClassifier {
+    pub config: KnnConfig,
+}
+
+struct KnnClassModel {
+    train: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    k: usize,
+    n_classes: usize,
+}
+
+impl Classifier for KnnClassifier {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<Box<dyn ClassifierModel>> {
+        validate_classification(x, y, n_classes)?;
+        let (means, stds) = fit_scaling(x);
+        let train: Vec<Vec<f64>> = (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        Ok(Box::new(KnnClassModel {
+            train,
+            labels: y.to_vec(),
+            means,
+            stds,
+            k: self.config.k,
+            n_classes,
+        }))
+    }
+}
+
+impl ClassifierModel for KnnClassModel {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<Vec<f64>>> {
+        check_finite(x, "prediction features")?;
+        let mut out = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let q = scale_row(x.row(r), &self.means, &self.stds);
+            let nn = neighbours(&self.train, &q, self.k);
+            let mut probs = vec![0.0; self.n_classes];
+            let mut total = 0.0;
+            for (i, d) in nn {
+                let w = 1.0 / (d + 1e-9);
+                probs[self.labels[i]] += w;
+                total += w;
+            }
+            for p in &mut probs {
+                *p /= total;
+            }
+            out.push(probs);
+        }
+        Ok(out)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// k-NN regressor.
+#[derive(Debug, Clone, Default)]
+pub struct KnnRegressor {
+    pub config: KnnConfig,
+}
+
+struct KnnRegModel {
+    train: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    k: usize,
+}
+
+impl Regressor for KnnRegressor {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn RegressorModel>> {
+        validate_regression(x, y)?;
+        let (means, stds) = fit_scaling(x);
+        let train: Vec<Vec<f64>> = (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        Ok(Box::new(KnnRegModel { train, targets: y.to_vec(), means, stds, k: self.config.k }))
+    }
+}
+
+impl RegressorModel for KnnRegModel {
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        check_finite(x, "prediction features")?;
+        Ok((0..x.rows())
+            .map(|r| {
+                let q = scale_row(x.row(r), &self.means, &self.stds);
+                let nn = neighbours(&self.train, &q, self.k);
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (i, d) in nn {
+                    let w = 1.0 / (d + 1e-9);
+                    num += w * self.targets[i];
+                    den += w;
+                }
+                num / den
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn knn_memorizes_training_points() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let y = vec![0, 0, 1, 1];
+        let model = KnnClassifier { config: KnnConfig { k: 1 } }.fit(&x, &y, 2).unwrap();
+        let pred = model.predict(&x).unwrap();
+        assert_eq!(accuracy(&y, &pred), 1.0);
+    }
+
+    #[test]
+    fn knn_regression_interpolates() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![2.0]]);
+        let y = vec![0.0, 2.0];
+        let model = KnnRegressor { config: KnnConfig { k: 2 } }.fit(&x, &y).unwrap();
+        let pred = model.predict(&Matrix::from_rows(&[vec![1.0]])).unwrap();
+        assert!((pred[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn probabilities_weighted_by_distance() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![5.0]]);
+        let y = vec![0, 1];
+        let model = KnnClassifier { config: KnnConfig { k: 2 } }.fit(&x, &y, 2).unwrap();
+        let p = model.predict_proba(&Matrix::from_rows(&[vec![0.5]])).unwrap();
+        assert!(p[0][0] > p[0][1]);
+    }
+}

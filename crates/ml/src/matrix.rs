@@ -1,0 +1,224 @@
+//! Dense row-major matrix with the small amount of linear algebra the
+//! estimators need (Cholesky solve for ridge regression, matrix-vector
+//! products for the linear models).
+
+/// Dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Build from row-major data. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Matrix { data, rows, cols }
+    }
+
+    /// Build from a slice of rows. Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { data, rows: n_rows, cols: n_cols }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` gathered into a vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Select a subset of rows (gather).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `self · v` (matrix-vector product). Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Gram matrix `Xᵀ X` (cols × cols), the hot kernel of ridge regression.
+    pub fn gram(&self) -> Matrix {
+        let c = self.cols;
+        let mut g = Matrix::zeros(c, c);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..c {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for j in i..c {
+                    g.data[i * c + j] += xi * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..c {
+            for j in 0..i {
+                g.data[i * c + j] = g.data[j * c + i];
+            }
+        }
+        g
+    }
+
+    /// `Xᵀ y`. Panics if `y.len() != rows`.
+    pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let w = y[r];
+            if w == 0.0 {
+                continue;
+            }
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+}
+
+/// Solve the symmetric positive-definite system `A x = b` in place via
+/// Cholesky decomposition. Returns `None` if `A` is not positive definite
+/// (callers add a ridge term to guarantee it in practice).
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    // Decompose A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_products() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(m.t_matvec(&[1.0, 0.0, 1.0]), vec![6.0, 8.0]);
+        let g = m.gram();
+        assert_eq!(g.get(0, 0), 35.0); // 1+9+25
+        assert_eq!(g.get(0, 1), 44.0); // 2+12+30
+        assert_eq!(g.get(1, 0), 44.0);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2.0]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = cholesky_solve(&a, &[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn take_rows_gathers() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = m.take_rows(&[2, 0]);
+        assert_eq!(t.col(0), vec![3.0, 1.0]);
+    }
+}

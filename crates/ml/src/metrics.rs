@@ -1,0 +1,239 @@
+//! Evaluation metrics used by the CatDB evaluation: accuracy, macro-F1,
+//! AUC (binary and macro one-vs-rest multiclass), R², RMSE, and log loss.
+//!
+//! Classification labels are class indices `0..n_classes`; probabilistic
+//! predictions are per-row probability vectors.
+
+/// Fraction of exactly correct predictions.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Macro-averaged F1 over the classes present in `y_true`.
+pub fn f1_macro(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut f1_sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..n_classes {
+        let tp = y_true
+            .iter()
+            .zip(y_pred)
+            .filter(|(t, p)| **t == c && **p == c)
+            .count() as f64;
+        let fp = y_true
+            .iter()
+            .zip(y_pred)
+            .filter(|(t, p)| **t != c && **p == c)
+            .count() as f64;
+        let fn_ = y_true
+            .iter()
+            .zip(y_pred)
+            .filter(|(t, p)| **t == c && **p != c)
+            .count() as f64;
+        if tp + fn_ == 0.0 {
+            continue; // class absent from y_true
+        }
+        present += 1;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = tp / (tp + fn_);
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// Binary ROC AUC from positive-class scores, computed by the rank
+/// statistic (equivalent to the Mann–Whitney U). Ties share ranks.
+/// Returns 0.5 when one class is absent (undefined AUC).
+pub fn auc_binary(y_true: &[usize], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len());
+    let n_pos = y_true.iter().filter(|&&y| y == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank all scores (average rank for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Macro one-vs-rest AUC for multiclass problems; with `n_classes == 2`
+/// it reduces to [`auc_binary`] on class-1 probabilities.
+pub fn auc_macro_ovr(y_true: &[usize], proba: &[Vec<f64>], n_classes: usize) -> f64 {
+    assert_eq!(y_true.len(), proba.len());
+    if n_classes == 2 {
+        let scores: Vec<f64> = proba.iter().map(|p| p[1]).collect();
+        return auc_binary(y_true, &scores);
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 0..n_classes {
+        let bin: Vec<usize> = y_true.iter().map(|&y| (y == c) as usize).collect();
+        if bin.iter().all(|&b| b == 0) || bin.iter().all(|&b| b == 1) {
+            continue;
+        }
+        let scores: Vec<f64> = proba.iter().map(|p| p.get(c).copied().unwrap_or(0.0)).collect();
+        total += auc_binary(&bin, &scores);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.5
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Coefficient of determination. 1.0 is perfect; 0.0 matches the mean
+/// predictor; negative values are worse than the mean.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(y, p)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            return 1.0;
+        }
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 =
+        y_true.iter().zip(y_pred).map(|(y, p)| (y - p).powi(2)).sum::<f64>() / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Multiclass cross-entropy with probability clipping.
+pub fn log_loss(y_true: &[usize], proba: &[Vec<f64>]) -> f64 {
+    assert_eq!(y_true.len(), proba.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-15;
+    let total: f64 = y_true
+        .iter()
+        .zip(proba)
+        .map(|(&y, p)| -(p.get(y).copied().unwrap_or(eps).clamp(eps, 1.0 - eps)).ln())
+        .sum();
+    total / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_auc() {
+        let y = [0, 0, 1, 1];
+        let s = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(auc_binary(&y, &s), 1.0);
+        let rev = [0.9, 0.8, 0.2, 0.1];
+        assert_eq!(auc_binary(&y, &rev), 0.0);
+    }
+
+    #[test]
+    fn random_auc_is_half_under_ties() {
+        let y = [0, 1, 0, 1];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(auc_binary(&y, &s), 0.5);
+    }
+
+    #[test]
+    fn degenerate_auc_returns_half() {
+        assert_eq!(auc_binary(&[1, 1], &[0.3, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn macro_ovr_reduces_to_binary() {
+        let y = [0, 1, 1];
+        let p = vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.3, 0.7]];
+        let macro_auc = auc_macro_ovr(&y, &p, 2);
+        let bin = auc_binary(&y, &[0.1, 0.8, 0.7]);
+        assert_eq!(macro_auc, bin);
+    }
+
+    #[test]
+    fn multiclass_macro_auc() {
+        // Perfectly separable three-class case.
+        let y = [0, 1, 2];
+        let p = vec![vec![0.8, 0.1, 0.1], vec![0.1, 0.8, 0.1], vec![0.1, 0.1, 0.8]];
+        assert_eq!(auc_macro_ovr(&y, &p, 3), 1.0);
+    }
+
+    #[test]
+    fn r2_behaviour() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2(&y, &[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(r2(&y, &[2.0, 2.0, 2.0]), 0.0); // mean predictor
+        assert!(r2(&y, &[3.0, 3.0, 3.0]) < 0.0);
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0); // constant target
+    }
+
+    #[test]
+    fn f1_macro_ignores_absent_classes() {
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [0, 0, 1, 0];
+        let f1 = f1_macro(&y_true, &y_pred, 3); // class 2 absent
+        // class0: p=2/3 r=1 f1=0.8 ; class1: p=1 r=0.5 f1=2/3
+        assert!((f1 - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clips() {
+        let y = [0usize];
+        let p = vec![vec![0.0, 1.0]]; // catastrophic but clipped
+        assert!(log_loss(&y, &p).is_finite());
+    }
+
+    #[test]
+    fn rmse_simple() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,410 @@
+//! CART decision trees for classification (Gini) and regression (variance
+//! reduction), with capped threshold candidates and optional feature
+//! subsampling so the trees double as random-forest base learners.
+
+use crate::estimator::{
+    check_finite, validate_classification, validate_regression, Classifier, ClassifierModel,
+    Regressor, RegressorModel, Result,
+};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters shared by classification and regression trees.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Cap on candidate thresholds per feature per node (quantile-strided).
+    pub max_thresholds: usize,
+    /// Features sampled per split; `None` = all (single trees),
+    /// `Some(k)` for forests.
+    pub feature_subsample: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_leaf: 1,
+            max_thresholds: 32,
+            feature_subsample: None,
+            seed: 0,
+        }
+    }
+}
+
+enum Node {
+    ClassLeaf(Vec<f64>),
+    RegLeaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+enum Target<'a> {
+    Class { y: &'a [usize], n_classes: usize },
+    Reg { y: &'a [f64] },
+}
+
+impl Target<'_> {
+    /// Impurity × count for the rows (so parent − children differences are
+    /// comparable without re-normalizing): Gini for classes, SSE for
+    /// regression.
+    fn weighted_impurity(&self, rows: &[usize]) -> f64 {
+        match self {
+            Target::Class { y, n_classes } => {
+                let mut counts = vec![0usize; *n_classes];
+                for &r in rows {
+                    counts[y[r]] += 1;
+                }
+                gini_weighted(&counts, rows.len())
+            }
+            Target::Reg { y } => {
+                let n = rows.len() as f64;
+                if rows.is_empty() {
+                    return 0.0;
+                }
+                let mean: f64 = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
+                rows.iter().map(|&r| (y[r] - mean).powi(2)).sum()
+            }
+        }
+    }
+
+    fn leaf(&self, rows: &[usize]) -> Node {
+        match self {
+            Target::Class { y, n_classes } => {
+                let mut counts = vec![0.0; *n_classes];
+                for &r in rows {
+                    counts[y[r]] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                if total > 0.0 {
+                    for c in &mut counts {
+                        *c /= total;
+                    }
+                }
+                Node::ClassLeaf(counts)
+            }
+            Target::Reg { y } => {
+                let mean = if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64
+                };
+                Node::RegLeaf(mean)
+            }
+        }
+    }
+
+    fn is_pure(&self, rows: &[usize]) -> bool {
+        match self {
+            Target::Class { y, .. } => rows.windows(2).all(|w| y[w[0]] == y[w[1]]),
+            Target::Reg { y } => rows.windows(2).all(|w| (y[w[0]] - y[w[1]]).abs() < 1e-12),
+        }
+    }
+}
+
+fn gini_weighted(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+    n_f * (1.0 - sum_sq / (n_f * n_f))
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    target: Target<'a>,
+    cfg: &'a TreeConfig,
+    rng: StdRng,
+}
+
+impl Builder<'_> {
+    fn build(&mut self, rows: Vec<usize>, depth: usize) -> Node {
+        if depth >= self.cfg.max_depth
+            || rows.len() < 2 * self.cfg.min_samples_leaf
+            || self.target.is_pure(&rows)
+        {
+            return self.target.leaf(&rows);
+        }
+        let parent_impurity = self.target.weighted_impurity(&rows);
+        if parent_impurity <= 1e-12 {
+            return self.target.leaf(&rows);
+        }
+
+        let d = self.x.cols();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(k) = self.cfg.feature_subsample {
+            features.shuffle(&mut self.rng);
+            features.truncate(k.max(1).min(d));
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut vals: Vec<(f64, usize)> = Vec::with_capacity(rows.len());
+        for &f in &features {
+            vals.clear();
+            vals.extend(rows.iter().map(|&r| (self.x.get(r, f), r)));
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if vals[0].0 == vals[vals.len() - 1].0 {
+                continue; // constant feature at this node
+            }
+            // Candidate split positions: boundaries between distinct values,
+            // strided to at most max_thresholds.
+            let mut boundaries: Vec<usize> = Vec::new();
+            for i in 1..vals.len() {
+                if vals[i].0 > vals[i - 1].0 {
+                    boundaries.push(i);
+                }
+            }
+            let stride = (boundaries.len() / self.cfg.max_thresholds).max(1);
+            for &cut in boundaries.iter().step_by(stride) {
+                if cut < self.cfg.min_samples_leaf || vals.len() - cut < self.cfg.min_samples_leaf
+                {
+                    continue;
+                }
+                let left_rows: Vec<usize> = vals[..cut].iter().map(|&(_, r)| r).collect();
+                let right_rows: Vec<usize> = vals[cut..].iter().map(|&(_, r)| r).collect();
+                let child =
+                    self.target.weighted_impurity(&left_rows) + self.target.weighted_impurity(&right_rows);
+                let gain = parent_impurity - child;
+                if best.as_ref().map_or(true, |b| gain > b.0) && gain > 1e-12 {
+                    let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return self.target.leaf(&rows);
+        };
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.into_iter().partition(|&r| self.x.get(r, feature) <= threshold);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            // Should not happen given boundary selection; fall back to a leaf
+            // out of an abundance of caution.
+            let all: Vec<usize> = left_rows.into_iter().chain(right_rows).collect();
+            return self.target.leaf(&all);
+        }
+        let left = Box::new(self.build(left_rows, depth + 1));
+        let right = Box::new(self.build(right_rows, depth + 1));
+        Node::Split { feature, threshold, left, right }
+    }
+}
+
+fn descend<'n>(mut node: &'n Node, row: &[f64]) -> &'n Node {
+    loop {
+        match node {
+            Node::Split { feature, threshold, left, right } => {
+                node = if row[*feature] <= *threshold { left } else { right };
+            }
+            _ => return node,
+        }
+    }
+}
+
+/// Decision-tree classifier.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeClassifier {
+    pub config: TreeConfig,
+}
+
+pub(crate) struct TreeClassifierModel {
+    root: Node,
+    n_classes: usize,
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<Box<dyn ClassifierModel>> {
+        validate_classification(x, y, n_classes)?;
+        Ok(Box::new(fit_class_tree(x, y, n_classes, &self.config)))
+    }
+}
+
+/// Internal fit that skips validation (forests validate once up front).
+pub(crate) fn fit_class_tree(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    cfg: &TreeConfig,
+) -> TreeClassifierModel {
+    let mut builder = Builder {
+        x,
+        target: Target::Class { y, n_classes },
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    };
+    let root = builder.build((0..x.rows()).collect(), 0);
+    TreeClassifierModel { root, n_classes }
+}
+
+/// Internal fit over a row subset (for bagging).
+pub(crate) fn fit_class_tree_on(
+    x: &Matrix,
+    y: &[usize],
+    rows: Vec<usize>,
+    n_classes: usize,
+    cfg: &TreeConfig,
+) -> TreeClassifierModel {
+    let mut builder = Builder {
+        x,
+        target: Target::Class { y, n_classes },
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    };
+    let root = builder.build(rows, 0);
+    TreeClassifierModel { root, n_classes }
+}
+
+impl ClassifierModel for TreeClassifierModel {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<Vec<f64>>> {
+        check_finite(x, "prediction features")?;
+        Ok((0..x.rows())
+            .map(|r| match descend(&self.root, x.row(r)) {
+                Node::ClassLeaf(p) => p.clone(),
+                _ => vec![1.0 / self.n_classes as f64; self.n_classes],
+            })
+            .collect())
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Decision-tree regressor.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeRegressor {
+    pub config: TreeConfig,
+}
+
+pub(crate) struct TreeRegressorModel {
+    root: Node,
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn RegressorModel>> {
+        validate_regression(x, y)?;
+        Ok(Box::new(fit_reg_tree(x, y, (0..x.rows()).collect(), &self.config)))
+    }
+}
+
+/// Internal regression-tree fit over a row subset.
+pub(crate) fn fit_reg_tree(
+    x: &Matrix,
+    y: &[f64],
+    rows: Vec<usize>,
+    cfg: &TreeConfig,
+) -> TreeRegressorModel {
+    let mut builder = Builder {
+        x,
+        target: Target::Reg { y },
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    };
+    let root = builder.build(rows, 0);
+    TreeRegressorModel { root }
+}
+
+impl RegressorModel for TreeRegressorModel {
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        check_finite(x, "prediction features")?;
+        Ok((0..x.rows())
+            .map(|r| match descend(&self.root, x.row(r)) {
+                Node::RegLeaf(v) => *v,
+                _ => 0.0,
+            })
+            .collect())
+    }
+}
+
+impl TreeRegressorModel {
+    /// Prediction without the finite check (hot path inside boosting, where
+    /// the ensemble validated inputs once).
+    pub(crate) fn predict_unchecked(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| match descend(&self.root, x.row(r)) {
+                Node::RegLeaf(v) => *v,
+                _ => 0.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2};
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let a = i as f64 / 8.0;
+                let b = j as f64 / 8.0;
+                rows.push(vec![a, b]);
+                y.push(((a > 0.5) ^ (b > 0.5)) as usize);
+            }
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        let (x, y) = xor_data();
+        let model = DecisionTreeClassifier::default().fit(&x, &y, 2).unwrap();
+        let pred = model.predict(&x).unwrap();
+        assert!(accuracy(&y, &pred) > 0.95);
+    }
+
+    #[test]
+    fn depth_one_tree_cannot_learn_xor() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let model = DecisionTreeClassifier { config: cfg }.fit(&x, &y, 2).unwrap();
+        let pred = model.predict(&x).unwrap();
+        let acc = accuracy(&y, &pred);
+        assert!(acc < 0.8, "xor should not be separable at depth 1, got {acc}");
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = DecisionTreeRegressor::default().fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        assert!(r2(&y, &pred) > 0.99);
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_distribution() {
+        // One feature, mixed labels on the left.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![10.0]]);
+        let y = vec![0, 0, 1, 1];
+        let cfg = TreeConfig { max_depth: 1, min_samples_leaf: 1, ..Default::default() };
+        let model = DecisionTreeClassifier { config: cfg }.fit(&x, &y, 2).unwrap();
+        let proba = model.predict_proba(&x).unwrap();
+        assert!((proba[0][0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((proba[3][1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![0, 1, 0, 1];
+        let model = DecisionTreeClassifier::default().fit(&x, &y, 2).unwrap();
+        let proba = model.predict_proba(&x).unwrap();
+        assert!((proba[0][0] - 0.5).abs() < 1e-9);
+    }
+}

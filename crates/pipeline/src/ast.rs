@@ -1,0 +1,357 @@
+//! Abstract syntax of the pipeline DSL.
+//!
+//! Generated pipelines are *programs* in a small declarative language (the
+//! Rust stand-in for the Python scripts the original CatDB generates). A
+//! program is an ordered list of steps ending in exactly one model step.
+//! Programs render back to canonical text (`Display`), which is what gets
+//! embedded in `<CODE>` blocks of chain and error-fix prompts.
+
+use catdb_ml::{AugmentMethod, ScaleMethod, TaskKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A column reference: one named column or "all applicable columns".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnRef {
+    Named(String),
+    All,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnRef::Named(n) => write!(f, "\"{n}\""),
+            ColumnRef::All => write!(f, "*"),
+        }
+    }
+}
+
+/// Imputation strategies at the DSL level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ImputeSpec {
+    Mean,
+    Median,
+    MostFrequent,
+    ConstantNum(f64),
+    ConstantStr(String),
+}
+
+impl fmt::Display for ImputeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImputeSpec::Mean => write!(f, "mean"),
+            ImputeSpec::Median => write!(f, "median"),
+            ImputeSpec::MostFrequent => write!(f, "most_frequent"),
+            ImputeSpec::ConstantNum(v) => write!(f, "constant {v}"),
+            ImputeSpec::ConstantStr(s) => write!(f, "constant \"{s}\""),
+        }
+    }
+}
+
+/// Encoding methods at the DSL level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EncodeSpec {
+    OneHot,
+    Ordinal,
+    KHot { separator: String },
+    Hash { buckets: usize },
+}
+
+impl fmt::Display for EncodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeSpec::OneHot => write!(f, "onehot"),
+            EncodeSpec::Ordinal => write!(f, "ordinal"),
+            EncodeSpec::KHot { separator } => write!(f, "khot sep \"{separator}\""),
+            EncodeSpec::Hash { buckets } => write!(f, "hash buckets {buckets}"),
+        }
+    }
+}
+
+/// Outlier handling at the DSL level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutlierSpec {
+    Iqr { factor: f64 },
+    ZScore { factor: f64 },
+    Lof { k: usize, factor: f64 },
+}
+
+impl fmt::Display for OutlierSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutlierSpec::Iqr { factor } => write!(f, "iqr factor {factor}"),
+            OutlierSpec::ZScore { factor } => write!(f, "zscore factor {factor}"),
+            OutlierSpec::Lof { k, factor } => write!(f, "lof k {k} factor {factor}"),
+        }
+    }
+}
+
+/// Model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelFamily {
+    Classifier,
+    Regressor,
+}
+
+impl ModelFamily {
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelFamily::Classifier => "classifier",
+            ModelFamily::Regressor => "regressor",
+        }
+    }
+
+    /// Whether this family serves the given task.
+    pub fn matches_task(self, task: TaskKind) -> bool {
+        match self {
+            ModelFamily::Classifier => task.is_classification(),
+            ModelFamily::Regressor => task == TaskKind::Regression,
+        }
+    }
+}
+
+/// Learning algorithms available to generated pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelAlgo {
+    RandomForest,
+    GradientBoosting,
+    DecisionTree,
+    Logistic,
+    Ridge,
+    Knn,
+    GaussianNb,
+    TabPfn,
+}
+
+impl ModelAlgo {
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelAlgo::RandomForest => "random_forest",
+            ModelAlgo::GradientBoosting => "gradient_boosting",
+            ModelAlgo::DecisionTree => "decision_tree",
+            ModelAlgo::Logistic => "logistic",
+            ModelAlgo::Ridge => "ridge",
+            ModelAlgo::Knn => "knn",
+            ModelAlgo::GaussianNb => "gaussian_nb",
+            ModelAlgo::TabPfn => "tabpfn",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ModelAlgo> {
+        Some(match s {
+            "random_forest" => ModelAlgo::RandomForest,
+            "gradient_boosting" => ModelAlgo::GradientBoosting,
+            "decision_tree" => ModelAlgo::DecisionTree,
+            "logistic" => ModelAlgo::Logistic,
+            "ridge" => ModelAlgo::Ridge,
+            "knn" => ModelAlgo::Knn,
+            "gaussian_nb" => ModelAlgo::GaussianNb,
+            "tabpfn" => ModelAlgo::TabPfn,
+            _ => return None,
+        })
+    }
+
+    /// Whether the algorithm supports the model family.
+    pub fn supports(self, family: ModelFamily) -> bool {
+        match self {
+            ModelAlgo::Logistic | ModelAlgo::GaussianNb | ModelAlgo::TabPfn => {
+                family == ModelFamily::Classifier
+            }
+            ModelAlgo::Ridge => family == ModelFamily::Regressor,
+            _ => true,
+        }
+    }
+}
+
+/// The final training step of a pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    pub family: ModelFamily,
+    pub algo: ModelAlgo,
+    pub target: String,
+    /// Named numeric hyper-parameters (trees, depth, l2, k, seed, ...).
+    pub params: Vec<(String, f64)>,
+}
+
+impl ModelSpec {
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// One pipeline step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Declare a package dependency ("import"); unavailable packages raise
+    /// KB-class errors that the knowledge base resolves by installation.
+    Require { package: String },
+    Impute { column: ColumnRef, strategy: ImputeSpec },
+    Scale { column: ColumnRef, method: ScaleMethod },
+    Encode { column: ColumnRef, method: EncodeSpec },
+    Drop { column: String },
+    DropHighMissing { threshold: f64 },
+    DropConstant,
+    Dedup { approximate: bool },
+    DropNullRows,
+    Outliers { column: ColumnRef, method: OutlierSpec },
+    Augment { method: AugmentMethod, target: String },
+    Rebalance { target: String },
+    SelectTopK { k: usize, target: String },
+    Model(ModelSpec),
+}
+
+fn scale_label(m: ScaleMethod) -> &'static str {
+    m.label()
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Require { package } => write!(f, "require \"{package}\";"),
+            Step::Impute { column, strategy } => {
+                write!(f, "impute {column} strategy {strategy};")
+            }
+            Step::Scale { column, method } => {
+                write!(f, "scale {column} method {};", scale_label(*method))
+            }
+            Step::Encode { column, method } => write!(f, "encode {column} method {method};"),
+            Step::Drop { column } => write!(f, "drop \"{column}\";"),
+            Step::DropHighMissing { threshold } => {
+                write!(f, "drop_high_missing threshold {threshold};")
+            }
+            Step::DropConstant => write!(f, "drop_constant;"),
+            Step::Dedup { approximate } => {
+                write!(f, "dedup {};", if *approximate { "approx" } else { "exact" })
+            }
+            Step::DropNullRows => write!(f, "drop_null_rows;"),
+            Step::Outliers { column, method } => {
+                write!(f, "outliers {column} method {method};")
+            }
+            Step::Augment { method, target } => {
+                write!(f, "augment method {} target \"{target}\";", method.label())
+            }
+            Step::Rebalance { target } => write!(f, "rebalance target \"{target}\";"),
+            Step::SelectTopK { k, target } => {
+                write!(f, "select_topk {k} target \"{target}\";")
+            }
+            Step::Model(spec) => {
+                write!(
+                    f,
+                    "model {} {} target \"{}\"",
+                    spec.family.label(),
+                    spec.algo.label(),
+                    spec.target
+                )?;
+                for (name, value) in &spec.params {
+                    write!(f, " {name} {value}")?;
+                }
+                write!(f, ";")
+            }
+        }
+    }
+}
+
+/// A full pipeline program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    pub fn new(steps: Vec<Step>) -> Program {
+        Program { steps }
+    }
+
+    /// The model step, if present (valid programs have exactly one, last).
+    pub fn model(&self) -> Option<&ModelSpec> {
+        self.steps.iter().rev().find_map(|s| match s {
+            Step::Model(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Count of steps of each coarse stage, for cost / analysis reporting.
+    pub fn stage_counts(&self) -> (usize, usize, usize) {
+        let mut pre = 0;
+        let mut fe = 0;
+        let mut model = 0;
+        for s in &self.steps {
+            match s {
+                Step::Model(_) => model += 1,
+                Step::Encode { .. } | Step::SelectTopK { .. } => fe += 1,
+                _ => pre += 1,
+            }
+        }
+        (pre, fe, model)
+    }
+
+    /// Canonical source listing with 1-based line numbers matching the
+    /// executor's error locations: line 1 is `pipeline {`, each step is on
+    /// its own line, and the last line is `}`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("pipeline {\n");
+        for step in &self.steps {
+            out.push_str("  ");
+            out.push_str(&step.to_string());
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let p = Program::new(vec![
+            Step::Require { package: "tabular".into() },
+            Step::Impute { column: ColumnRef::Named("age".into()), strategy: ImputeSpec::Mean },
+            Step::Model(ModelSpec {
+                family: ModelFamily::Classifier,
+                algo: ModelAlgo::RandomForest,
+                target: "y".into(),
+                params: vec![("trees".into(), 50.0)],
+            }),
+        ]);
+        let text = p.render();
+        assert!(text.starts_with("pipeline {\n"));
+        assert!(text.contains("impute \"age\" strategy mean;"));
+        assert!(text.contains("model classifier random_forest target \"y\" trees 50;"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn stage_counts_partition_steps() {
+        let p = Program::new(vec![
+            Step::DropConstant,
+            Step::Encode { column: ColumnRef::All, method: EncodeSpec::OneHot },
+            Step::Model(ModelSpec {
+                family: ModelFamily::Regressor,
+                algo: ModelAlgo::Ridge,
+                target: "y".into(),
+                params: vec![],
+            }),
+        ]);
+        assert_eq!(p.stage_counts(), (1, 1, 1));
+        assert_eq!(p.model().unwrap().algo, ModelAlgo::Ridge);
+    }
+
+    #[test]
+    fn algo_family_compatibility() {
+        assert!(ModelAlgo::Logistic.supports(ModelFamily::Classifier));
+        assert!(!ModelAlgo::Logistic.supports(ModelFamily::Regressor));
+        assert!(!ModelAlgo::Ridge.supports(ModelFamily::Classifier));
+        assert!(ModelAlgo::RandomForest.supports(ModelFamily::Regressor));
+        assert_eq!(ModelAlgo::parse("tabpfn"), Some(ModelAlgo::TabPfn));
+        assert_eq!(ModelAlgo::parse("nope"), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! The pipeline error taxonomy.
+//!
+//! Analyzing LLM request logs, the paper identifies **23 error types** in
+//! three categories (Figure 8 / Section 4.2):
+//!
+//! * **KB** — Environment & Package errors, resolved locally by the CatDB
+//!   knowledge-base API (e.g. installing a missing package and re-running).
+//! * **SE** — Syntax & Parse errors, mostly fixed by local AST-level
+//!   handling, otherwise resubmitted to the LLM (<3 % of cases).
+//! * **RE** — Runtime & Semantic errors, the dominant class (≈85 %),
+//!   resolved by LLM re-prompts enriched with projected catalog metadata.
+//!
+//! This module enumerates the full taxonomy; the executor raises them, the
+//! LLM simulator injects them, and `catdb-core`'s error manager routes them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// High-level error category, deciding which correction channel handles it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCategory {
+    /// Environment & package: fixable by the local knowledge base.
+    KnowledgeBase,
+    /// Syntax & parse: local AST fixes, else LLM resubmission.
+    Syntax,
+    /// Runtime & semantic: LLM re-prompt with catalog metadata.
+    Runtime,
+}
+
+impl ErrorCategory {
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCategory::KnowledgeBase => "KB",
+            ErrorCategory::Syntax => "SE",
+            ErrorCategory::Runtime => "RE",
+        }
+    }
+}
+
+/// The 23 concrete error types observed in the paper's error-trace dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorKind {
+    // --- KB: environment & package (6) ---
+    MissingPackage,
+    PackageVersionMismatch,
+    MissingSystemDependency,
+    EnvironmentPathError,
+    PermissionDenied,
+    ResourceTemporarilyUnavailable,
+    // --- SE: syntax & parse (5) ---
+    UnterminatedString,
+    UnbalancedBraces,
+    MissingSemicolon,
+    UnknownKeyword,
+    StrayProse,
+    // --- RE: runtime & semantic (12) ---
+    ColumnNotFound,
+    StringConversion,
+    NanInFeatures,
+    WrongTypeForOperation,
+    TargetNotFound,
+    UnseenLabel,
+    SingleClassTarget,
+    MemoryExhausted,
+    ModelTaskMismatch,
+    EmptyTrainingSet,
+    NumericalInstability,
+    ModelLimitExceeded,
+}
+
+impl ErrorKind {
+    /// All 23 kinds in a stable order (KB, SE, RE).
+    pub const ALL: [ErrorKind; 23] = [
+        ErrorKind::MissingPackage,
+        ErrorKind::PackageVersionMismatch,
+        ErrorKind::MissingSystemDependency,
+        ErrorKind::EnvironmentPathError,
+        ErrorKind::PermissionDenied,
+        ErrorKind::ResourceTemporarilyUnavailable,
+        ErrorKind::UnterminatedString,
+        ErrorKind::UnbalancedBraces,
+        ErrorKind::MissingSemicolon,
+        ErrorKind::UnknownKeyword,
+        ErrorKind::StrayProse,
+        ErrorKind::ColumnNotFound,
+        ErrorKind::StringConversion,
+        ErrorKind::NanInFeatures,
+        ErrorKind::WrongTypeForOperation,
+        ErrorKind::TargetNotFound,
+        ErrorKind::UnseenLabel,
+        ErrorKind::SingleClassTarget,
+        ErrorKind::MemoryExhausted,
+        ErrorKind::ModelTaskMismatch,
+        ErrorKind::EmptyTrainingSet,
+        ErrorKind::NumericalInstability,
+        ErrorKind::ModelLimitExceeded,
+    ];
+
+    pub fn category(self) -> ErrorCategory {
+        use ErrorKind::*;
+        match self {
+            MissingPackage | PackageVersionMismatch | MissingSystemDependency
+            | EnvironmentPathError | PermissionDenied | ResourceTemporarilyUnavailable => {
+                ErrorCategory::KnowledgeBase
+            }
+            UnterminatedString | UnbalancedBraces | MissingSemicolon | UnknownKeyword
+            | StrayProse => ErrorCategory::Syntax,
+            _ => ErrorCategory::Runtime,
+        }
+    }
+
+    /// Stable snake_case identifier (used in error messages so that the
+    /// knowledge base and the simulator agree on classification).
+    pub fn code(self) -> &'static str {
+        use ErrorKind::*;
+        match self {
+            MissingPackage => "missing_package",
+            PackageVersionMismatch => "package_version_mismatch",
+            MissingSystemDependency => "missing_system_dependency",
+            EnvironmentPathError => "environment_path_error",
+            PermissionDenied => "permission_denied",
+            ResourceTemporarilyUnavailable => "resource_temporarily_unavailable",
+            UnterminatedString => "unterminated_string",
+            UnbalancedBraces => "unbalanced_braces",
+            MissingSemicolon => "missing_semicolon",
+            UnknownKeyword => "unknown_keyword",
+            StrayProse => "stray_prose",
+            ColumnNotFound => "column_not_found",
+            StringConversion => "string_conversion",
+            NanInFeatures => "nan_in_features",
+            WrongTypeForOperation => "wrong_type_for_operation",
+            TargetNotFound => "target_not_found",
+            UnseenLabel => "unseen_label",
+            SingleClassTarget => "single_class_target",
+            MemoryExhausted => "memory_exhausted",
+            ModelTaskMismatch => "model_task_mismatch",
+            EmptyTrainingSet => "empty_training_set",
+            NumericalInstability => "numerical_instability",
+            ModelLimitExceeded => "model_limit_exceeded",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A concrete pipeline failure: kind + human-readable message + optional
+/// source location (line number in the pipeline listing, like a Python
+/// traceback's line reference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineError {
+    pub kind: ErrorKind,
+    pub message: String,
+    pub line: Option<usize>,
+}
+
+impl PipelineError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> PipelineError {
+        PipelineError { kind, message: message.into(), line: None }
+    }
+
+    pub fn at_line(mut self, line: usize) -> PipelineError {
+        self.line = Some(line);
+        self
+    }
+
+    pub fn category(&self) -> ErrorCategory {
+        self.kind.category()
+    }
+
+    /// Render the error as it would appear in an `<ERROR>` prompt block.
+    pub fn render(&self) -> String {
+        match self.line {
+            Some(line) => format!("[{}] line {}: {} ({})", self.category().label(), line, self.message, self.kind),
+            None => format!("[{}] {} ({})", self.category().label(), self.message, self.kind),
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_has_exactly_23_kinds() {
+        assert_eq!(ErrorKind::ALL.len(), 23);
+        // Category split: 6 KB, 5 SE, 12 RE.
+        let kb = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::KnowledgeBase).count();
+        let se = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::Syntax).count();
+        let re = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::Runtime).count();
+        assert_eq!((kb, se, re), (6, 5, 12));
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = ErrorKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 23);
+    }
+
+    #[test]
+    fn render_includes_category_line_and_code() {
+        let e = PipelineError::new(ErrorKind::ColumnNotFound, "column 'zip' not found").at_line(7);
+        let s = e.render();
+        assert!(s.contains("[RE]"));
+        assert!(s.contains("line 7"));
+        assert!(s.contains("column_not_found"));
+    }
+}

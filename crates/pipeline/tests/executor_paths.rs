@@ -1,0 +1,167 @@
+//! Executor coverage for the step types the unit tests don't reach:
+//! outlier removal, dedup, top-k selection, rebalancing, k-hot and hashed
+//! encodings, scaling, and multi-step interactions.
+
+use catdb_ml::TaskKind;
+use catdb_pipeline::{execute, parse, Environment, ErrorKind, ExecutionConfig};
+use catdb_table::{Column, Table};
+
+fn env_with(packages: &[&str]) -> Environment {
+    let mut env = Environment::default();
+    for p in packages {
+        env.install(p).expect("installable");
+    }
+    env
+}
+
+fn classification_data() -> (Table, Table) {
+    let n = 300;
+    let x: Vec<Option<f64>> = (0..n)
+        .map(|i| {
+            if i % 23 == 0 {
+                None
+            } else if i % 31 == 0 {
+                Some(1e5) // outliers
+            } else {
+                Some((i % 40) as f64)
+            }
+        })
+        .collect();
+    let skills: Vec<&str> =
+        (0..n).map(|i| ["sql, rust", "rust", "go, sql", "go"][i % 4]).collect();
+    let id: Vec<String> = (0..n).map(|i| format!("user_{i}")).collect();
+    // Imbalanced labels: 25% positive.
+    let y: Vec<&str> = (0..n).map(|i| if (i % 40) >= 30 { "pos" } else { "neg" }).collect();
+    let t = Table::from_columns(vec![
+        ("x", Column::Float(x)),
+        ("skills", Column::from_strings(skills)),
+        ("id", Column::from_strings(id)),
+        ("y", Column::from_strings(y)),
+    ])
+    .unwrap();
+    t.train_test_split(0.7, 2).unwrap()
+}
+
+#[test]
+fn full_kitchen_sink_pipeline_executes() {
+    let (train, test) = classification_data();
+    let program = parse(
+        r#"pipeline {
+  require "imbalanced";
+  impute "x" strategy median;
+  outliers "x" method iqr factor 1.5;
+  dedup exact;
+  encode "skills" method khot sep ",";
+  encode "id" method hash buckets 8;
+  scale "x" method standard;
+  rebalance target "y";
+  select_topk 6 target "y";
+  model classifier gradient_boosting target "y" rounds 20;
+}"#,
+    )
+    .unwrap();
+    let env = env_with(&["imbalanced", "boosting"]);
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let eval = execute(&program, &train, &test, &env, &cfg).unwrap();
+    assert!(eval.test.headline() > 0.7, "{:?}", eval.test);
+    // top-k selection caps the model features.
+    assert!(eval.n_features <= 6);
+}
+
+#[test]
+fn rebalance_without_package_is_kb_error() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  impute \"x\" strategy median;\n  encode \"skills\" method khot sep \",\";\n  encode \"id\" method hash buckets 8;\n  rebalance target \"y\";\n  model classifier decision_tree target \"y\";\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let err = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::MissingPackage);
+    assert!(err.message.contains("imbalanced"));
+}
+
+#[test]
+fn lof_outliers_require_their_package_is_preinstalled() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  impute \"x\" strategy median;\n  drop \"skills\";\n  drop \"id\";\n  outliers \"x\" method lof k 5 factor 6;\n  model classifier decision_tree target \"y\";\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    // outlier_tools ships preinstalled (the sklearn-equivalent toolbox).
+    let eval = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap();
+    assert!(eval.n_train_rows <= train.n_rows());
+}
+
+#[test]
+fn dedup_and_drop_null_rows_shrink_train_only() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  drop \"skills\";\n  drop \"id\";\n  drop_null_rows;\n  impute \"x\" strategy median;\n  model classifier decision_tree target \"y\";\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let eval = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap();
+    assert!(eval.n_train_rows < train.n_rows(), "null rows dropped from train");
+    assert_eq!(eval.n_test_rows, test.n_rows(), "test rows untouched");
+}
+
+#[test]
+fn duplicate_model_steps_are_rejected() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  drop \"skills\";\n  drop \"id\";\n  impute \"x\" strategy median;\n  model classifier decision_tree target \"y\";\n  model classifier knn target \"y\";\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let err = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::ModelTaskMismatch);
+}
+
+#[test]
+fn scale_on_all_numeric_then_minmax_is_stable() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  impute * strategy median;\n  drop \"skills\";\n  drop \"id\";\n  scale * method minmax;\n  model classifier logistic target \"y\" epochs 80;\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let eval = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap();
+    assert!(eval.test.headline() > 0.6, "{:?}", eval.test);
+}
+
+#[test]
+fn regression_kitchen_sink() {
+    let n = 240;
+    let x: Vec<f64> = (0..n).map(|i| (i % 30) as f64).collect();
+    let cat: Vec<&str> = (0..n).map(|i| ["a", "b", "c"][i % 3]).collect();
+    let y: Vec<f64> = x.iter().map(|v| v * 3.0 + 2.0).collect();
+    let t = Table::from_columns(vec![
+        ("x", Column::from_f64(x)),
+        ("cat", Column::from_strings(cat)),
+        ("y", Column::from_f64(y)),
+    ])
+    .unwrap();
+    let (train, test) = t.train_test_split(0.7, 3).unwrap();
+    let program = parse(
+        "pipeline {\n  encode \"cat\" method ordinal;\n  outliers * method zscore factor 4;\n  model regressor gradient_boosting target \"y\" rounds 40;\n}",
+    )
+    .unwrap();
+    let env = env_with(&["boosting"]);
+    let cfg = ExecutionConfig::new(TaskKind::Regression);
+    let eval = execute(&program, &train, &test, &env, &cfg).unwrap();
+    assert!(eval.test.headline() > 0.95, "{:?}", eval.test);
+}
+
+#[test]
+fn drop_of_target_column_raises_target_not_found() {
+    let (train, test) = classification_data();
+    let program = parse(
+        "pipeline {\n  drop \"y\";\n  drop \"skills\";\n  drop \"id\";\n  impute \"x\" strategy median;\n  model classifier decision_tree target \"y\";\n}",
+    )
+    .unwrap();
+    let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
+    let err = execute(&program, &train, &test, &Environment::default(), &cfg).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TargetNotFound);
+}

@@ -1,0 +1,411 @@
+//! Algorithm 1 — PROFILING(D, τ₁): extract per-column metadata, feature
+//! types, dependencies (via embeddings), samples, and statistics.
+
+use crate::embedding::{inclusion_score, ColumnEmbedding};
+use crate::types::{ColumnProfile, DataProfile, FeatureType, NumericStats};
+use catdb_table::{Column, DataType, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Profiling options.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// τ₁ — samples stored per non-categorical column.
+    pub n_samples: usize,
+    /// Distinct-ratio threshold under which a column counts as categorical.
+    pub categorical_distinct_ratio: f64,
+    /// Absolute distinct-count cap for categoricals.
+    pub categorical_max_distinct: usize,
+    /// Cosine-similarity threshold for reporting column similarities.
+    pub similarity_threshold: f64,
+    /// Inclusion-score threshold for reporting inclusion dependencies.
+    pub inclusion_threshold: f64,
+    /// Worker threads for per-column extraction.
+    pub n_threads: usize,
+    pub seed: u64,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            n_samples: 10,
+            categorical_distinct_ratio: 0.05,
+            categorical_max_distinct: 50,
+            similarity_threshold: 0.5,
+            inclusion_threshold: 0.75,
+            n_threads: 4,
+            seed: 1234,
+        }
+    }
+}
+
+/// Distinct rendered values of the column's non-null entries, plus the
+/// frequency ratio of the most common value.
+fn distinct_values(col: &Column) -> (BTreeSet<String>, f64) {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut non_null = 0usize;
+    for i in 0..col.len() {
+        if !col.is_null_at(i) {
+            *counts.entry(col.get(i).render()).or_insert(0) += 1;
+            non_null += 1;
+        }
+    }
+    let top = counts.values().copied().max().unwrap_or(0);
+    let ratio = if non_null == 0 { 0.0 } else { top as f64 / non_null as f64 };
+    (counts.into_keys().collect(), ratio)
+}
+
+fn numeric_stats(col: &Column) -> Option<NumericStats> {
+    let mut vals: Vec<f64> = col.to_f64_vec().into_iter().flatten().collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.total_cmp(b));
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+    let mid = vals.len() / 2;
+    let median = if vals.len() % 2 == 0 { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] };
+    Some(NumericStats { min: vals[0], max: *vals.last().expect("non-empty"), mean, median, std })
+}
+
+/// Heuristic feature-type detection for the initial (pre-LLM) profile.
+fn detect_feature_type(
+    col: &Column,
+    distinct: usize,
+    non_null: usize,
+    opts: &ProfileOptions,
+) -> FeatureType {
+    match col.dtype() {
+        DataType::Bool => FeatureType::Boolean,
+        DataType::Int | DataType::Float => {
+            let ratio = if non_null == 0 { 0.0 } else { distinct as f64 / non_null as f64 };
+            if distinct <= 2 {
+                FeatureType::Boolean
+            } else if distinct <= opts.categorical_max_distinct
+                && ratio <= opts.categorical_distinct_ratio
+            {
+                // Few distinct integers over many rows: a coded categorical
+                // (the paper's "7 distinct integer values" example).
+                FeatureType::Categorical
+            } else {
+                FeatureType::Numerical
+            }
+        }
+        DataType::Str => {
+            let ratio = if non_null == 0 { 0.0 } else { distinct as f64 / non_null as f64 };
+            if distinct <= opts.categorical_max_distinct && ratio <= 0.5 {
+                FeatureType::Categorical
+            } else {
+                // High-cardinality text: sentence candidates for the
+                // LLM-assisted refinement (which may split them into
+                // categorical / list features).
+                FeatureType::Sentence
+            }
+        }
+    }
+}
+
+/// Pearson |correlation| between two numeric columns over co-present rows.
+fn pearson_abs(a: &Column, b: &Column) -> f64 {
+    let av = a.to_f64_vec();
+    let bv = b.to_f64_vec();
+    let pairs: Vec<(f64, f64)> = av
+        .iter()
+        .zip(&bv)
+        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
+        .collect();
+    if pairs.len() < 3 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in &pairs {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).abs()
+}
+
+struct PartialProfile {
+    idx: usize,
+    distinct: BTreeSet<String>,
+    embedding: ColumnEmbedding,
+    profile: ColumnProfile,
+}
+
+/// Run Algorithm 1 over a table.
+pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataProfile {
+    let started = Instant::now();
+    let n_rows = table.n_rows();
+    let fields: Vec<(usize, String)> = table
+        .schema()
+        .names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (i, n.to_string()))
+        .collect();
+
+    // Per-column extraction, parallel across a worker pool (profiling large
+    // wide tables is the dominant offline cost — Figure 9a).
+    let n_threads = opts.n_threads.max(1).min(fields.len().max(1));
+    let chunks: Vec<Vec<(usize, String)>> = {
+        let mut c: Vec<Vec<(usize, String)>> = vec![Vec::new(); n_threads];
+        for (i, f) in fields.into_iter().enumerate() {
+            c[i % n_threads].push(f);
+        }
+        c.retain(|v| !v.is_empty());
+        c
+    };
+
+    let mut partials: Vec<Option<PartialProfile>> = Vec::new();
+    partials.resize_with(table.n_cols(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            let handle = scope.spawn(move |_| {
+                chunk
+                    .iter()
+                    .map(|(idx, name)| {
+                        let col = table.column_at(*idx);
+                        let (distinct, top_value_ratio) = distinct_values(col);
+                        let missing = col.null_count();
+                        let non_null = n_rows - missing;
+                        let feature_type = detect_feature_type(col, distinct.len(), non_null, opts);
+                        let embedding =
+                            ColumnEmbedding::from_distinct_values(distinct.iter().map(|s| s.as_str()));
+                        // Samples: all distinct values for categoricals,
+                        // else τ₁ random values (Algorithm 1, line 10).
+                        let samples = if matches!(
+                            feature_type,
+                            FeatureType::Categorical | FeatureType::Boolean
+                        ) {
+                            distinct.iter().cloned().collect()
+                        } else {
+                            let mut rng = StdRng::seed_from_u64(opts.seed ^ *idx as u64);
+                            let mut pool: Vec<String> = distinct.iter().cloned().collect();
+                            pool.shuffle(&mut rng);
+                            pool.truncate(opts.n_samples);
+                            pool
+                        };
+                        let statistics = if feature_type == FeatureType::Numerical {
+                            numeric_stats(col)
+                        } else {
+                            None
+                        };
+                        let profile = ColumnProfile {
+                            name: name.clone(),
+                            data_type: col.dtype(),
+                            feature_type,
+                            n_rows,
+                            distinct_count: distinct.len(),
+                            distinct_percentage: if non_null == 0 {
+                                0.0
+                            } else {
+                                distinct.len() as f64 / non_null as f64
+                            },
+                            missing_count: missing,
+                            missing_percentage: if n_rows == 0 {
+                                0.0
+                            } else {
+                                missing as f64 / n_rows as f64
+                            },
+                            top_value_ratio,
+                            inclusion_dependencies: Vec::new(),
+                            similarities: Vec::new(),
+                            correlations: Vec::new(),
+                            samples,
+                            statistics,
+                        };
+                        PartialProfile { idx: *idx, distinct, embedding, profile }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            for p in h.join().expect("profiling worker panicked") {
+                let idx = p.idx;
+                partials[idx] = Some(p);
+            }
+        }
+    })
+    .expect("profiling scope failed");
+    let partials: Vec<PartialProfile> =
+        partials.into_iter().map(|p| p.expect("all columns profiled")).collect();
+
+    // Pairwise pass: similarities and inclusion dependencies from the
+    // embeddings, correlations among numeric columns.
+    let mut profiles: Vec<ColumnProfile> = partials.iter().map(|p| p.profile.clone()).collect();
+    for i in 0..partials.len() {
+        for j in 0..partials.len() {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (&partials[i], &partials[j]);
+            if i < j {
+                let cos = a.embedding.cosine(&b.embedding);
+                if cos >= opts.similarity_threshold {
+                    profiles[i].similarities.push((b.profile.name.clone(), cos));
+                    profiles[j].similarities.push((a.profile.name.clone(), cos));
+                }
+                if a.profile.data_type.is_numeric() && b.profile.data_type.is_numeric() {
+                    let corr = pearson_abs(
+                        table.column_at(a.idx),
+                        table.column_at(b.idx),
+                    );
+                    if corr >= 0.3 {
+                        profiles[i].correlations.push((b.profile.name.clone(), corr));
+                        profiles[j].correlations.push((a.profile.name.clone(), corr));
+                    }
+                }
+            }
+            // Inclusion: is column i's value set inside column j's?
+            let score = inclusion_score(
+                &a.embedding,
+                &b.embedding,
+                a.distinct.len(),
+                b.distinct.len(),
+            );
+            if score >= opts.inclusion_threshold && a.distinct.len() >= 2 {
+                profiles[i].inclusion_dependencies.push(b.profile.name.clone());
+            }
+        }
+        profiles[i]
+            .similarities
+            .sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        profiles[i]
+            .correlations
+            .sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    }
+
+    DataProfile {
+        dataset_name: name.to_string(),
+        n_rows,
+        columns: profiles,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_table::Column;
+
+    fn salary_like_table() -> Table {
+        let n = 200;
+        let gender: Vec<&str> = (0..n).map(|i| ["Male", "Female", "F", "M"][i % 4]).collect();
+        let exp: Vec<String> =
+            (0..n).map(|i| format!("{} years of experience at firm {i}", i % 37)).collect();
+        let age: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 10 == 0 { None } else { Some(20.0 + (i % 40) as f64) }).collect();
+        let salary: Vec<f64> = (0..n).map(|i| 50_000.0 + 1000.0 * (i % 40) as f64).collect();
+        let level: Vec<i64> = (0..n).map(|i| (i % 5) as i64).collect();
+        Table::from_columns(vec![
+            ("gender", Column::from_strings(gender)),
+            ("experience", Column::from_strings(exp)),
+            ("age", Column::Float(age)),
+            ("salary", Column::from_f64(salary)),
+            ("level", Column::from_i64(level)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_feature_types() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        assert_eq!(p.column("gender").unwrap().feature_type, FeatureType::Categorical);
+        assert_eq!(p.column("experience").unwrap().feature_type, FeatureType::Sentence);
+        assert_eq!(p.column("age").unwrap().feature_type, FeatureType::Numerical);
+        assert_eq!(p.column("level").unwrap().feature_type, FeatureType::Categorical);
+    }
+
+    #[test]
+    fn missing_and_distinct_percentages() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        let age = p.column("age").unwrap();
+        assert_eq!(age.missing_count, 20);
+        assert!((age.missing_percentage - 0.1).abs() < 1e-9);
+        let gender = p.column("gender").unwrap();
+        assert_eq!(gender.distinct_count, 4);
+    }
+
+    #[test]
+    fn categorical_samples_hold_all_distinct_values() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        let gender = p.column("gender").unwrap();
+        assert_eq!(gender.samples.len(), 4);
+        let exp = p.column("experience").unwrap();
+        assert_eq!(exp.samples.len(), ProfileOptions::default().n_samples);
+    }
+
+    #[test]
+    fn statistics_only_for_numerical() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        assert!(p.column("salary").unwrap().statistics.is_some());
+        assert!(p.column("gender").unwrap().statistics.is_none());
+        let stats = p.column("salary").unwrap().statistics.as_ref().unwrap();
+        assert_eq!(stats.min, 50_000.0);
+        assert_eq!(stats.max, 89_000.0);
+    }
+
+    #[test]
+    fn correlated_columns_are_reported() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        let age_corr = &p.column("age").unwrap().correlations;
+        assert!(
+            age_corr.iter().any(|(n, c)| n == "salary" && *c > 0.9),
+            "age–salary correlation missing: {age_corr:?}"
+        );
+    }
+
+    #[test]
+    fn inclusion_dependency_between_key_columns() {
+        // fk values ⊂ pk values.
+        let pk: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
+        let fk: Vec<String> = (0..100).map(|i| format!("k{}", i % 20)).collect();
+        let t = Table::from_columns(vec![
+            ("pk", Column::from_strings(pk)),
+            ("fk", Column::from_strings(fk)),
+        ])
+        .unwrap();
+        let p = profile_table("keys", &t, &ProfileOptions::default());
+        assert!(p.column("fk").unwrap().inclusion_dependencies.contains(&"pk".to_string()));
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let t = salary_like_table();
+        let a = profile_table("s", &t, &ProfileOptions::default());
+        let b = profile_table("s", &t, &ProfileOptions::default());
+        for (ca, cb) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(ca.samples, cb.samples);
+            assert_eq!(ca.similarities, cb.similarities);
+        }
+    }
+
+    #[test]
+    fn type_distribution_counts() {
+        let t = salary_like_table();
+        let p = profile_table("salary", &t, &ProfileOptions::default());
+        let dist = p.feature_type_distribution();
+        let total: usize = dist.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 5);
+    }
+}

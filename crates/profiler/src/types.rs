@@ -1,0 +1,145 @@
+//! Profile data model: per-column metadata captured by Algorithm 1 and
+//! stored in the data catalog.
+
+use catdb_table::DataType;
+use serde::{Deserialize, Serialize};
+
+/// ML feature types, layered above the physical [`DataType`]s. Initial
+/// profiling assigns them heuristically; the LLM-assisted catalog
+/// refinement (Section 3.2) upgrades them (e.g. `Sentence` → `List`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureType {
+    Numerical,
+    Categorical,
+    Boolean,
+    /// Free-form text / composite values (mixed representations).
+    Sentence,
+    /// Multiple atomic items joined in one cell ("Python, Java").
+    List,
+}
+
+impl FeatureType {
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureType::Numerical => "numerical",
+            FeatureType::Categorical => "categorical",
+            FeatureType::Boolean => "boolean",
+            FeatureType::Sentence => "sentence",
+            FeatureType::List => "list",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<FeatureType> {
+        Some(match s {
+            "numerical" => FeatureType::Numerical,
+            "categorical" => FeatureType::Categorical,
+            "boolean" => FeatureType::Boolean,
+            "sentence" => FeatureType::Sentence,
+            "list" => FeatureType::List,
+            _ => return None,
+        })
+    }
+}
+
+/// Basic statistics for numeric columns (Algorithm 1, line 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericStats {
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub median: f64,
+    pub std: f64,
+}
+
+/// Everything Algorithm 1 extracts for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    pub name: String,
+    pub data_type: DataType,
+    pub feature_type: FeatureType,
+    pub n_rows: usize,
+    pub distinct_count: usize,
+    /// `distinct_count / non_null_count` in [0, 1].
+    pub distinct_percentage: f64,
+    pub missing_count: usize,
+    /// `missing_count / n_rows` in [0, 1].
+    pub missing_percentage: f64,
+    /// Frequency of the most common value over non-null entries, in
+    /// [0, 1]; drives imbalance detection for rebalancing rules.
+    pub top_value_ratio: f64,
+    /// Names of columns whose value set appears to include this column's
+    /// (approximate inclusion dependencies via embeddings).
+    pub inclusion_dependencies: Vec<String>,
+    /// Embedding-cosine similarity to other columns, most similar first.
+    pub similarities: Vec<(String, f64)>,
+    /// Numeric correlation with other numeric columns (|Pearson|).
+    pub correlations: Vec<(String, f64)>,
+    /// Stored value samples: all distinct values for categoricals, a random
+    /// sample of τ₁ values otherwise (Algorithm 1, line 10).
+    pub samples: Vec<String>,
+    /// Statistics for numeric, non-categorical columns only.
+    pub statistics: Option<NumericStats>,
+}
+
+impl ColumnProfile {
+    /// Does this column look like a categorical feature to the pipeline
+    /// generator (the `isCategorical` flag of Algorithm 1)?
+    pub fn is_categorical(&self) -> bool {
+        matches!(self.feature_type, FeatureType::Categorical | FeatureType::Boolean)
+    }
+}
+
+/// The full profile of one table: Algorithm 1's output `P`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataProfile {
+    pub dataset_name: String,
+    pub n_rows: usize,
+    pub columns: Vec<ColumnProfile>,
+    /// Wall-clock seconds spent profiling (reported in Figure 9a).
+    pub elapsed_seconds: f64,
+}
+
+impl DataProfile {
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut ColumnProfile> {
+        self.columns.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Feature-type histogram (Figure 9b's data-type distribution).
+    pub fn feature_type_distribution(&self) -> Vec<(FeatureType, usize)> {
+        let kinds = [
+            FeatureType::Numerical,
+            FeatureType::Categorical,
+            FeatureType::Boolean,
+            FeatureType::Sentence,
+            FeatureType::List,
+        ];
+        kinds
+            .iter()
+            .map(|&k| (k, self.columns.iter().filter(|c| c.feature_type == k).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_type_labels_round_trip() {
+        for ft in [
+            FeatureType::Numerical,
+            FeatureType::Categorical,
+            FeatureType::Boolean,
+            FeatureType::Sentence,
+            FeatureType::List,
+        ] {
+            assert_eq!(FeatureType::parse(ft.label()), Some(ft));
+        }
+        assert_eq!(FeatureType::parse("bogus"), None);
+    }
+}

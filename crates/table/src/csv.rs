@@ -1,0 +1,335 @@
+//! Minimal CSV reader/writer with RFC-4180 quoting and type inference.
+//!
+//! The CatDB prompt encodes the file format and delimiter of the input
+//! dataset so the generated pipeline can read it (paper Section 4.1); this
+//! module provides the corresponding substrate: parse a delimited file into
+//! a typed [`Table`] and write a table back out.
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    pub delimiter: u8,
+    pub has_header: bool,
+    /// Strings treated as missing values in addition to the empty cell.
+    pub null_markers: Vec<String>,
+    /// Rows to scan for type inference (the full file is always parsed with
+    /// the inferred types; mismatching cells degrade the column to string).
+    pub inference_rows: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            has_header: true,
+            null_markers: vec!["NA".into(), "N/A".into(), "null".into(), "NULL".into(), "?".into()],
+            inference_rows: 1000,
+        }
+    }
+}
+
+/// Split one CSV record into fields, honoring double-quote escaping.
+fn split_record(line: &str, delim: u8) -> std::result::Result<Vec<String>, String> {
+    let delim = delim as char;
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            if field.is_empty() {
+                in_quotes = true;
+            } else {
+                return Err("quote inside unquoted field".to_string());
+            }
+        } else if c == delim {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn parse_cell(raw: &str, dtype: DataType, null_markers: &[String]) -> Value {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || null_markers.iter().any(|m| m == trimmed) {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Int => trimmed.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => trimmed.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+            "true" | "t" | "yes" | "1" => Value::Bool(true),
+            "false" | "f" | "no" | "0" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        DataType::Str => Value::Str(raw.to_string()),
+    }
+}
+
+/// Infer the narrowest type that fits every non-null sample cell:
+/// bool ⊂ int ⊂ float ⊂ string.
+fn infer_type(samples: &[&str], null_markers: &[String]) -> DataType {
+    let mut could_bool = true;
+    let mut could_int = true;
+    let mut could_float = true;
+    let mut saw_value = false;
+    for &raw in samples {
+        let t = raw.trim();
+        if t.is_empty() || null_markers.iter().any(|m| m == t) {
+            continue;
+        }
+        saw_value = true;
+        let lower = t.to_ascii_lowercase();
+        if !matches!(lower.as_str(), "true" | "false" | "t" | "f" | "yes" | "no") {
+            could_bool = false;
+        }
+        if t.parse::<i64>().is_err() {
+            could_int = false;
+        }
+        if t.parse::<f64>().is_err() {
+            could_float = false;
+        }
+        if !could_bool && !could_int && !could_float {
+            return DataType::Str;
+        }
+    }
+    if !saw_value {
+        // All-null column: default to string, the least surprising choice.
+        return DataType::Str;
+    }
+    if could_bool {
+        DataType::Bool
+    } else if could_int {
+        DataType::Int
+    } else if could_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+/// Parse CSV text into a table with inferred column types.
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Table> {
+    read_csv(text.as_bytes(), opts)
+}
+
+/// Parse CSV from any reader into a table with inferred column types.
+pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Table> {
+    let reader = BufReader::new(reader);
+    let mut records: Vec<Vec<String>> = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() && records.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, opts.delimiter)
+            .map_err(|message| TableError::Csv { line: line_no + 1, message })?;
+        records.push(fields);
+    }
+    if records.is_empty() {
+        return Ok(Table::empty());
+    }
+
+    let header: Vec<String> = if opts.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("c{i}")).collect()
+    };
+    let n_cols = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != n_cols {
+            return Err(TableError::Csv {
+                line: i + 1 + opts.has_header as usize,
+                message: format!("expected {n_cols} fields, found {}", rec.len()),
+            });
+        }
+    }
+
+    // Per-column type inference over a sample prefix.
+    let sample_n = records.len().min(opts.inference_rows);
+    let mut dtypes = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let samples: Vec<&str> = records[..sample_n].iter().map(|r| r[c].as_str()).collect();
+        dtypes.push(infer_type(&samples, &opts.null_markers));
+    }
+
+    // Materialize columns; degrade to string when later rows contradict the
+    // sampled type (a cell fails to parse but is not a null marker).
+    let mut cols: Vec<Column> = dtypes
+        .iter()
+        .map(|&dt| Column::with_capacity(dt, records.len()))
+        .collect();
+    for c in 0..n_cols {
+        let mut degraded = false;
+        for rec in &records {
+            let v = parse_cell(&rec[c], dtypes[c], &opts.null_markers);
+            let raw_is_null = {
+                let t = rec[c].trim();
+                t.is_empty() || opts.null_markers.iter().any(|m| m == t)
+            };
+            if v.is_null() && !raw_is_null && dtypes[c] != DataType::Str {
+                degraded = true;
+                break;
+            }
+            cols[c].push(v).expect("parse_cell yields matching type");
+        }
+        if degraded {
+            let mut s = Column::with_capacity(DataType::Str, records.len());
+            for rec in &records {
+                s.push(parse_cell(&rec[c], DataType::Str, &opts.null_markers))
+                    .expect("string column accepts strings");
+            }
+            cols[c] = s;
+        }
+    }
+
+    Table::from_columns(header.into_iter().zip(cols).collect())
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, opts)
+}
+
+fn quote_if_needed(cell: &str, delim: u8) -> String {
+    let delim = delim as char;
+    if cell.contains(delim) || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Serialize a table as CSV.
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W, delimiter: u8) -> Result<()> {
+    let delim = delimiter as char;
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| quote_if_needed(n, delimiter))
+        .collect();
+    writeln!(writer, "{}", header.join(&delim.to_string()))?;
+    for r in 0..table.n_rows() {
+        let mut first = true;
+        for c in 0..table.n_cols() {
+            if !first {
+                write!(writer, "{delim}")?;
+            }
+            first = false;
+            write!(writer, "{}", quote_if_needed(&table.column_at(c).get(r).render(), delimiter))?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Serialize a table as a CSV string.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut out = Vec::new();
+    write_csv(table, &mut out, b',').expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_types_and_nulls() {
+        let csv = "id,name,score,flag\n1,alice,0.5,true\n2,bob,,false\n3,NA,2.5,true\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.column("id").unwrap().dtype(), DataType::Int);
+        assert_eq!(t.column("score").unwrap().dtype(), DataType::Float);
+        assert_eq!(t.column("flag").unwrap().dtype(), DataType::Bool);
+        assert_eq!(t.value(1, "score").unwrap(), Value::Null);
+        assert_eq!(t.value(2, "name").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_delimiters() {
+        let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("x,y".into()));
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(matches!(
+            read_csv_str(csv, &CsvOptions::default()),
+            Err(TableError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn late_type_contradiction_degrades_to_string() {
+        // Inference window sees ints; a later row holds text.
+        let mut opts = CsvOptions::default();
+        opts.inference_rows = 2;
+        let csv = "x\n1\n2\nhello\n";
+        let t = read_csv_str(csv, &opts).unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.value(2, "x").unwrap(), Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn round_trip_preserves_table() {
+        let csv = "id,name,score\n1,alice,0.5\n2,\"b,ob\",1.5\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        let back = read_csv_str(&to_csv_string(&t), &CsvOptions::default()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn headerless_files_get_synthetic_names() {
+        let mut opts = CsvOptions::default();
+        opts.has_header = false;
+        let t = read_csv_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["c0", "c1"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let mut opts = CsvOptions::default();
+        opts.delimiter = b';';
+        let t = read_csv_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn bool_inference_requires_bool_tokens() {
+        // "0"/"1" columns must infer as int, not bool, to avoid destroying
+        // numeric features.
+        let t = read_csv_str("x\n0\n1\n0\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Int);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the tabular data engine.
+
+use std::fmt;
+
+/// Errors produced by table construction, access, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// A column with the same name already exists.
+    DuplicateColumn(String),
+    /// Columns of a table have mismatching lengths.
+    LengthMismatch { expected: usize, actual: usize, column: String },
+    /// A value has the wrong type for the column it is written to.
+    TypeMismatch { column: String, expected: &'static str, actual: &'static str },
+    /// Row index out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// Underlying I/O failure (message only, `std::io::Error` is not `Clone`).
+    Io(String),
+    /// A join key was invalid (missing column or incompatible types).
+    InvalidJoinKey(String),
+    /// Generic invariant violation with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TableError::LengthMismatch { expected, actual, column } => {
+                write!(f, "column {column} has length {actual}, expected {expected}")
+            }
+            TableError::TypeMismatch { column, expected, actual } => {
+                write!(f, "column {column}: expected {expected} value, got {actual}")
+            }
+            TableError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for table of {len} rows")
+            }
+            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Io(msg) => write!(f, "io error: {msg}"),
+            TableError::InvalidJoinKey(k) => write!(f, "invalid join key: {k}"),
+            TableError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TableError>;

@@ -1,0 +1,33 @@
+//! # catdb-table — columnar tabular engine
+//!
+//! The storage substrate for the CatDB reproduction: typed columns with
+//! validity masks, schemas, CSV I/O with type inference, joins for
+//! multi-table datasets, and deterministic sampling / train-test splitting.
+//!
+//! Everything downstream (profiling, catalog refinement, ML pipelines,
+//! dataset generators) operates on [`Table`].
+//!
+//! ```
+//! use catdb_table::{Table, Column, Value};
+//!
+//! let t = Table::from_columns(vec![
+//!     ("age", Column::from_i64(vec![31, 45, 27])),
+//!     ("city", Column::from_strings(vec!["Berlin", "Montreal", "Berlin"])),
+//! ]).unwrap();
+//! assert_eq!(t.n_rows(), 3);
+//! assert_eq!(t.value(1, "city").unwrap(), Value::Str("Montreal".into()));
+//! ```
+
+mod column;
+mod csv;
+mod error;
+mod schema;
+mod table;
+mod value;
+
+pub use column::Column;
+pub use csv::{read_csv, read_csv_path, read_csv_str, to_csv_string, write_csv, CsvOptions};
+pub use error::{Result, TableError};
+pub use schema::{Field, Schema};
+pub use table::{JoinKind, Table};
+pub use value::{DataType, Value};

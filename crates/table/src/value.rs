@@ -1,0 +1,223 @@
+//! Scalar values and physical data types.
+//!
+//! The engine distinguishes *physical* data types (how a value is stored:
+//! integer, float, string, boolean) from *feature* types (how an ML pipeline
+//! should treat a column: categorical, numerical, sentence, list, ...). The
+//! latter live in the data catalog (see `catdb-catalog`); this module only
+//! covers physical storage.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Physical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl DataType {
+    /// Human-readable name, used in schemas, prompts, and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "string",
+            DataType::Bool => "bool",
+        }
+    }
+
+    /// Whether values of this type are orderable numbers.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar cell value. `Null` is the universal missing marker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Physical type of this value, or `None` for nulls (which fit any type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Numeric view of the value: ints and floats convert, bools map to 0/1,
+    /// parseable numeric strings convert, everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            Value::Null => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way it would appear in a CSV cell.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format_float(*v),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Total ordering used for sorting and distinct counting: nulls first,
+    /// then by type tag, then by value; float NaNs sort last among floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// Float formatting that round-trips and avoids noisy `1.0000000000000002`.
+fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        let mut s = format!("{}", v);
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_tags() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str(" 2.5 ".into()).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("abc".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn rendering_round_trips_ints_and_floats() {
+        assert_eq!(Value::Int(-7).render(), "-7");
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Null.render(), "");
+    }
+
+    #[test]
+    fn total_ordering_is_consistent() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Null,
+            Value::Int(2),
+            Value::Float(1.5),
+            Value::Bool(false),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(false));
+        // numeric cross-type comparison: 1.5 < 2
+        assert_eq!(Value::Float(1.5).total_cmp(&Value::Int(2)), Ordering::Less);
+    }
+}

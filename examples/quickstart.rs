@@ -1,0 +1,82 @@
+//! Quickstart: the paper's user API on a small CSV dataset.
+//!
+//! ```text
+//! md  = catdb_collect(M)            /* collect metadata */
+//! llm = LLM(model, client_url, cfg) /* configure LLM    */
+//! P   = catdb_pipgen(md, llm)       /* generate + run   */
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use catdb_catalog::MultiTableDataset;
+use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions};
+use catdb_llm::{ModelProfile, SimLlm};
+use catdb_ml::TaskKind;
+use catdb_table::{read_csv_str, CsvOptions};
+
+const CSV: &str = "\
+age,city,tenure,churn
+34,Berlin,1 year,no
+29,berlin ,12 Months,no
+45,Munich,3 years,yes
+52,munich,36 Months,yes
+41,Berlin,2 years,no
+38,MUNICH,three years,yes
+27,Berlin,one year,no
+49,Munich,3 years,yes
+31,berlin,1 year,no
+44,Munich,2 years,yes
+36,Berlin,24 months,no
+55,munich ,3 years,yes
+30,Berlin,1 year,no
+47,MUNICH,3 years,yes
+33,berlin,12 Months,no
+51,Munich,36 months,yes
+28,Berlin,one year,no
+46,munich,3 years,yes
+39,Berlin,2 years,no
+53,Munich,3 years,yes
+";
+
+fn main() {
+    // Expand the tiny CSV so there is something to train on.
+    let base = read_csv_str(CSV, &CsvOptions::default()).expect("valid CSV");
+    let mut table = base.clone();
+    for _ in 0..20 {
+        table = table.vstack(&base).expect("same schema");
+    }
+    println!("Loaded {} rows × {} columns", table.n_rows(), table.n_cols());
+
+    // 1. Configure the (simulated) LLM.
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 42);
+
+    // 2. catdb_collect — profile + LLM-assisted catalog refinement.
+    let dataset = MultiTableDataset::single("churn", table);
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, report) =
+        catdb_collect(&dataset, "churn", TaskKind::BinaryClassification, &llm, &opts)
+            .expect("collection succeeds");
+    if let Some(report) = &report {
+        println!("\nCatalog refinement ({} LLM calls):", report.llm_calls);
+        for r in &report.refinements {
+            println!(
+                "  {}: {} → {} distinct ({:?})",
+                r.column, r.distinct_before, r.distinct_after, r.action
+            );
+        }
+    }
+
+    // 3. catdb_pipgen — generate, validate, and execute the pipeline.
+    let result = catdb_pipgen(&entry, &prepared, &llm, &CatDbConfig::default())
+        .expect("generation succeeds");
+    println!("\nGenerated pipeline (P.code):\n{}", result.code);
+    let eval = result.results.evaluation.as_ref().expect("pipeline ran");
+    println!("Test metrics: {:?}", eval.test);
+    println!(
+        "Tokens: {} in / {} out over {} LLM calls; {} correction attempt(s)",
+        result.results.ledger.total().input,
+        result.results.ledger.total().output,
+        result.results.ledger.n_calls,
+        result.results.attempts,
+    );
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: CSV → profiling → catalog refinement → prompt
+//! construction → simulated-LLM generation → pipeline execution, plus
+//! catalog persistence and the multi-table path.
+
+use catdb_catalog::{DataCatalog, MultiTableDataset};
+use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
+use catdb_data::{generate, GenOptions};
+use catdb_llm::{ModelProfile, SimLlm};
+use catdb_ml::TaskKind;
+use catdb_table::{read_csv_str, to_csv_string, CsvOptions};
+
+fn gen_opts() -> GenOptions {
+    GenOptions { max_rows: 350, scale: 1.0, seed: 11 }
+}
+
+#[test]
+fn csv_to_pipeline_end_to_end() {
+    // Start from CSV text to exercise the full ingestion path.
+    let g = generate("diabetes", &gen_opts()).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let csv = to_csv_string(&flat);
+    let reloaded = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+    assert_eq!(reloaded.n_rows(), flat.n_rows());
+
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 11);
+    let dataset = MultiTableDataset::single("diabetes", reloaded);
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, _) =
+        catdb_collect(&dataset, "target", TaskKind::BinaryClassification, &llm, &opts).unwrap();
+    let result = catdb_pipgen(&entry, &prepared, &llm, &CatDbConfig::default()).unwrap();
+    assert!(result.results.success);
+    let eval = result.results.evaluation.unwrap();
+    assert!(eval.test.headline() > 0.55, "test {:?}", eval.test);
+    // The generated code is valid DSL.
+    assert!(catdb_pipeline::parse(&result.code).is_ok());
+}
+
+#[test]
+fn multi_table_dataset_flows_through() {
+    let g = generate("financial", &gen_opts()).unwrap();
+    assert!(g.dataset.n_tables() > 1);
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 12);
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, _) = catdb_collect(&g.dataset, &g.target, g.task, &llm, &opts).unwrap();
+    let result = catdb_pipgen(&entry, &prepared, &llm, &CatDbConfig::default()).unwrap();
+    assert!(result.results.success, "traces: {:?}", result.results.traces);
+}
+
+#[test]
+fn catalog_persists_and_reloads() {
+    let g = generate("cmc", &gen_opts()).unwrap();
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 13);
+    let opts = CollectOptions { refine: false, ..Default::default() };
+    let (entry, _, _) = catdb_collect(&g.dataset, &g.target, g.task, &llm, &opts).unwrap();
+    let mut catalog = DataCatalog::new();
+    catalog.upsert(entry);
+    let json = catalog.to_json();
+    let reloaded = DataCatalog::from_json(&json).unwrap();
+    let entry = reloaded.get("cmc").unwrap();
+    assert_eq!(entry.task_kind(), TaskKind::MulticlassClassification);
+    assert!(!entry.profile.columns.is_empty());
+}
+
+#[test]
+fn chain_and_single_both_converge_on_wide_data() {
+    let g = generate("gas-drift", &gen_opts()).unwrap();
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 14);
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, _) = catdb_collect(&g.dataset, &g.target, g.task, &llm, &opts).unwrap();
+    for beta in [1usize, 3] {
+        let cfg = CatDbConfig {
+            prompt: PromptOptions { beta, ..Default::default() },
+            ..Default::default()
+        };
+        let result = catdb_pipgen(&entry, &prepared, &llm, &cfg).unwrap();
+        assert!(result.results.success, "beta={beta}: {:?}", result.results.traces);
+    }
+}
+
+#[test]
+fn regression_dataset_produces_regressor_pipeline() {
+    let g = generate("bike-sharing", &gen_opts()).unwrap();
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 15);
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, _) = catdb_collect(&g.dataset, &g.target, g.task, &llm, &opts).unwrap();
+    let result = catdb_pipgen(&entry, &prepared, &llm, &CatDbConfig::default()).unwrap();
+    assert!(result.results.success);
+    assert!(result.code.contains("model regressor"), "{}", result.code);
+    let eval = result.results.evaluation.unwrap();
+    assert!(eval.test.headline() > 0.3, "R² {:?}", eval.test);
+}
+
+#[test]
+fn every_paper_dataset_survives_generation() {
+    // Smoke the full matrix at tiny scale: all 20 datasets must converge
+    // (the paper's "CatDB never fails" claim).
+    let opts = GenOptions { max_rows: 200, scale: 1.0, seed: 17 };
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 17);
+    for g in catdb_data::generate_all(&opts) {
+        let copts = CollectOptions { refine: true, ..Default::default() };
+        let (entry, prepared, _) =
+            catdb_collect(&g.dataset, &g.target, g.task, &llm, &copts).unwrap();
+        let mut cfg = CatDbConfig::default();
+        cfg.validation_rows = 100;
+        let result = catdb_pipgen(&entry, &prepared, &llm, &cfg).unwrap();
+        assert!(result.results.success, "{} failed: {:?}", g.spec.name, result.results.traces);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based integration tests (proptest): invariants that must hold
+//! across arbitrary inputs — CSV round trips, DSL render/parse round
+//! trips, refinement mapping idempotence, corruption determinism, and
+//! metric bounds.
+
+use catdb_data::{corrupt, Corruption};
+use catdb_llm::refine_values;
+use catdb_ml::metrics;
+use catdb_pipeline::{parse, ColumnRef, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, Program, Step};
+use catdb_table::{read_csv_str, to_csv_string, Column, CsvOptions, Table};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,8}",
+        "[0-9]{1,6}",
+        Just("hello, world".to_string()),
+        Just("quote\"inside".to_string()),
+        Just("".to_string()),
+    ]
+}
+
+fn arb_column_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_string_tables(
+        rows in prop::collection::vec(prop::collection::vec(arb_cell(), 3), 1..20)
+    ) {
+        let cols: Vec<(String, Column)> = (0..3)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    Column::Str(rows.iter().map(|r| {
+                        let v = r[c].clone();
+                        // Empty cells read back as nulls; keep them non-empty
+                        // for exact round-trip comparison.
+                        if v.is_empty() { None } else { Some(v) }
+                    }).collect()),
+                )
+            })
+            .collect();
+        let table = Table::from_columns(cols).unwrap();
+        let csv = to_csv_string(&table);
+        let mut opts = CsvOptions::default();
+        opts.null_markers.clear(); // exact round trip: only empty = null
+        let back = read_csv_str(&csv, &opts).unwrap();
+        prop_assert_eq!(back.n_rows(), table.n_rows());
+        for r in 0..table.n_rows() {
+            for name in table.schema().names() {
+                let a = table.value(r, name).unwrap().render();
+                let b = back.value(r, name).unwrap().render();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dsl_programs_round_trip_through_render_and_parse(
+        col in arb_column_name(),
+        target in arb_column_name(),
+        threshold in 0.1f64..0.99,
+        k in 1usize..50,
+        trees in 1.0f64..200.0,
+    ) {
+        let program = Program::new(vec![
+            Step::Require { package: "text_features".into() },
+            Step::Impute { column: ColumnRef::Named(col.clone()), strategy: ImputeSpec::Median },
+            Step::Impute { column: ColumnRef::All, strategy: ImputeSpec::MostFrequent },
+            Step::DropHighMissing { threshold },
+            Step::SelectTopK { k, target: target.clone() },
+            Step::Model(ModelSpec {
+                family: ModelFamily::Classifier,
+                algo: ModelAlgo::RandomForest,
+                target,
+                params: vec![("trees".into(), trees.round())],
+            }),
+        ]);
+        let text = program.render();
+        let parsed = parse(&text).expect("canonical rendering parses");
+        prop_assert_eq!(parsed, program);
+    }
+
+    #[test]
+    fn refinement_mapping_is_idempotent(
+        values in prop::collection::vec("[A-Za-z]{1,10}", 2..30)
+    ) {
+        let mapping = refine_values(&values);
+        // Apply the mapping once.
+        let applied: Vec<String> = values
+            .iter()
+            .map(|v| {
+                mapping
+                    .iter()
+                    .find(|(orig, _)| orig == v)
+                    .map(|(_, canon)| canon.clone())
+                    .unwrap_or_else(|| v.clone())
+            })
+            .collect();
+        // Refining the already-canonical values must not map a canonical
+        // value somewhere else (no chains).
+        let second = refine_values(&applied);
+        for (orig, canon) in &second {
+            // Any re-mapping must target a value already in the applied set.
+            prop_assert!(applied.iter().any(|v| v == canon), "{orig} → {canon} invents a value");
+        }
+    }
+
+    #[test]
+    fn corruption_never_touches_target_and_is_bounded(
+        ratio in 0.0f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let n = 400;
+        let t = Table::from_columns(vec![
+            ("x", Column::from_f64((0..n).map(|i| i as f64).collect())),
+            ("y", Column::from_f64((0..n).map(|i| (i * 2) as f64).collect())),
+        ])
+        .unwrap();
+        let c = corrupt(&t, "y", Corruption::Mixed, ratio, seed);
+        prop_assert_eq!(c.column("y").unwrap(), t.column("y").unwrap());
+        let changed = catdb_data::cells_changed(&t, &c, "y");
+        // One feature column of n cells: changes ≤ cells, and roughly
+        // proportional to the ratio (loose upper bound: 3× expected + 10).
+        prop_assert!(changed <= n);
+        prop_assert!((changed as f64) <= (n as f64) * ratio * 3.0 + 10.0);
+    }
+
+    #[test]
+    fn auc_is_bounded_and_flip_symmetric(
+        scores in prop::collection::vec(0.0f64..1.0, 10..60),
+        labels in prop::collection::vec(0usize..2, 10..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let auc = metrics::auc_binary(labels, scores);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating the scores mirrors the AUC around 0.5 (when both
+        // classes are present).
+        let has_both = labels.contains(&0) && labels.contains(&1);
+        if has_both {
+            let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let auc_neg = metrics::auc_binary(labels, &neg);
+            prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accuracy_matches_manual_count(
+        pairs in prop::collection::vec((0usize..4, 0usize..4), 1..50)
+    ) {
+        let y_true: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let y_pred: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let manual = pairs.iter().filter(|(a, b)| a == b).count() as f64 / pairs.len() as f64;
+        prop_assert!((metrics::accuracy(&y_true, &y_pred) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_test_split_partitions_exactly(
+        n in 10usize..300,
+        frac in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let t = Table::from_columns(vec![(
+            "id",
+            Column::from_i64((0..n as i64).collect()),
+        )])
+        .unwrap();
+        let (train, test) = t.train_test_split(frac, seed).unwrap();
+        prop_assert_eq!(train.n_rows() + test.n_rows(), n);
+        // Every id appears exactly once across the two splits.
+        let mut seen = vec![false; n];
+        for split in [&train, &test] {
+            for r in 0..split.n_rows() {
+                let id = match split.value(r, "id").unwrap() {
+                    catdb_table::Value::Int(v) => v as usize,
+                    other => panic!("unexpected {other:?}"),
+                };
+                prop_assert!(!seen[id], "duplicate id {id}");
+                seen[id] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}
