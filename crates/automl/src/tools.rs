@@ -305,7 +305,7 @@ pub fn run_automl(
             let score = metrics::auc_macro_ovr(&y_val, &proba, k);
             if tool.strategy == SearchStrategy::Stacking {
                 stack.push(model);
-            } else if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            } else if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, name, model));
             }
             if started.elapsed().as_secs_f64() + overhead_spent > budget {
@@ -384,7 +384,7 @@ pub fn run_automl(
             let score = metrics::r2(&y_val, &pred);
             if tool.strategy == SearchStrategy::Stacking {
                 stack.push(model);
-            } else if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            } else if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, name, model));
             }
         }

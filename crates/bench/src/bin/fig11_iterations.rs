@@ -8,7 +8,7 @@
 //! variance.
 
 use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
-use catdb_bench::{llm_for, paper_llms, pct, prepare, render_table, run_catdb, save_results, test_score, BenchArgs};
+use catdb_bench::{llm_for, paper_llms, pct, prepare, render_table, run_catdb, save_results, test_score, traced, BenchArgs};
 use catdb_data::generate;
 use serde_json::json;
 
@@ -25,6 +25,9 @@ fn stats(scores: &[f64]) -> (f64, f64, usize) {
     (mean, var.sqrt(), fails)
 }
 
+/// One benchmark system: seed -> (accuracy, captured trace).
+type TracedRun<'a> = Box<dyn Fn(u64) -> (f64, catdb_trace::Trace) + 'a>;
+
 fn main() {
     let args = BenchArgs::parse();
     let iterations = if args.quick { 3 } else { 10 };
@@ -36,19 +39,19 @@ fn main() {
         for llm_name in paper_llms() {
             let prep_llm = llm_for(llm_name, args.seed);
             let p = prepare(&g, true, &prep_llm, args.seed);
-            let systems: Vec<(&str, Box<dyn Fn(u64) -> f64>)> = vec![
+            let systems: Vec<(&str, TracedRun)> = vec![
                 (
                     "catdb",
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
-                        test_score(&run_catdb(&p, &llm, 1, seed))
+                        traced(|| test_score(&run_catdb(&p, &llm, 1, seed)))
                     }),
                 ),
                 (
                     "catdb_chain",
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
-                        test_score(&run_catdb(&p, &llm, 2, seed))
+                        traced(|| test_score(&run_catdb(&p, &llm, 2, seed)))
                     }),
                 ),
                 (
@@ -56,9 +59,11 @@ fn main() {
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
                         let cfg = CaafeConfig { seed, ..Default::default() };
-                        run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
-                            .test_score
-                            .unwrap_or(f64::NAN)
+                        traced(|| {
+                            run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                                .test_score
+                                .unwrap_or(f64::NAN)
+                        })
                     }),
                 ),
                 (
@@ -66,9 +71,11 @@ fn main() {
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
                         let cfg = CaafeConfig { model: CaafeModel::RandomForest, seed, ..Default::default() };
-                        run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
-                            .test_score
-                            .unwrap_or(f64::NAN)
+                        traced(|| {
+                            run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                                .test_score
+                                .unwrap_or(f64::NAN)
+                        })
                     }),
                 ),
                 (
@@ -76,9 +83,11 @@ fn main() {
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
                         let cfg = AideConfig { seed, ..Default::default() };
-                        run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
-                            .test_score
-                            .unwrap_or(f64::NAN)
+                        traced(|| {
+                            run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                                .test_score
+                                .unwrap_or(f64::NAN)
+                        })
                     }),
                 ),
                 (
@@ -86,15 +95,24 @@ fn main() {
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
                         let cfg = AutoGenConfig { seed, ..Default::default() };
-                        run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
-                            .test_score
-                            .unwrap_or(f64::NAN)
+                        traced(|| {
+                            run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
+                                .test_score
+                                .unwrap_or(f64::NAN)
+                        })
                     }),
                 ),
             ];
             for (system, run) in systems {
-                let scores: Vec<f64> =
+                let runs: Vec<(f64, catdb_trace::Trace)> =
                     (0..iterations).map(|i| run(args.seed + 1000 * i as u64)).collect();
+                let scores: Vec<f64> = runs.iter().map(|(s, _)| *s).collect();
+                // Error-management effort comes from the trace, not the
+                // outcome structs: every repair attempt is an
+                // ErrorIteration event, every simulator call an LlmCall.
+                let error_iterations: usize =
+                    runs.iter().map(|(_, t)| t.error_iteration_count()).sum();
+                let llm_calls: usize = runs.iter().map(|(_, t)| t.llm_call_count()).sum();
                 let (mean, std, fails) = stats(&scores);
                 rows.push(vec![
                     name.to_string(),
@@ -103,10 +121,13 @@ fn main() {
                     pct(mean),
                     format!("{:.1}", std * 100.0),
                     fails.to_string(),
+                    error_iterations.to_string(),
+                    llm_calls.to_string(),
                 ]);
                 records.push(json!({
                     "dataset": name, "llm": llm_name, "system": system,
                     "scores": scores, "mean": mean, "std": std, "failures": fails,
+                    "error_iterations": error_iterations, "llm_calls": llm_calls,
                 }));
             }
         }
@@ -115,7 +136,7 @@ fn main() {
         "{}",
         render_table(
             &format!("Figure 11: AUC over {iterations} iterations"),
-            &["dataset", "llm", "system", "mean AUC %", "std %", "failures"],
+            &["dataset", "llm", "system", "mean AUC %", "std %", "failures", "err iters", "llm calls"],
             &rows,
         )
     );

@@ -7,7 +7,7 @@
 //! pipeline runtime is the smallest.
 
 use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig};
-use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, BenchArgs};
+use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, traced, BenchArgs};
 use catdb_data::generate;
 use serde_json::json;
 
@@ -17,15 +17,20 @@ const DATASETS: [&str; 3] = ["diabetes", "gas-drift", "volkert"];
 struct Acc {
     input: usize,
     output: usize,
+    usd: f64,
     llm_seconds: f64,
     local_seconds: f64,
     runs: usize,
 }
 
 impl Acc {
-    fn add(&mut self, input: usize, output: usize, llm_s: f64, local_s: f64) {
+    /// Token and dollar numbers come straight from the run's trace; the
+    /// clock numbers from the outcome structs.
+    fn add(&mut self, trace: &catdb_trace::Trace, llm_s: f64, local_s: f64) {
+        let (input, output) = trace.total_llm_tokens();
         self.input += input;
         self.output += output;
+        self.usd += trace.total_llm_cost();
         self.llm_seconds += llm_s;
         self.local_seconds += local_s;
         self.runs += 1;
@@ -39,6 +44,7 @@ impl Acc {
             system.to_string(),
             format!("{:.0}", self.input as f64 / n),
             format!("{:.0}", self.output as f64 / n),
+            format!("{:.4}", self.usd / n),
             format!("{:.2}", self.llm_seconds / n),
             format!("{:.3}", self.local_seconds / n),
         ]
@@ -65,20 +71,22 @@ fn main() {
             for i in 0..iterations {
                 let seed = args.seed + 31 * i as u64;
                 let llm = llm_for(llm_name, seed);
-                let o = run_catdb(&p, &llm, 1, seed);
-                accs[0].1.add(o.ledger.total().input, o.ledger.total().output, o.llm_seconds, o.elapsed_seconds);
+                let (o, t) = traced(|| run_catdb(&p, &llm, 1, seed));
+                accs[0].1.add(&t, o.llm_seconds, o.elapsed_seconds);
                 let llm = llm_for(llm_name, seed);
-                let o = run_catdb(&p, &llm, 2, seed);
-                accs[1].1.add(o.ledger.total().input, o.ledger.total().output, o.llm_seconds, o.elapsed_seconds);
+                let (o, t) = traced(|| run_catdb(&p, &llm, 2, seed));
+                accs[1].1.add(&t, o.llm_seconds, o.elapsed_seconds);
+                // Baselines are traced through the simulator's LlmCall
+                // instrumentation — no baseline-side changes needed.
                 let llm = llm_for(llm_name, seed);
-                let b = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig { seed, ..Default::default() });
-                accs[2].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+                let (b, t) = traced(|| run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig { seed, ..Default::default() }));
+                accs[2].1.add(&t, b.llm_seconds, b.elapsed_seconds);
                 let llm = llm_for(llm_name, seed);
-                let b = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig { seed, ..Default::default() });
-                accs[3].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+                let (b, t) = traced(|| run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig { seed, ..Default::default() }));
+                accs[3].1.add(&t, b.llm_seconds, b.elapsed_seconds);
                 let llm = llm_for(llm_name, seed);
-                let b = run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig { seed, ..Default::default() });
-                accs[4].1.add(b.ledger.total().input, b.ledger.total().output, b.llm_seconds, b.elapsed_seconds);
+                let (b, t) = traced(|| run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig { seed, ..Default::default() }));
+                accs[4].1.add(&t, b.llm_seconds, b.elapsed_seconds);
             }
             for (system, acc) in &accs {
                 rows.push(acc.row(name, llm_name, system));
@@ -86,6 +94,7 @@ fn main() {
                     "dataset": name, "llm": llm_name, "system": system,
                     "avg_input_tokens": acc.input as f64 / acc.runs.max(1) as f64,
                     "avg_output_tokens": acc.output as f64 / acc.runs.max(1) as f64,
+                    "avg_cost_usd": acc.usd / acc.runs.max(1) as f64,
                     "avg_llm_seconds": acc.llm_seconds / acc.runs.max(1) as f64,
                     "avg_local_seconds": acc.local_seconds / acc.runs.max(1) as f64,
                 }));
@@ -96,7 +105,7 @@ fn main() {
         "{}",
         render_table(
             &format!("Figure 12: Cost and runtime, averaged over {iterations} iterations"),
-            &["dataset", "llm", "system", "in tok", "out tok", "llm s", "local s"],
+            &["dataset", "llm", "system", "in tok", "out tok", "USD", "llm s", "local s"],
             &rows,
         )
     );

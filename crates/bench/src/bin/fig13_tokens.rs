@@ -7,7 +7,7 @@
 //! profile and for regression / multi-table datasets.
 
 use catdb_baselines::{run_caafe, CaafeConfig};
-use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, BenchArgs};
+use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb_traced, save_results, traced, BenchArgs};
 use catdb_data::generate;
 use serde_json::json;
 
@@ -36,45 +36,61 @@ fn main() {
             let p = prepare(&g, true, &prep_llm, args.seed);
             for (system, beta) in [("catdb", 1usize), ("catdb_chain", 3)] {
                 let llm = llm_for(llm_name, args.seed);
-                let o = run_catdb(&p, &llm, beta, args.seed);
+                let (_o, trace) = run_catdb_traced(&p, &llm, beta, args.seed);
+                // The generation/error split comes from the trace: each
+                // LlmCall is attributed to the task of the PromptBuilt
+                // that preceded it.
+                let by_task = trace.llm_tokens_by_task();
+                let err_tokens: usize = by_task
+                    .iter()
+                    .filter(|(task, _)| task.as_str() == "error_fix")
+                    .map(|(_, (i, o))| i + o)
+                    .sum();
+                let (total_in, total_out) = trace.total_llm_tokens();
+                let total = total_in + total_out;
+                let gen_tokens = total - err_tokens;
                 rows.push(vec![
                     name.to_string(),
                     llm_name.to_string(),
                     system.to_string(),
-                    o.ledger.generation.total().to_string(),
-                    o.ledger.error_fixing.total().to_string(),
-                    o.ledger.total().total().to_string(),
+                    gen_tokens.to_string(),
+                    err_tokens.to_string(),
+                    total.to_string(),
                 ]);
                 records.push(json!({
                     "dataset": name, "llm": llm_name, "system": system,
-                    "generation_tokens": o.ledger.generation.total(),
-                    "error_tokens": o.ledger.error_fixing.total(),
-                    "total_tokens": o.ledger.total().total(),
+                    "generation_tokens": gen_tokens,
+                    "error_tokens": err_tokens,
+                    "total_tokens": total,
+                    "error_iterations": trace.error_iteration_count(),
                 }));
             }
             // CAAFE total for comparison (single ledger bucket).
             let llm = llm_for(llm_name, args.seed);
-            let b = run_caafe(
-                &p.raw_train,
-                &p.raw_test,
-                &p.target,
-                p.task,
-                &llm,
-                &CaafeConfig::default(),
-            );
+            let (b, trace) = traced(|| {
+                run_caafe(
+                    &p.raw_train,
+                    &p.raw_test,
+                    &p.target,
+                    p.task,
+                    &llm,
+                    &CaafeConfig::default(),
+                )
+            });
+            let (total_in, total_out) = trace.total_llm_tokens();
             rows.push(vec![
                 name.to_string(),
                 llm_name.to_string(),
                 "caafe".to_string(),
                 b.ledger.generation.total().to_string(),
                 b.ledger.error_fixing.total().to_string(),
-                b.ledger.total().total().to_string(),
+                (total_in + total_out).to_string(),
             ]);
             records.push(json!({
                 "dataset": name, "llm": llm_name, "system": "caafe",
                 "generation_tokens": b.ledger.generation.total(),
                 "error_tokens": b.ledger.error_fixing.total(),
-                "total_tokens": b.ledger.total().total(),
+                "total_tokens": total_in + total_out,
             }));
         }
     }

@@ -5,7 +5,7 @@
 //! a minute on small ones (here scaled with row count), and the corpus
 //! shows "a good mix of numerical, textual, and categorical features".
 
-use catdb_bench::{render_table, save_results, BenchArgs};
+use catdb_bench::{render_table, save_results, traced, BenchArgs};
 use catdb_data::{generate_all, PAPER_DATASETS};
 use catdb_profiler::{profile_table, FeatureType, ProfileOptions};
 use serde_json::json;
@@ -20,7 +20,15 @@ fn main() {
     let mut records = Vec::new();
     for g in &datasets {
         let flat = g.dataset.materialize().expect("materialize");
-        let profile = profile_table(g.spec.name, &flat, &ProfileOptions::default());
+        // Runtime numbers come from the trace, not the profiler's own
+        // clock: the span covers the whole call, the ProfileColumn events
+        // break it down per column.
+        let (profile, trace) =
+            traced(|| profile_table(g.spec.name, &flat, &ProfileOptions::default()));
+        let profile_seconds = trace
+            .last_span_seconds("profile_table")
+            .expect("profile_table span recorded");
+        let per_column_micros = trace.profile_micros_total();
         for (ft, n) in profile.feature_type_distribution() {
             *type_totals
                 .entry(match ft {
@@ -37,13 +45,20 @@ fn main() {
             g.spec.name.to_string(),
             flat.n_rows().to_string(),
             flat.n_cols().to_string(),
-            format!("{:.3}", profile.elapsed_seconds),
+            format!("{profile_seconds:.3}"),
+            format!("{:.3}", per_column_micros as f64 / 1e6),
         ]);
         records.push(json!({
             "dataset": g.spec.name,
             "rows": flat.n_rows(),
             "cols": flat.n_cols(),
-            "profile_seconds": profile.elapsed_seconds,
+            "profile_seconds": profile_seconds,
+            "per_column_micros": per_column_micros,
+            "columns_profiled": trace
+                .events_modulo_timing()
+                .iter()
+                .filter(|e| e.kind() == "profile_column")
+                .count(),
         }));
     }
     println!(

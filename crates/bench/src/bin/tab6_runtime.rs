@@ -8,7 +8,7 @@
 //! slowest because of their search loops.
 
 use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
-use catdb_bench::{llm_for, prepare, render_table, save_results, BenchArgs};
+use catdb_bench::{llm_for, prepare, render_table, save_results, traced, BenchArgs};
 use catdb_clean::{saga, SagaConfig};
 use catdb_core::{generate_pipeline, CatDbConfig};
 use catdb_data::generate;
@@ -33,8 +33,10 @@ fn main() {
         let cfg = CatDbConfig { seed: args.seed, ..Default::default() };
 
         // CatDB pipeline execution time (local work: validation + runs).
-        let orig = generate_pipeline(&p.raw_entry, &p.raw_train, &p.raw_test, &llm, &cfg);
-        let refined = generate_pipeline(&p.entry, &p.train, &p.test, &llm, &cfg);
+        let (orig, orig_trace) =
+            traced(|| generate_pipeline(&p.raw_entry, &p.raw_train, &p.raw_test, &llm, &cfg));
+        let (refined, refined_trace) =
+            traced(|| generate_pipeline(&p.entry, &p.train, &p.test, &llm, &cfg));
 
         let caafe = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default());
         let caafe_rf = run_caafe(
@@ -74,14 +76,19 @@ fn main() {
             }
         };
         // Paper Table 6 reports pipeline *execution* time, excluding
-        // generation: use the final successful run's elapsed time.
-        let exec_time = |o: &catdb_core::GenerationOutcome| {
-            o.evaluation.as_ref().map(|e| e.elapsed_seconds).unwrap_or(f64::NAN)
+        // generation: the last execute_pipeline span in the trace is the
+        // final (successful) full run.
+        let exec_time = |o: &catdb_core::GenerationOutcome, t: &catdb_trace::Trace| {
+            if o.success {
+                t.last_span_seconds("execute_pipeline").unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            }
         };
         rows.push(vec![
             name.to_string(),
-            secs(exec_time(&orig)),
-            secs(exec_time(&refined)),
+            secs(exec_time(&orig, &orig_trace)),
+            secs(exec_time(&refined, &refined_trace)),
             fail_cell(caafe.success, caafe.elapsed_seconds),
             fail_cell(caafe_rf.success, caafe_rf.elapsed_seconds),
             fail_cell(aide.success, aide.elapsed_seconds),
@@ -93,8 +100,9 @@ fn main() {
         ]);
         records.push(json!({
             "dataset": name,
-            "catdb_original": exec_time(&orig),
-            "catdb_refined": exec_time(&refined),
+            "catdb_original": exec_time(&orig, &orig_trace),
+            "catdb_refined": exec_time(&refined, &refined_trace),
+            "catdb_refined_op_micros": refined_trace.pipeline_micros_total(),
             "caafe_tabpfn": if caafe.success { Some(caafe.elapsed_seconds) } else { None },
             "caafe_rforest": if caafe_rf.success { Some(caafe_rf.elapsed_seconds) } else { None },
             "aide": if aide.success { Some(aide.elapsed_seconds) } else { None },

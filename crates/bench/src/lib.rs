@@ -94,6 +94,35 @@ pub fn run_catdb(p: &Prepared, llm: &dyn LanguageModel, beta: usize, seed: u64) 
     generate_pipeline(&p.entry, &p.train, &p.test, llm, &cfg)
 }
 
+/// Like [`run_catdb`], but under a fresh trace sink: returns the outcome
+/// together with the recorded [`catdb_trace::Trace`], from which the
+/// figure binaries read their token/cost/iteration/runtime numbers.
+pub fn run_catdb_traced(
+    p: &Prepared,
+    llm: &dyn LanguageModel,
+    beta: usize,
+    seed: u64,
+) -> (GenerationOutcome, catdb_trace::Trace) {
+    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+    let outcome = {
+        let _guard = catdb_trace::install(sink.clone());
+        run_catdb(p, llm, beta, seed)
+    };
+    (outcome, sink.snapshot())
+}
+
+/// Run any closure under a fresh trace sink, returning its value and the
+/// recorded trace (used to trace baseline systems, whose LLM calls are
+/// captured by the simulator's instrumentation).
+pub fn traced<T>(f: impl FnOnce() -> T) -> (T, catdb_trace::Trace) {
+    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+    let value = {
+        let _guard = catdb_trace::install(sink.clone());
+        f()
+    };
+    (value, sink.snapshot())
+}
+
 /// Command-line options shared by the experiment binaries.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {

@@ -39,6 +39,18 @@ pub enum RefineAction {
     Reclassified { from: String, to: String },
 }
 
+impl RefineAction {
+    /// Short label used in trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RefineAction::DedupValues { .. } => "dedup_values",
+            RefineAction::SplitComposite { .. } => "split_composite",
+            RefineAction::ExpandList { .. } => "expand_list",
+            RefineAction::Reclassified { .. } => "reclassified",
+        }
+    }
+}
+
 /// Per-column refinement record (drives Table 4).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ColumnRefinement {
@@ -114,11 +126,8 @@ fn composite_shape(samples: &[String]) -> Option<Vec<char>> {
 fn split_composite(table: &mut Table, name: &str, n_parts: usize) -> Vec<String> {
     let col = table.column(name).expect("caller verified").clone();
     let mut parts: Vec<Vec<Option<String>>> = vec![vec![None; col.len()]; n_parts];
-    for i in 0..col.len() {
-        if col.is_null_at(i) {
-            continue;
-        }
-        let v = col.get(i).render();
+    for (i, cell) in (0..col.len()).map(|i| (i, col.get(i))).filter(|(i, _)| !col.is_null_at(*i)) {
+        let v = cell.render();
         for (p, tok) in v.split_whitespace().take(n_parts).enumerate() {
             parts[p][i] = Some(tok.to_string());
         }
@@ -229,6 +238,7 @@ pub fn refine_dataset(
     llm: &dyn LanguageModel,
     opts: &RefineOptions,
 ) -> (Table, DataProfile, RefinementReport) {
+    let _span = catdb_trace::span("refine_dataset");
     let mut table = table.clone();
     let mut report = RefinementReport { refinements: Vec::new(), usage: TokenUsage::default(), llm_calls: 0 };
 
@@ -252,6 +262,10 @@ pub fn refine_dataset(
         }
         user.push_str("</SCHEMA>\n");
         let prompt = Prompt::new("Infer ML feature types from samples.", user);
+        catdb_trace::emit(catdb_trace::TraceEvent::PromptBuilt {
+            task: "feature_type_inference".to_string(),
+            tokens: prompt.token_len(),
+        });
         if let Ok(completion) = llm.complete(&prompt) {
             report.usage += completion.usage;
             report.llm_calls += 1;
@@ -338,6 +352,10 @@ pub fn refine_dataset(
                 batch.join("|").replace('"', "'")
             );
             let prompt = Prompt::new("Merge semantically equivalent categorical values.", user);
+            catdb_trace::emit(catdb_trace::TraceEvent::PromptBuilt {
+                task: "categorical_refinement".to_string(),
+                tokens: prompt.token_len(),
+            });
             let Ok(completion) = llm.complete(&prompt) else { continue };
             report.usage += completion.usage;
             report.llm_calls += 1;
@@ -358,6 +376,15 @@ pub fn refine_dataset(
                 distinct_after: after,
             });
         }
+    }
+
+    for r in &report.refinements {
+        catdb_trace::emit(catdb_trace::TraceEvent::RefineStep {
+            column: r.column.clone(),
+            action: r.action.label().to_string(),
+            distinct_before: r.distinct_before,
+            distinct_after: r.distinct_after,
+        });
     }
 
     let new_profile = profile_table(dataset_name, &table, &opts.profile_options);
@@ -400,10 +427,9 @@ mod tests {
     }
 
     fn run_refinement(table: &Table) -> (Table, DataProfile, RefinementReport) {
-        let mut popts = ProfileOptions::default();
         // The toy table is small; force sentence detection thresholds so the
         // profiler sees address/skills/experience as refinement candidates.
-        popts.categorical_max_distinct = 3;
+        let popts = ProfileOptions { categorical_max_distinct: 3, ..Default::default() };
         let profile = profile_table("salary", table, &popts);
         let llm = perfect_llm();
         let opts = RefineOptions { profile_options: popts, ..Default::default() };

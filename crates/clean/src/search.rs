@@ -172,7 +172,7 @@ pub fn learn2clean(
             }
             let Some(score) = proxy_score(&candidate, target, task, seed) else { continue };
             evaluated += 1;
-            if round_best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            if round_best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 round_best = Some((score, op, candidate));
             }
         }

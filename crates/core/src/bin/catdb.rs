@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N]\n  catdb profile --csv FILE"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n  catdb profile --csv FILE"
     );
     ExitCode::from(2)
 }
@@ -35,6 +35,7 @@ struct Args {
     alpha: Option<usize>,
     refine: bool,
     seed: u64,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -50,6 +51,7 @@ fn parse_args() -> Option<Args> {
         alpha: None,
         refine: true,
         seed: 42,
+        trace_out: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -81,6 +83,7 @@ fn parse_args() -> Option<Args> {
                     i += 1;
                 }
             }
+            "--trace-out" => args.trace_out = argv.get(i + 1).cloned().inspect(|_| i += 1),
             "--no-refine" => args.refine = false,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -166,6 +169,12 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let llm = SimLlm::new(profile, args.seed);
 
+    // With --trace-out, the whole run records into a trace sink whose
+    // JSON snapshot is written at exit (re-importable via
+    // catdb_trace::Trace::from_json_str).
+    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+    let _trace_guard = args.trace_out.as_ref().map(|_| catdb_trace::install(sink.clone()));
+
     let dataset = MultiTableDataset::single(name, table);
     let opts = CollectOptions { refine: args.refine, ..Default::default() };
     let (entry, prepared, report) = match catdb_collect(&dataset, target, task, &llm, &opts) {
@@ -195,6 +204,17 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     println!("{}", result.code);
+    if let Some(path) = &args.trace_out {
+        let trace = sink.snapshot();
+        match std::fs::write(path, trace.to_json_string()) {
+            Ok(()) => eprintln!(
+                "[trace: {} span(s), {} event(s) written to {path}]",
+                trace.spans.len(),
+                trace.events.len()
+            ),
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
     match &result.results.evaluation {
         Some(eval) => {
             eprintln!("train: {:?}", eval.train);

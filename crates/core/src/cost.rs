@@ -45,6 +45,54 @@ pub fn chain_cost(
         + feature_engineering.iter().map(|s| s.cost()).sum::<usize>()
 }
 
+// ---------------------------------------------------------------------------
+// Trace-derived measured cost (the observability counterpart of Eqs. 1–2).
+// ---------------------------------------------------------------------------
+
+/// Measured dollar/token usage aggregated from a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCost {
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+    pub usd: f64,
+    pub llm_calls: usize,
+}
+
+impl MeasuredCost {
+    pub fn total_tokens(&self) -> usize {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// Sum every `LlmCall` event in the trace into one measured total.
+pub fn measured_cost(trace: &catdb_trace::Trace) -> MeasuredCost {
+    let (input_tokens, output_tokens) = trace.total_llm_tokens();
+    MeasuredCost {
+        input_tokens,
+        output_tokens,
+        usd: trace.total_llm_cost(),
+        llm_calls: trace.llm_call_count(),
+    }
+}
+
+/// Re-price a trace's calls under a given model profile. Since the
+/// simulator stamps each `LlmCall` with its profile's own pricing at
+/// emission time, re-deriving the dollar total from the recorded token
+/// counts must reproduce `Trace::total_llm_cost` exactly when the same
+/// profile served all calls — the consistency the cost tests pin down.
+pub fn reprice(trace: &catdb_trace::Trace, profile: &catdb_llm::ModelProfile) -> f64 {
+    trace
+        .events_modulo_timing()
+        .iter()
+        .map(|e| match e {
+            catdb_trace::TraceEvent::LlmCall { prompt_tokens, completion_tokens, .. } => {
+                profile.cost_usd(*prompt_tokens, *completion_tokens)
+            }
+            _ => 0.0,
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +128,72 @@ mod tests {
         };
         let chain = chain_cost(&stage(120), &[stage(80)], &[stage(80)]);
         assert!(chain > single);
+    }
+
+    use catdb_llm::{LanguageModel, ModelProfile, Prompt, SimLlm};
+    use std::sync::Arc;
+
+    fn traced_sim_run(profile: ModelProfile) -> catdb_trace::Trace {
+        let sink = Arc::new(catdb_trace::TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let llm = SimLlm::new(profile, 9);
+        let prompt = Prompt::new(
+            "You are a data science assistant.",
+            "<TASK>pipeline_generation</TASK>\n\
+             <DATASET name=\"toy\" rows=\"300\" target=\"y\" task=\"binary_classification\" />\n\
+             <SCHEMA>\n\
+             col name=\"a\" type=\"float\" feature=\"numerical\" missing=\"0.1\"\n\
+             col name=\"y\" type=\"string\" feature=\"categorical\" distinct_count=\"2\"\n\
+             </SCHEMA>",
+        );
+        for _ in 0..4 {
+            llm.complete(&prompt).expect("completion");
+        }
+        sink.snapshot()
+    }
+
+    #[test]
+    fn trace_cost_matches_model_pricing_for_all_paper_models() {
+        for profile in ModelProfile::paper_models() {
+            let trace = traced_sim_run(profile.clone());
+            let measured = measured_cost(&trace);
+            assert_eq!(measured.llm_calls, 4, "{}", profile.name);
+            assert!(measured.input_tokens > 0 && measured.output_tokens > 0);
+
+            // The dollar total recorded in the trace equals re-pricing the
+            // recorded token counts with the profile's per-1k rates.
+            let expected = profile.cost_usd(measured.input_tokens, measured.output_tokens);
+            assert!(
+                (measured.usd - expected).abs() < 1e-12,
+                "{}: trace {:.8} vs pricing {:.8}",
+                profile.name,
+                measured.usd,
+                expected
+            );
+            assert!((reprice(&trace, &profile) - measured.usd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pricing_ordering_matches_the_real_apis() {
+        // Per-token, GPT-4o is the most expensive of the three and the
+        // Llama endpoint the cheapest; equal token usage must preserve
+        // that ordering in dollars.
+        let gpt = ModelProfile::gpt_4o().cost_usd(10_000, 2_000);
+        let gem = ModelProfile::gemini_1_5_pro().cost_usd(10_000, 2_000);
+        let llama = ModelProfile::llama3_1_70b().cost_usd(10_000, 2_000);
+        assert!(gpt > gem && gem > llama, "{gpt} {gem} {llama}");
+        // Spot-check the gpt-4o rate card: 2.5 $/1M input, 10 $/1M output.
+        assert!((ModelProfile::gpt_4o().cost_usd(1_000_000, 0) - 2.5).abs() < 1e-9);
+        assert!((ModelProfile::gpt_4o().cost_usd(0, 1_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repricing_with_another_profile_scales_by_rate_ratio() {
+        let trace = traced_sim_run(ModelProfile::gemini_1_5_pro());
+        let as_gpt = reprice(&trace, &ModelProfile::gpt_4o());
+        let as_gem = reprice(&trace, &ModelProfile::gemini_1_5_pro());
+        // gpt-4o charges exactly 2× gemini-1.5-pro on both token kinds.
+        assert!((as_gpt - 2.0 * as_gem).abs() < 1e-12, "{as_gpt} vs {as_gem}");
     }
 }

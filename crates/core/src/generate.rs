@@ -110,12 +110,10 @@ fn enforce_library_policy(source: &str, disallowed: &[String]) -> String {
             {
                 return None;
             }
-            if banned("text_features") {
-                if out.contains("method khot") || out.contains("method hash") {
-                    // Fall back to the preinstalled encoder.
-                    let idx = out.find("method").expect("encode line");
-                    out = format!("{}method onehot;", &out[..idx]);
-                }
+            if banned("text_features") && (out.contains("method khot") || out.contains("method hash")) {
+                // Fall back to the preinstalled encoder.
+                let idx = out.find("method").expect("encode line");
+                out = format!("{}method onehot;", &out[..idx]);
             }
             if banned("outlier_tools") && out.contains("method lof") {
                 out = "  outliers * method iqr factor 1.5;".to_string();
@@ -216,6 +214,10 @@ struct Session<'a> {
 
 impl Session<'_> {
     fn record(&mut self, error: &PipelineError, attempt: usize, fixed_by: FixedBy) {
+        catdb_trace::emit(catdb_trace::TraceEvent::ErrorIteration {
+            kind: error.kind.code().to_string(),
+            attempt,
+        });
         self.traces.push(ErrorTrace {
             dataset: self.entry.dataset_name.clone(),
             llm: self.llm.model_name().to_string(),
@@ -248,7 +250,7 @@ impl Session<'_> {
                 Err(LlmError::ContextLengthExceeded { .. }) => {
                     // "We reduce the number of features via the parameter α"
                     let current =
-                        opts.alpha.unwrap_or_else(|| self.entry.profile.columns.len());
+                        opts.alpha.unwrap_or(self.entry.profile.columns.len());
                     if current <= 4 {
                         return None;
                     }
@@ -328,6 +330,7 @@ pub fn generate_pipeline(
     llm: &dyn LanguageModel,
     cfg: &CatDbConfig,
 ) -> GenerationOutcome {
+    let _span = catdb_trace::span("generate_pipeline");
     let started = Instant::now();
     let mut session = Session {
         entry,

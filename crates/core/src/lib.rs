@@ -38,6 +38,7 @@ pub mod prompt;
 pub mod rules;
 
 pub use api::{catdb_collect, catdb_pipgen, CollectOptions, PipgenResult};
+pub use cost::{measured_cost, reprice, MeasuredCost};
 pub use generate::{generate_pipeline, handcraft_program, CatDbConfig, GenerationOutcome};
 pub use kb::{ErrorTrace, ErrorTraceDb, FixedBy, KbFix, KnowledgeBase};
 pub use prompt::{PromptBuilder, PromptOptions};

@@ -142,6 +142,15 @@ impl<'a> PromptBuilder<'a> {
         }
     }
 
+    /// Record the finished prompt in the active trace (if any).
+    fn built(task: &str, prompt: Prompt) -> Prompt {
+        catdb_trace::emit(catdb_trace::TraceEvent::PromptBuilt {
+            task: task.to_string(),
+            tokens: prompt.token_len(),
+        });
+        prompt
+    }
+
     /// β = 1: the single CatDB prompt (all metadata and rules together).
     pub fn single_prompt(&self) -> Prompt {
         let cols = self.select_columns();
@@ -153,7 +162,7 @@ impl<'a> PromptBuilder<'a> {
             self.schema_block(&cols),
             self.rules_block(&cols, &[]),
         );
-        Prompt::new(SYSTEM, user)
+        Self::built(LlmTaskKind::PipelineGeneration.tag(), Prompt::new(SYSTEM, user))
     }
 
     /// Column chunks for CatDB Chain (β > 1): ⌈|c| / β⌉ columns each.
@@ -194,7 +203,7 @@ impl<'a> PromptBuilder<'a> {
             }
             user.push_str("</CODE>\n");
         }
-        Prompt::new(SYSTEM, user)
+        Self::built(stage.tag(), Prompt::new(SYSTEM, user))
     }
 
     /// Figure 7's error-correction template: code + error, plus projected
@@ -227,9 +236,12 @@ impl<'a> PromptBuilder<'a> {
         user.push_str("</CODE>\n<ERROR>\n");
         user.push_str(error);
         user.push_str("\n</ERROR>\n");
-        Prompt::new(
-            "You fix broken pipeline programs. Reply ONLY with the corrected pipeline.",
-            user,
+        Self::built(
+            LlmTaskKind::ErrorFix.tag(),
+            Prompt::new(
+                "You fix broken pipeline programs. Reply ONLY with the corrected pipeline.",
+                user,
+            ),
         )
     }
 }

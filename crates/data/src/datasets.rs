@@ -115,7 +115,7 @@ fn generic_columns(prefix: &str, count: usize, missing_every: usize) -> Vec<Colu
         let signal = if i < count.div_ceil(3) { 0.75 - 0.4 * (i as f64 / count as f64) } else { 0.0 };
         let missing = if missing_every > 0 && i % missing_every == 2 { 0.08 } else { 0.0 };
         let plan = match i % 5 {
-            0 | 1 | 2 => numeric(&format!("{prefix}{i}"), signal, missing),
+            0..=2 => numeric(&format!("{prefix}{i}"), signal, missing),
             3 => ColumnPlan::new(
                 format!("{prefix}{i}"),
                 ColKind::IntCategorical { k: 3 + i % 6, signal },

@@ -90,7 +90,7 @@ fn dirty_variant(value: &str, rng: &mut StdRng) -> String {
         1 => value.to_uppercase(),
         2 => format!("{value} "),
         // Punctuation / separator variant ("class_7" vs "class 7").
-        _ => value.replace('_', " ").replace('-', " "),
+        _ => value.replace(['_', '-'], " "),
     }
 }
 
@@ -217,7 +217,7 @@ pub fn generate_table(bp: &Blueprint, n_rows: usize, seed: u64) -> Table {
                             return None;
                         }
                         let level = bucket(*z, 4);
-                        let spelling = rng.gen_range(0..3);
+                        let spelling: usize = rng.gen_range(0..3);
                         Some(SPELLINGS[level][spelling].to_string())
                     })
                     .collect();

@@ -44,6 +44,10 @@ pub struct ModelProfile {
     pub verbosity: f64,
     /// Simulated seconds per 1000 tokens processed (latency model).
     pub seconds_per_1k_tokens: f64,
+    /// API price in USD per 1000 prompt tokens.
+    pub usd_per_1k_input: f64,
+    /// API price in USD per 1000 completion tokens.
+    pub usd_per_1k_output: f64,
 }
 
 impl ModelProfile {
@@ -63,6 +67,8 @@ impl ModelProfile {
             quality: 0.92,
             verbosity: 1.3,
             seconds_per_1k_tokens: 2.4,
+            usd_per_1k_input: 0.0025,
+            usd_per_1k_output: 0.01,
         }
     }
 
@@ -83,6 +89,8 @@ impl ModelProfile {
             quality: 0.88,
             verbosity: 1.0,
             seconds_per_1k_tokens: 1.0,
+            usd_per_1k_input: 0.00125,
+            usd_per_1k_output: 0.005,
         }
     }
 
@@ -105,6 +113,8 @@ impl ModelProfile {
             quality: 0.78,
             verbosity: 0.9,
             seconds_per_1k_tokens: 0.8,
+            usd_per_1k_input: 0.00059,
+            usd_per_1k_output: 0.00079,
         }
     }
 
@@ -116,6 +126,12 @@ impl ModelProfile {
     /// Look up a paper model by name.
     pub fn by_name(name: &str) -> Option<ModelProfile> {
         Self::paper_models().into_iter().find(|m| m.name == name)
+    }
+
+    /// Dollar cost of a call at this model's API pricing.
+    pub fn cost_usd(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        input_tokens as f64 / 1000.0 * self.usd_per_1k_input
+            + output_tokens as f64 / 1000.0 * self.usd_per_1k_output
     }
 
     /// Tokens that receive full attention.

@@ -136,6 +136,12 @@ impl LanguageModel for SimLlm {
             ((estimate_tokens(&text) as f64) * self.profile.verbosity).round() as usize;
         let latency_seconds = (prompt_tokens + output_tokens) as f64 / 1000.0
             * self.profile.seconds_per_1k_tokens;
+        catdb_trace::emit(catdb_trace::TraceEvent::LlmCall {
+            model: self.profile.name.clone(),
+            prompt_tokens,
+            completion_tokens: output_tokens,
+            cost: self.profile.cost_usd(prompt_tokens, output_tokens),
+        });
         Ok(Completion {
             text,
             usage: TokenUsage::new(prompt_tokens, output_tokens),

@@ -14,7 +14,7 @@ pub fn estimate_tokens(text: &str) -> usize {
     if text.is_empty() {
         0
     } else {
-        (text.len() + 3) / 4
+        text.len().div_ceil(4)
     }
 }
 

@@ -228,9 +228,10 @@ impl Transform for FeatureHasher {
         let mut out = table.clone();
         out.drop_column(&self.column)?;
         let mut buckets = vec![vec![Some(0i64); col.len()]; self.n_buckets];
-        for i in 0..col.len() {
-            if let Some(v) = category_key(&col, i) {
-                buckets[self.bucket(&v)][i] = Some(1);
+        for (i, key) in (0..col.len()).map(|i| category_key(&col, i)).enumerate() {
+            if let Some(v) = key {
+                let b = self.bucket(&v);
+                buckets[b][i] = Some(1);
             }
         }
         for (b, vals) in buckets.into_iter().enumerate() {

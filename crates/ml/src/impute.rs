@@ -58,7 +58,7 @@ fn median(values: &mut [f64]) -> Option<f64> {
     }
     values.sort_by(|a, b| a.total_cmp(b));
     let mid = values.len() / 2;
-    Some(if values.len() % 2 == 0 { (values[mid - 1] + values[mid]) / 2.0 } else { values[mid] })
+    Some(if values.len().is_multiple_of(2) { (values[mid - 1] + values[mid]) / 2.0 } else { values[mid] })
 }
 
 fn most_frequent(col: &Column) -> Option<Value> {

@@ -107,7 +107,7 @@ impl Classifier for LogisticRegression {
             for g in &mut grads {
                 g.iter_mut().for_each(|v| *v = 0.0);
             }
-            for r in 0..n {
+            for (r, &yr) in y.iter().enumerate() {
                 let row = xs.row(r);
                 for (k, w) in weights.iter().enumerate() {
                     let mut z = w[d];
@@ -118,7 +118,7 @@ impl Classifier for LogisticRegression {
                 }
                 softmax_into(&mut probs);
                 for (k, g) in grads.iter_mut().enumerate() {
-                    let err = probs[k] - (y[r] == k) as usize as f64;
+                    let err = probs[k] - (yr == k) as usize as f64;
                     for (gi, xi) in g[..d].iter_mut().zip(row) {
                         *gi += err * xi;
                     }

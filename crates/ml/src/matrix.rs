@@ -75,13 +75,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -97,8 +97,8 @@ impl Matrix {
                 if xi == 0.0 {
                     continue;
                 }
-                for j in i..c {
-                    g.data[i * c + j] += xi * row[j];
+                for (j, xj) in row.iter().enumerate().skip(i) {
+                    g.data[i * c + j] += xi * xj;
                 }
             }
         }
@@ -115,9 +115,8 @@ impl Matrix {
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &w) in y.iter().enumerate() {
             let row = self.row(r);
-            let w = y[r];
             if w == 0.0 {
                 continue;
             }

@@ -109,8 +109,8 @@ impl Transform for TopKSelector {
             } else {
                 let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
                 let mut all = Vec::new();
-                for i in 0..col.len() {
-                    if let (false, Some(t)) = (col.is_null_at(i), target_numeric[i]) {
+                for (i, t) in target_numeric.iter().enumerate().take(col.len()) {
+                    if let (false, Some(t)) = (col.is_null_at(i), *t) {
                         groups.entry(col.get(i).render()).or_default().push(t);
                         all.push(t);
                     }

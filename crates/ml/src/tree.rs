@@ -169,7 +169,7 @@ impl Builder<'_> {
                 let child =
                     self.target.weighted_impurity(&left_rows) + self.target.weighted_impurity(&right_rows);
                 let gain = parent_impurity - child;
-                if best.as_ref().map_or(true, |b| gain > b.0) && gain > 1e-12 {
+                if best.as_ref().is_none_or(|b| gain > b.0) && gain > 1e-12 {
                     let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
                     best = Some((gain, f, threshold));
                 }

@@ -360,6 +360,26 @@ fn run_model(
 }
 
 /// Execute a program end to end.
+/// Operator name recorded in `PipelineOp` trace events.
+fn step_label(step: &Step) -> &'static str {
+    match step {
+        Step::Require { .. } => "require",
+        Step::Impute { .. } => "impute",
+        Step::Scale { .. } => "scale",
+        Step::Encode { .. } => "encode",
+        Step::Drop { .. } => "drop",
+        Step::DropHighMissing { .. } => "drop_high_missing",
+        Step::DropConstant => "drop_constant",
+        Step::Dedup { .. } => "dedup",
+        Step::DropNullRows => "drop_null_rows",
+        Step::Outliers { .. } => "outliers",
+        Step::Augment { .. } => "augment",
+        Step::Rebalance { .. } => "rebalance",
+        Step::SelectTopK { .. } => "select_top_k",
+        Step::Model(_) => "model",
+    }
+}
+
 pub fn execute(
     program: &Program,
     train: &Table,
@@ -367,6 +387,7 @@ pub fn execute(
     env: &Environment,
     cfg: &ExecutionConfig,
 ) -> Result<Evaluation, PipelineError> {
+    let _span = catdb_trace::span("execute_pipeline");
     let started = Instant::now();
     let target = program.model().map(|m| m.target.clone());
 
@@ -394,6 +415,8 @@ pub fn execute(
 
     for (idx, step) in program.steps.iter().enumerate() {
         let line = step_line(idx);
+        let step_started = Instant::now();
+        let rows_in = train.n_rows();
         match step {
             Step::Require { .. } => {}
             Step::Impute { column, strategy } => {
@@ -528,6 +551,12 @@ pub fn execute(
                 model_result = Some(run_model(spec, &train, &test, cfg, line)?);
             }
         }
+        catdb_trace::emit(catdb_trace::TraceEvent::PipelineOp {
+            op: step_label(step).to_string(),
+            rows_in,
+            rows_out: train.n_rows(),
+            micros: step_started.elapsed().as_micros() as u64,
+        });
         check_memory(&train, &test, cfg, step_line(idx))?;
     }
 

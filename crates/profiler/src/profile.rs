@@ -68,7 +68,7 @@ fn numeric_stats(col: &Column) -> Option<NumericStats> {
     let mean = vals.iter().sum::<f64>() / n;
     let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
     let mid = vals.len() / 2;
-    let median = if vals.len() % 2 == 0 { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] };
+    let median = if vals.len().is_multiple_of(2) { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] };
     Some(NumericStats { min: vals[0], max: *vals.last().expect("non-empty"), mean, median, std })
 }
 
@@ -143,10 +143,12 @@ struct PartialProfile {
     distinct: BTreeSet<String>,
     embedding: ColumnEmbedding,
     profile: ColumnProfile,
+    micros: u64,
 }
 
 /// Run Algorithm 1 over a table.
 pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataProfile {
+    let _span = catdb_trace::span("profile_table");
     let started = Instant::now();
     let n_rows = table.n_rows();
     let fields: Vec<(usize, String)> = table
@@ -178,6 +180,7 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
                 chunk
                     .iter()
                     .map(|(idx, name)| {
+                        let col_started = Instant::now();
                         let col = table.column_at(*idx);
                         let (distinct, top_value_ratio) = distinct_values(col);
                         let missing = col.null_count();
@@ -228,7 +231,13 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
                             samples,
                             statistics,
                         };
-                        PartialProfile { idx: *idx, distinct, embedding, profile }
+                        PartialProfile {
+                            idx: *idx,
+                            distinct,
+                            embedding,
+                            profile,
+                            micros: col_started.elapsed().as_micros() as u64,
+                        }
                     })
                     .collect::<Vec<_>>()
             });
@@ -244,6 +253,16 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
     .expect("profiling scope failed");
     let partials: Vec<PartialProfile> =
         partials.into_iter().map(|p| p.expect("all columns profiled")).collect();
+
+    // Emit after the parallel join, in column order, so the event stream is
+    // deterministic regardless of worker interleaving.
+    for p in &partials {
+        catdb_trace::emit(catdb_trace::TraceEvent::ProfileColumn {
+            column: p.profile.name.clone(),
+            feature_type: p.profile.feature_type.label().to_string(),
+            micros: p.micros,
+        });
+    }
 
     // Pairwise pass: similarities and inclusion dependencies from the
     // embeddings, correlations among numeric columns.

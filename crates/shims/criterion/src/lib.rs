@@ -1,0 +1,128 @@
+//! Offline shim for the subset of `criterion` this workspace's benches
+//! use. Runs each benchmark for a short fixed wall-clock budget and
+//! prints mean iteration time — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints (accepted, ignored — batches are per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// (iterations, total busy time) accumulated by `iter`.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { samples: Vec::new() }
+    }
+
+    /// Time a routine: warm up once, then sample until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        while started.elapsed() < budget || self.samples.len() < 5 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+
+    /// Time a routine over freshly set-up inputs.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        while started.elapsed() < budget || self.samples.len() < 5 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!("{name:<40} {:>12.3?} /iter  ({} samples)", mean, self.samples.len());
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("— group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("  {name}"));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! Offline shim for `crossbeam::thread::scope`, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! API differences from upstream, chosen to keep existing call sites
+//! compiling unchanged:
+//! - the closure passed to `spawn` receives a placeholder [`thread::ScopeArg`]
+//!   instead of a nested `&Scope` (every call site in this workspace writes
+//!   `|_|`, so nested spawning is not supported);
+//! - `scope` returns `Ok(..)` always; a panicking child surfaces through
+//!   its `join()` result exactly like upstream.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Placeholder for upstream's nested-`&Scope` spawn argument.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScopeArg;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(ScopeArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(ScopeArg)) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Always `Ok` — child panics surface via `join()`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,404 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim — implemented directly on `proc_macro::TokenStream` (no
+//! syn/quote, which are unavailable offline).
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, including `#[serde(skip)]` fields
+//!   (skipped on serialize, `Default::default()` on deserialize);
+//! - enums with unit, tuple, and struct variants, using upstream serde's
+//!   externally-tagged JSON representation:
+//!   `Unit` → `"Unit"`, `Tuple(a)` → `{"Tuple": a}`,
+//!   `Tuple(a, b)` → `{"Tuple": [a, b]}`, `Struct{f}` → `{"Struct": {"f": ...}}`.
+//!
+//! Generics and other serde attributes are intentionally unsupported and
+//! produce a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// `#[serde(skip)]` detection inside an attribute group's tokens.
+fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+    // Shape: [ serde ( skip ) ]
+    if let [TokenTree::Group(bracket)] = tokens {
+        let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+        if inner.len() == 2 {
+            if let (TokenTree::Ident(name), TokenTree::Group(args)) = (&inner[0], &inner[1]) {
+                if name.to_string() == "serde" {
+                    return args.stream().into_iter().any(|t| match t {
+                        TokenTree::Ident(i) => i.to_string() == "skip",
+                        _ => false,
+                    });
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so
+/// commas inside generic types don't split fields.
+fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parse `name: Type` fields from a brace group's tokens, honouring
+/// attributes and visibility modifiers.
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for field_tokens in split_top_level_commas(tokens) {
+        let mut skip = false;
+        let mut iter = field_tokens.into_iter().peekable();
+        // Leading attributes: `#` followed by a bracket group.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let mut attr_tokens = Vec::new();
+                    if let Some(group @ TokenTree::Group(_)) = iter.next() {
+                        attr_tokens.push(group);
+                    } else {
+                        return Err("malformed attribute".into());
+                    }
+                    if attr_is_serde_skip(&attr_tokens) {
+                        skip = true;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility: `pub` possibly followed by `(...)`.
+        if let Some(TokenTree::Ident(i)) = iter.peek() {
+            if i.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        // The rest is `: Type` — the type itself is not needed.
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for var_tokens in split_top_level_commas(tokens) {
+        let mut iter = var_tokens.into_iter().peekable();
+        // Skip doc comments / attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next(); // the bracket group
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match iter.next() {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_top_level_commas(g.stream().into_iter().collect()).len();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream().into_iter().collect())?)
+            }
+            // `= discriminant` — not supported for data enums here.
+            other => return Err(format!("unsupported variant shape: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            // Outer attributes and doc comments.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the serde shim derive"));
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` is not supported by the serde shim derive"))
+            }
+            Some(_) => continue, // `where` clauses etc. would land here
+            None => return Err(format!("`{name}` has no body")),
+        }
+    };
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(tokens)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(tokens)? }),
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "m.insert({:?}.to_string(), ::serde::Serialize::serialize(&self.{}));\n",
+                    f.name, f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vn:?}.to_string(), {payload});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "fm.insert({:?}.to_string(), ::serde::Serialize::serialize({}));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::field(v, {:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                        // Also accept `{"Unit": null}`.
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::deserialize(payload)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| ::serde::DeError::type_mismatch(\"array\", payload))?;\n\
+                                 return Ok({name}::{vn}({}));\n}}\n",
+                                gets.join(", ")
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{}: ::serde::field(payload, {:?})?,\n",
+                                    f.name, f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(tag) => {{\n\
+                 match tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 Err(::serde::DeError::new(format!(\"unknown {name} variant `{{tag}}`\")))\n}}\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                 Err(::serde::DeError::new(format!(\"unknown {name} variant `{{tag}}`\")))\n}}\n\
+                 other => Err(::serde::DeError::type_mismatch(\"enum\", other)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,46 @@
+//! Offline shim for the subset of `serde_json` this workspace uses — a
+//! thin façade over the vendored `serde` shim's value model.
+
+pub use serde::value::{parse_json, Map, Value};
+
+/// Error type (shared with the serde shim's `DeError`).
+pub type Error = serde::DeError;
+
+/// Serialize any `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_compact_string())
+}
+
+/// Human-readable two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_pretty_string())
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_json(text)?;
+    T::deserialize(&value)
+}
+
+/// Build a [`Value`] in place. Supports flat object/array literals whose
+/// values are Rust expressions (the nesting used in this workspace), plus
+/// bare expressions and `null`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(m)
+    }};
+    ($value:expr) => { $crate::to_value(&$value) };
+}

@@ -292,8 +292,7 @@ mod tests {
     #[test]
     fn late_type_contradiction_degrades_to_string() {
         // Inference window sees ints; a later row holds text.
-        let mut opts = CsvOptions::default();
-        opts.inference_rows = 2;
+        let opts = CsvOptions { inference_rows: 2, ..Default::default() };
         let csv = "x\n1\n2\nhello\n";
         let t = read_csv_str(csv, &opts).unwrap();
         assert_eq!(t.column("x").unwrap().dtype(), DataType::Str);
@@ -310,8 +309,7 @@ mod tests {
 
     #[test]
     fn headerless_files_get_synthetic_names() {
-        let mut opts = CsvOptions::default();
-        opts.has_header = false;
+        let opts = CsvOptions { has_header: false, ..Default::default() };
         let t = read_csv_str("1,2\n3,4\n", &opts).unwrap();
         assert_eq!(t.schema().names(), vec!["c0", "c1"]);
         assert_eq!(t.n_rows(), 2);
@@ -319,8 +317,7 @@ mod tests {
 
     #[test]
     fn custom_delimiter() {
-        let mut opts = CsvOptions::default();
-        opts.delimiter = b';';
+        let opts = CsvOptions { delimiter: b';', ..Default::default() };
         let t = read_csv_str("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(t.value(0, "b").unwrap(), Value::Int(2));
     }

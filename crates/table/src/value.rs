@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn total_ordering_is_consistent() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Null,
             Value::Int(2),

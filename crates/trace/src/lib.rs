@@ -1,0 +1,626 @@
+//! # catdb-trace — run-trace observability
+//!
+//! A zero-external-dependency (workspace-shim-only), deterministic
+//! span/event/counter recorder for CatDB runs. Every subsystem of the
+//! reproduction — profiler, catalog refinement, prompt construction, the
+//! LLM simulator, the generation loop, and the pipeline interpreter —
+//! reports what it did through a [`TraceSink`]; benches and the `catdb`
+//! binary read their figures back out of the resulting [`Trace`] instead
+//! of re-deriving them ad hoc.
+//!
+//! Design points:
+//!
+//! * **Typed events** ([`TraceEvent`]) — one variant per instrumented
+//!   quantity the paper's figures consume (per-column profiling time,
+//!   refinement actions, prompt sizes, LLM token/cost accounting, error
+//!   iterations, per-operator pipeline work).
+//! * **Hierarchical spans** with monotonic timing: microseconds since the
+//!   sink's epoch (`Instant`-based, never wall clock), parent links from
+//!   an explicit open-span stack.
+//! * **Thread-safe sink**: all state behind a `parking_lot` mutex, so a
+//!   single sink may be shared across worker threads.
+//! * **Deterministic event order**: instrumented call sites emit in a
+//!   fixed logical order (e.g. the profiler reports columns in schema
+//!   order *after* its parallel join), so two runs with the same seeds
+//!   produce identical event streams modulo the timing fields.
+//! * **JSON export/import** round-trips a [`Trace`] through the exact
+//!   value model used for `results/` files.
+//!
+//! Instrumented code does not thread a sink through every signature;
+//! instead a sink is [`install`]ed for the current thread (stack-style,
+//! re-entrant) and the free functions [`emit`], [`span`], and
+//! [`add_counter`] no-op when no sink is installed — tracing is zero-cost
+//! for callers that don't ask for it, and parallel tests cannot observe
+//! each other's events.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One typed observation from an instrumented subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Per-column metadata extraction finished (profiler, Algorithm 1).
+    ProfileColumn { column: String, feature_type: String, micros: u64 },
+    /// One catalog-refinement action was applied (Section 3.2 / Table 4).
+    RefineStep { column: String, action: String, distinct_before: usize, distinct_after: usize },
+    /// A prompt was rendered for submission (Algorithm 3 / Figure 7).
+    PromptBuilt { task: String, tokens: usize },
+    /// One LLM completion was served, with its token and dollar cost.
+    LlmCall { model: String, prompt_tokens: usize, completion_tokens: usize, cost: f64 },
+    /// One error-management repair attempt (Algorithm 4, Figure 7).
+    ErrorIteration { kind: String, attempt: usize },
+    /// One pipeline operator executed over the train table.
+    PipelineOp { op: String, rows_in: usize, rows_out: usize, micros: u64 },
+}
+
+impl TraceEvent {
+    /// Short label for summaries and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ProfileColumn { .. } => "profile_column",
+            TraceEvent::RefineStep { .. } => "refine_step",
+            TraceEvent::PromptBuilt { .. } => "prompt_built",
+            TraceEvent::LlmCall { .. } => "llm_call",
+            TraceEvent::ErrorIteration { .. } => "error_iteration",
+            TraceEvent::PipelineOp { .. } => "pipeline_op",
+        }
+    }
+}
+
+/// A recorded event with its position in the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// 0-based position in the sink's event stream.
+    pub seq: u64,
+    /// Innermost span open on the recording thread, if any.
+    pub span: Option<u64>,
+    /// Microseconds since the sink's epoch (monotonic).
+    pub at_micros: u64,
+    pub event: TraceEvent,
+}
+
+/// A recorded span. `end_micros` is `None` while (or if never) closed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub start_micros: u64,
+    pub end_micros: Option<u64>,
+}
+
+impl SpanRecord {
+    pub fn duration_micros(&self) -> Option<u64> {
+        self.end_micros.map(|e| e.saturating_sub(self.start_micros))
+    }
+}
+
+/// An immutable snapshot of everything a sink recorded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<EventRecord>,
+    pub counters: BTreeMap<String, f64>,
+}
+
+struct SinkState {
+    next_span: u64,
+    /// Open spans, innermost last (per sink, which in practice means per
+    /// installing thread — worker threads emit events, not spans).
+    stack: Vec<u64>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: BTreeMap<String, f64>,
+}
+
+/// Thread-safe recorder. Cheap to share (`Arc<TraceSink>`); all mutation
+/// goes through one short-lived `parking_lot` lock.
+pub struct TraceSink {
+    epoch: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    pub fn new() -> TraceSink {
+        TraceSink {
+            epoch: Instant::now(),
+            state: Mutex::new(SinkState {
+                next_span: 0,
+                stack: Vec::new(),
+                spans: Vec::new(),
+                events: Vec::new(),
+                counters: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record one event under the innermost open span.
+    pub fn emit(&self, event: TraceEvent) {
+        let at = self.now_micros();
+        let mut s = self.state.lock();
+        let seq = s.events.len() as u64;
+        let span = s.stack.last().copied();
+        s.events.push(EventRecord { seq, span, at_micros: at, event });
+    }
+
+    /// Open a span as a child of the innermost open span. Returns its id.
+    pub fn begin_span(&self, name: &str) -> u64 {
+        let at = self.now_micros();
+        let mut s = self.state.lock();
+        let id = s.next_span;
+        s.next_span += 1;
+        let parent = s.stack.last().copied();
+        s.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_micros: at,
+            end_micros: None,
+        });
+        s.stack.push(id);
+        id
+    }
+
+    /// Close a span by id. Tolerates out-of-order closes (the id is
+    /// removed wherever it sits in the stack) and double closes (no-op).
+    pub fn end_span(&self, id: u64) {
+        let at = self.now_micros();
+        let mut s = self.state.lock();
+        s.stack.retain(|&open| open != id);
+        if let Some(record) = s.spans.iter_mut().find(|r| r.id == id) {
+            if record.end_micros.is_none() {
+                record.end_micros = Some(at);
+            }
+        }
+    }
+
+    /// Accumulate a named counter.
+    pub fn add_counter(&self, name: &str, delta: f64) {
+        let mut s = self.state.lock();
+        *s.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let s = self.state.lock();
+        Trace { spans: s.spans.clone(), events: s.events.clone(), counters: s.counters.clone() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local installation.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<TraceSink>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Keeps a sink installed for the current thread; uninstalls on drop.
+pub struct InstallGuard {
+    _private: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Install `sink` as the current thread's recorder until the returned
+/// guard drops. Installation nests: an inner install shadows the outer
+/// one, which becomes current again afterwards.
+#[must_use = "the sink is uninstalled when the guard drops"]
+pub fn install(sink: Arc<TraceSink>) -> InstallGuard {
+    CURRENT.with(|c| c.borrow_mut().push(sink));
+    InstallGuard { _private: () }
+}
+
+/// The sink currently installed on this thread, if any.
+pub fn current() -> Option<Arc<TraceSink>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Emit an event to the current sink (no-op when none is installed).
+pub fn emit(event: TraceEvent) {
+    if let Some(sink) = current() {
+        sink.emit(event);
+    }
+}
+
+/// Accumulate a counter on the current sink (no-op when none installed).
+pub fn add_counter(name: &str, delta: f64) {
+    if let Some(sink) = current() {
+        sink.add_counter(name, delta);
+    }
+}
+
+/// RAII span on the current sink; ends when dropped. A no-op handle is
+/// returned when no sink is installed.
+pub struct SpanScope {
+    sink: Option<(Arc<TraceSink>, u64)>,
+}
+
+impl SpanScope {
+    /// The span id, when a sink is recording.
+    pub fn id(&self) -> Option<u64> {
+        self.sink.as_ref().map(|(_, id)| *id)
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        if let Some((sink, id)) = self.sink.take() {
+            sink.end_span(id);
+        }
+    }
+}
+
+/// Open a named span on the current sink (no-op when none installed).
+#[must_use = "the span ends when the returned scope drops"]
+pub fn span(name: &str) -> SpanScope {
+    match current() {
+        Some(sink) => {
+            let id = sink.begin_span(name);
+            SpanScope { sink: Some((sink, id)) }
+        }
+        None => SpanScope { sink: None },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace queries — the accessors benches and tests consume.
+// ---------------------------------------------------------------------------
+
+impl Trace {
+    /// Event payloads in stream order, with sequence/span/timing stripped:
+    /// the determinism-comparable view ("identical modulo timing").
+    pub fn events_modulo_timing(&self) -> Vec<TraceEvent> {
+        self.events.iter().map(|r| r.event.clone()).collect()
+    }
+
+    /// Total `(prompt, completion)` tokens over all [`TraceEvent::LlmCall`]s.
+    pub fn total_llm_tokens(&self) -> (usize, usize) {
+        let mut input = 0;
+        let mut output = 0;
+        for r in &self.events {
+            if let TraceEvent::LlmCall { prompt_tokens, completion_tokens, .. } = &r.event {
+                input += prompt_tokens;
+                output += completion_tokens;
+            }
+        }
+        (input, output)
+    }
+
+    /// Total simulated dollar cost over all LLM calls.
+    pub fn total_llm_cost(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::LlmCall { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of LLM calls recorded.
+    pub fn llm_call_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::LlmCall { .. })).count()
+    }
+
+    /// Number of error-management repair attempts recorded.
+    pub fn error_iteration_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ErrorIteration { .. }))
+            .count()
+    }
+
+    /// `(prompt, completion)` tokens per prompt task, attributing each
+    /// LLM call to the most recent [`TraceEvent::PromptBuilt`] before it
+    /// in the stream (prompt construction immediately precedes
+    /// submission at every instrumented call site). Calls with no prior
+    /// `PromptBuilt` are grouped under `"untagged"`.
+    pub fn llm_tokens_by_task(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut out: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        let mut last_task = "untagged".to_string();
+        for r in &self.events {
+            match &r.event {
+                TraceEvent::PromptBuilt { task, .. } => last_task = task.clone(),
+                TraceEvent::LlmCall { prompt_tokens, completion_tokens, .. } => {
+                    let slot = out.entry(last_task.clone()).or_insert((0, 0));
+                    slot.0 += prompt_tokens;
+                    slot.1 += completion_tokens;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Sum of per-column profiling extraction time, microseconds.
+    pub fn profile_micros_total(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::ProfileColumn { micros, .. } => Some(*micros),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sum of per-operator pipeline execution time, microseconds.
+    pub fn pipeline_micros_total(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::PipelineOp { micros, .. } => Some(*micros),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All spans with the given name, in creation order.
+    pub fn spans_named<'a>(&'a self, name: &str) -> Vec<&'a SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Duration in seconds of the *last* closed span with this name
+    /// (e.g. the final full-table `execute_pipeline` of a session).
+    pub fn last_span_seconds(&self, name: &str) -> Option<f64> {
+        self.spans
+            .iter()
+            .rev()
+            .filter(|s| s.name == name)
+            .find_map(|s| s.duration_micros())
+            .map(|micros| micros as f64 / 1e6)
+    }
+
+    /// Structural validation: parent links resolve to earlier spans,
+    /// closed spans end no earlier than they start, event sequence
+    /// numbers are consecutive, and event span references resolve.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                let Some(parent) = self.spans.iter().find(|c| c.id == p) else {
+                    return Err(format!("span {} has unknown parent {p}", s.id));
+                };
+                if parent.id >= s.id {
+                    return Err(format!("span {} parent {p} is not older", s.id));
+                }
+            }
+            if let Some(end) = s.end_micros {
+                if end < s.start_micros {
+                    return Err(format!("span {} ends before it starts", s.id));
+                }
+            }
+        }
+        for (i, r) in self.events.iter().enumerate() {
+            if r.seq != i as u64 {
+                return Err(format!("event {i} has sequence {}", r.seq));
+            }
+            if let Some(span) = r.span {
+                if !self.spans.iter().any(|s| s.id == span) {
+                    return Err(format!("event {i} references unknown span {span}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Export to the JSON value written under `results/`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self)
+    }
+
+    /// Export as a pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("trace values always render")
+    }
+
+    /// Re-import a previously exported trace.
+    pub fn from_json(value: &serde_json::Value) -> Result<Trace, serde_json::Error> {
+        Deserialize::deserialize(value)
+    }
+
+    /// Re-import from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Trace, serde_json::Error> {
+        Trace::from_json(&serde_json::from_str(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llm_event(n: usize) -> TraceEvent {
+        TraceEvent::LlmCall {
+            model: "gpt-4o".into(),
+            prompt_tokens: 100 * n,
+            completion_tokens: 10 * n,
+            cost: 0.001 * n as f64,
+        }
+    }
+
+    #[test]
+    fn events_record_sequence_and_current_span() {
+        let sink = TraceSink::new();
+        sink.emit(llm_event(1));
+        let outer = sink.begin_span("outer");
+        sink.emit(llm_event(2));
+        let inner = sink.begin_span("inner");
+        sink.emit(llm_event(3));
+        sink.end_span(inner);
+        sink.end_span(outer);
+        let t = sink.snapshot();
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.events[0].span, None);
+        assert_eq!(t.events[1].span, Some(outer));
+        assert_eq!(t.events[2].span, Some(inner));
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[1].parent, Some(outer));
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn span_timing_is_monotonic_and_closed() {
+        let sink = TraceSink::new();
+        let id = sink.begin_span("work");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.end_span(id);
+        let t = sink.snapshot();
+        let s = &t.spans[0];
+        assert!(s.end_micros.unwrap() >= s.start_micros);
+        assert!(s.duration_micros().unwrap() >= 1_000);
+    }
+
+    #[test]
+    fn double_and_out_of_order_end_are_tolerated() {
+        let sink = TraceSink::new();
+        let a = sink.begin_span("a");
+        let b = sink.begin_span("b");
+        sink.end_span(a); // out of order: a closed while b still open
+        sink.emit(llm_event(1));
+        sink.end_span(a); // double close: no-op
+        sink.end_span(b);
+        let t = sink.snapshot();
+        assert_eq!(t.events[0].span, Some(b));
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let sink = TraceSink::new();
+        sink.add_counter("tokens", 10.0);
+        sink.add_counter("tokens", 5.0);
+        sink.add_counter("cost", 0.25);
+        let t = sink.snapshot();
+        assert_eq!(t.counters["tokens"], 15.0);
+        assert_eq!(t.counters["cost"], 0.25);
+    }
+
+    #[test]
+    fn thread_local_install_nests_and_uninstalls() {
+        assert!(current().is_none());
+        let outer = Arc::new(TraceSink::new());
+        let guard = install(outer.clone());
+        emit(llm_event(1));
+        {
+            let inner = Arc::new(TraceSink::new());
+            let _inner_guard = install(inner.clone());
+            emit(llm_event(2));
+            assert_eq!(inner.snapshot().events.len(), 1);
+        }
+        emit(llm_event(3));
+        drop(guard);
+        emit(llm_event(4)); // no sink: dropped
+        assert!(current().is_none());
+        let t = outer.snapshot();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events_modulo_timing(), vec![llm_event(1), llm_event(3)]);
+    }
+
+    #[test]
+    fn span_scope_is_noop_without_sink() {
+        let scope = span("nothing");
+        assert!(scope.id().is_none());
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let sink = TraceSink::new();
+        let s = sink.begin_span("session");
+        sink.emit(TraceEvent::PromptBuilt { task: "pipeline_generation".into(), tokens: 321 });
+        sink.emit(llm_event(2));
+        sink.emit(TraceEvent::ErrorIteration { kind: "nan_in_features".into(), attempt: 1 });
+        sink.emit(TraceEvent::ProfileColumn {
+            column: "age".into(),
+            feature_type: "numerical".into(),
+            micros: 42,
+        });
+        sink.emit(TraceEvent::RefineStep {
+            column: "gender".into(),
+            action: "dedup_values".into(),
+            distinct_before: 4,
+            distinct_after: 2,
+        });
+        sink.emit(TraceEvent::PipelineOp {
+            op: "impute".into(),
+            rows_in: 100,
+            rows_out: 100,
+            micros: 7,
+        });
+        sink.add_counter("llm_cost_usd", 0.5);
+        sink.end_span(s);
+        let t = sink.snapshot();
+        let text = t.to_json_string();
+        let back = Trace::from_json_str(&text).unwrap();
+        assert_eq!(t, back);
+        back.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn token_and_cost_accessors_sum_llm_calls() {
+        let sink = TraceSink::new();
+        sink.emit(TraceEvent::PromptBuilt { task: "pipeline_generation".into(), tokens: 100 });
+        sink.emit(llm_event(1));
+        sink.emit(TraceEvent::PromptBuilt { task: "error_fix".into(), tokens: 50 });
+        sink.emit(llm_event(2));
+        let t = sink.snapshot();
+        assert_eq!(t.total_llm_tokens(), (300, 30));
+        assert!((t.total_llm_cost() - 0.003).abs() < 1e-12);
+        assert_eq!(t.llm_call_count(), 2);
+        let by_task = t.llm_tokens_by_task();
+        assert_eq!(by_task["pipeline_generation"], (100, 10));
+        assert_eq!(by_task["error_fix"], (200, 20));
+    }
+
+    #[test]
+    fn last_span_seconds_picks_latest_closed() {
+        let sink = TraceSink::new();
+        let a = sink.begin_span("execute_pipeline");
+        sink.end_span(a);
+        let b = sink.begin_span("execute_pipeline");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        sink.end_span(b);
+        let t = sink.snapshot();
+        assert_eq!(t.spans_named("execute_pipeline").len(), 2);
+        let last = t.last_span_seconds("execute_pipeline").unwrap();
+        assert!(last >= t.spans[0].duration_micros().unwrap() as f64 / 1e6);
+    }
+
+    #[test]
+    fn shared_sink_accepts_concurrent_events() {
+        let sink = Arc::new(TraceSink::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        sink.emit(llm_event(t * 100 + i));
+                        sink.add_counter("n", 1.0);
+                    }
+                });
+            }
+        });
+        let t = sink.snapshot();
+        assert_eq!(t.events.len(), 200);
+        assert_eq!(t.counters["n"], 200.0);
+        t.check_well_formed().unwrap();
+    }
+}

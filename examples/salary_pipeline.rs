@@ -31,17 +31,17 @@ fn salary_table(n: usize, seed: u64) -> Table {
     for _ in 0..n {
         let level = rng.gen_range(0..3usize); // latent seniority
         gender.push(genders[rng.gen_range(0..genders.len())].to_string());
-        address.push(format!("{} {}", 7000 + rng.gen_range(0..20) * 7, states[rng.gen_range(0..3)]));
+        address.push(format!("{} {}", 7000 + rng.gen_range(0..20) * 7, states[rng.gen_range(0..3usize)]));
         let k = 1 + rng.gen_range(0..3usize);
         let mut items: Vec<&str> = Vec::new();
         for _ in 0..k {
-            let s = skills_pool[(level + rng.gen_range(0..2)) % skills_pool.len()];
+            let s = skills_pool[(level + rng.gen_range(0..2usize)) % skills_pool.len()];
             if !items.contains(&s) {
                 items.push(s);
             }
         }
         skills.push(items.join(", "));
-        experience.push(exp[(level * 2 + rng.gen_range(0..2)) % exp.len()].to_string());
+        experience.push(exp[(level * 2 + rng.gen_range(0..2usize)) % exp.len()].to_string());
         salary.push(60_000.0 + 20_000.0 * level as f64 + rng.gen_range(-5_000.0..5_000.0));
     }
     Table::from_columns(vec![

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass before a change lands.
+# Usage: scripts/check.sh (from the repo root or anywhere inside it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -100,8 +100,7 @@ fn every_paper_dataset_survives_generation() {
         let copts = CollectOptions { refine: true, ..Default::default() };
         let (entry, prepared, _) =
             catdb_collect(&g.dataset, &g.target, g.task, &llm, &copts).unwrap();
-        let mut cfg = CatDbConfig::default();
-        cfg.validation_rows = 100;
+        let cfg = CatDbConfig { validation_rows: 100, ..Default::default() };
         let result = catdb_pipgen(&entry, &prepared, &llm, &cfg).unwrap();
         assert!(result.results.success, "{} failed: {:?}", g.spec.name, result.results.traces);
     }
