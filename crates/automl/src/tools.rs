@@ -12,9 +12,9 @@
 use crate::featurize::BasicFeaturizer;
 use catdb_ml::{
     metrics, BoostConfig, Classifier, ClassifierModel, ForestConfig, GaussianNb,
-    GradientBoostingClassifier, GradientBoostingRegressor, KnnClassifier, KnnConfig,
-    KnnRegressor, LogisticRegression, Matrix, RandomForestClassifier, RandomForestRegressor,
-    Regressor, RegressorModel, RidgeRegression, TaskKind, TreeConfig,
+    GradientBoostingClassifier, GradientBoostingRegressor, KnnClassifier, KnnConfig, KnnRegressor,
+    LogisticRegression, Matrix, RandomForestClassifier, RandomForestRegressor, Regressor,
+    RegressorModel, RidgeRegression, TaskKind, TreeConfig,
 };
 use catdb_table::Table;
 use std::time::Instant;
@@ -158,7 +158,10 @@ impl AutoMlOutcome {
     }
 }
 
-fn classifier_candidates(strategy: SearchStrategy, seed: u64) -> Vec<(String, Box<dyn Classifier>)> {
+fn classifier_candidates(
+    strategy: SearchStrategy,
+    seed: u64,
+) -> Vec<(String, Box<dyn Classifier>)> {
     let rf = |trees: usize, depth: usize| -> Box<dyn Classifier> {
         Box::new(RandomForestClassifier {
             config: ForestConfig { n_trees: trees, max_depth: depth, seed, ..Default::default() },
@@ -175,9 +178,7 @@ fn classifier_candidates(strategy: SearchStrategy, seed: u64) -> Vec<(String, Bo
             config: TreeConfig { max_depth: 8, ..Default::default() },
         })
     };
-    let knn = || -> Box<dyn Classifier> {
-        Box::new(KnnClassifier { config: KnnConfig { k: 7 } })
-    };
+    let knn = || -> Box<dyn Classifier> { Box::new(KnnClassifier { config: KnnConfig { k: 7 } }) };
     let nb = || -> Box<dyn Classifier> { Box::new(GaussianNb) };
 
     match strategy {
@@ -219,20 +220,28 @@ fn regressor_candidates(strategy: SearchStrategy, seed: u64) -> Vec<(String, Box
         })
     };
     let gb = || -> Box<dyn Regressor> {
-        Box::new(GradientBoostingRegressor {
-            config: BoostConfig { seed, ..Default::default() },
-        })
+        Box::new(GradientBoostingRegressor { config: BoostConfig { seed, ..Default::default() } })
     };
     let ridge = || -> Box<dyn Regressor> { Box::new(RidgeRegression::default()) };
     let knn = || -> Box<dyn Regressor> { Box::new(KnnRegressor { config: KnnConfig { k: 7 } }) };
     match strategy {
         SearchStrategy::CostFrugal => {
-            vec![("ridge".into(), ridge()), ("rf_20".into(), rf(20)), ("gb".into(), gb()), ("rf_60".into(), rf(60))]
+            vec![
+                ("ridge".into(), ridge()),
+                ("rf_20".into(), rf(20)),
+                ("gb".into(), gb()),
+                ("rf_60".into(), rf(60)),
+            ]
         }
         SearchStrategy::Stacking => {
             vec![("rf_60".into(), rf(60)), ("gb".into(), gb()), ("ridge".into(), ridge())]
         }
-        _ => vec![("rf_60".into(), rf(60)), ("gb".into(), gb()), ("ridge".into(), ridge()), ("knn7".into(), knn())],
+        _ => vec![
+            ("rf_60".into(), rf(60)),
+            ("gb".into(), gb()),
+            ("ridge".into(), ridge()),
+            ("knn7".into(), knn()),
+        ],
     }
 }
 
@@ -501,7 +510,9 @@ mod tests {
             .collect();
         cols.push((
             "y".to_string(),
-            Column::from_strings((0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>()),
+            Column::from_strings(
+                (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+            ),
         ));
         let t = Table::from_columns(cols).unwrap();
         let (train, test) = t.train_test_split(0.7, 1).unwrap();
@@ -543,14 +554,18 @@ mod tests {
         let n = 300;
         let x: Vec<f64> = (0..n).map(|i| (i % 37) as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 5.0).collect();
-        let t = Table::from_columns(vec![
-            ("x", Column::from_f64(x)),
-            ("y", Column::from_f64(y)),
-        ])
-        .unwrap();
+        let t = Table::from_columns(vec![("x", Column::from_f64(x)), ("y", Column::from_f64(y))])
+            .unwrap();
         let (train, test) = t.train_test_split(0.7, 1).unwrap();
         for tool in [ToolProfile::flaml(), ToolProfile::autogluon(), ToolProfile::auto_sklearn()] {
-            let out = run_automl(&tool, &train, &test, "y", TaskKind::Regression, &AutoMlConfig::default());
+            let out = run_automl(
+                &tool,
+                &train,
+                &test,
+                "y",
+                TaskKind::Regression,
+                &AutoMlConfig::default(),
+            );
             match out {
                 AutoMlOutcome::Success { test_score, .. } => {
                     assert!(test_score > 0.9, "{}: {test_score}", tool.name)

@@ -113,11 +113,9 @@ mod tests {
         let n = 400;
         let x: Vec<f64> = (0..n).map(|i| (i % 40) as f64).collect();
         let y: Vec<&str> = (0..n).map(|i| if (i % 40) < 20 { "n" } else { "p" }).collect();
-        let t = Table::from_columns(vec![
-            ("x", Column::from_f64(x)),
-            ("y", Column::from_strings(y)),
-        ])
-        .unwrap();
+        let t =
+            Table::from_columns(vec![("x", Column::from_f64(x)), ("y", Column::from_strings(y))])
+                .unwrap();
         t.train_test_split(0.7, 1).unwrap()
     }
 

@@ -116,10 +116,7 @@ fn score_model(
     let fitted = clf.fit(x_train, y_train, n_classes).map_err(|e| e.to_string())?;
     let proba = fitted.predict_proba(x_eval).map_err(|e| e.to_string())?;
     let pred: Vec<usize> = proba.iter().map(|p| catdb_ml::argmax(p)).collect();
-    Ok((
-        metrics::auc_macro_ovr(y_eval, &proba, n_classes),
-        metrics::accuracy(y_eval, &pred),
-    ))
+    Ok((metrics::auc_macro_ovr(y_eval, &proba, n_classes), metrics::accuracy(y_eval, &pred)))
 }
 
 /// Run CAAFE end to end.
@@ -200,7 +197,8 @@ pub fn run_caafe(
         let mut applied = false;
         let mut failed = false;
         for step in &program.steps {
-            let fe = matches!(step, Step::Encode { .. } | Step::Scale { .. } | Step::SelectTopK { .. });
+            let fe =
+                matches!(step, Step::Encode { .. } | Step::Scale { .. } | Step::SelectTopK { .. });
             if !fe {
                 continue;
             }
@@ -251,7 +249,9 @@ fn apply_fe_step(
     train: &Table,
     test: &Table,
 ) -> Option<(Table, Table)> {
-    use catdb_ml::{FeatureHasher, KHotEncoder, OneHotEncoder, ScaleMethod as SM, Scaler, TopKSelector};
+    use catdb_ml::{
+        FeatureHasher, KHotEncoder, OneHotEncoder, ScaleMethod as SM, Scaler, TopKSelector,
+    };
     let step = program.steps.first()?;
     let apply = |t: &mut dyn Transform, train: &Table, test: &Table| -> Option<(Table, Table)> {
         let tr = t.fit_transform(train).ok()?;
@@ -387,7 +387,8 @@ mod tests {
     fn caafe_declines_regression() {
         let (train, test) = dataset(200);
         let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 1);
-        let out = run_caafe(&train, &test, "x", TaskKind::Regression, &llm, &CaafeConfig::default());
+        let out =
+            run_caafe(&train, &test, "x", TaskKind::Regression, &llm, &CaafeConfig::default());
         assert!(!out.success);
         assert_eq!(out.failure.as_deref(), Some("doesn't support"));
     }

@@ -61,16 +61,11 @@ fn bench_prompt_construction(c: &mut Criterion) {
         b.iter(|| black_box(builder.single_prompt()))
     });
     group.bench_function("chain_478cols_beta4", |b| {
-        let builder =
-            PromptBuilder::new(&entry, PromptOptions { beta: 4, ..Default::default() });
+        let builder = PromptBuilder::new(&entry, PromptOptions { beta: 4, ..Default::default() });
         b.iter(|| {
             let chunks = builder.chain_chunks();
             for chunk in &chunks {
-                black_box(builder.stage_prompt(
-                    catdb_llm::LlmTaskKind::Preprocessing,
-                    chunk,
-                    None,
-                ));
+                black_box(builder.stage_prompt(catdb_llm::LlmTaskKind::Preprocessing, chunk, None));
             }
         })
     });
@@ -101,19 +96,16 @@ fn bench_parse_execute(c: &mut Criterion) {
 fn bench_models(c: &mut Criterion) {
     let n = 1000;
     let d = 20;
-    let rows: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| ((i * (j + 3)) % 97) as f64 / 97.0).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..d).map(|j| ((i * (j + 3)) % 97) as f64 / 97.0).collect()).collect();
     let x = Matrix::from_rows(&rows);
     let y: Vec<usize> = (0..n).map(|i| ((i * 7) % 97 > 48) as usize).collect();
     let mut group = c.benchmark_group("models");
     group.sample_size(10);
     group.bench_function("random_forest_20trees_1000x20", |b| {
         b.iter_batched(
-            || {
-                RandomForestClassifier {
-                    config: ForestConfig { n_trees: 20, ..Default::default() },
-                }
+            || RandomForestClassifier {
+                config: ForestConfig { n_trees: 20, ..Default::default() },
             },
             |clf| clf.fit(black_box(&x), &y, 2).unwrap(),
             BatchSize::SmallInput,

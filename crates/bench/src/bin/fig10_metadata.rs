@@ -46,7 +46,11 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!(
         "{}",
-        render_table("Figure 10(a,b): Metadata Combinations #1-#11 (test score %)", &header_refs, &combo_rows)
+        render_table(
+            "Figure 10(a,b): Metadata Combinations #1-#11 (test score %)",
+            &header_refs,
+            &combo_rows
+        )
     );
 
     // --- (c): top-K sweep on the widest dataset (KDD98, 478 columns) ---
@@ -54,8 +58,7 @@ fn main() {
     let llm = llm_for("gemini-1.5-pro", args.seed);
     let p = prepare(&g, true, &llm, args.seed);
     let mut topk_rows = Vec::new();
-    let sweeps: &[Option<usize>] =
-        &[Some(20), Some(60), Some(120), Some(260), Some(400), None];
+    let sweeps: &[Option<usize>] = &[Some(20), Some(60), Some(120), Some(260), Some(400), None];
     for alpha in sweeps {
         let cfg = CatDbConfig {
             prompt: PromptOptions { alpha: *alpha, ..Default::default() },

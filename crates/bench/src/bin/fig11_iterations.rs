@@ -7,8 +7,13 @@
 //! variants deliver comparable-or-better AUC with somewhat higher
 //! variance.
 
-use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
-use catdb_bench::{llm_for, paper_llms, pct, prepare, render_table, run_catdb, save_results, test_score, traced, BenchArgs};
+use catdb_baselines::{
+    run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel,
+};
+use catdb_bench::{
+    llm_for, paper_llms, pct, prepare, render_table, run_catdb, save_results, test_score, traced,
+    BenchArgs,
+};
 use catdb_data::generate;
 use serde_json::json;
 
@@ -70,7 +75,11 @@ fn main() {
                     "caafe_rforest",
                     Box::new(|seed| {
                         let llm = llm_for(llm_name, seed);
-                        let cfg = CaafeConfig { model: CaafeModel::RandomForest, seed, ..Default::default() };
+                        let cfg = CaafeConfig {
+                            model: CaafeModel::RandomForest,
+                            seed,
+                            ..Default::default()
+                        };
                         traced(|| {
                             run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &cfg)
                                 .test_score
@@ -136,7 +145,16 @@ fn main() {
         "{}",
         render_table(
             &format!("Figure 11: AUC over {iterations} iterations"),
-            &["dataset", "llm", "system", "mean AUC %", "std %", "failures", "err iters", "llm calls"],
+            &[
+                "dataset",
+                "llm",
+                "system",
+                "mean AUC %",
+                "std %",
+                "failures",
+                "err iters",
+                "llm calls"
+            ],
             &rows,
         )
     );

@@ -7,7 +7,9 @@
 //! pipeline runtime is the smallest.
 
 use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig};
-use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, traced, BenchArgs};
+use catdb_bench::{
+    llm_for, paper_llms, prepare, render_table, run_catdb, save_results, traced, BenchArgs,
+};
 use catdb_data::generate;
 use serde_json::json;
 
@@ -79,13 +81,40 @@ fn main() {
                 // Baselines are traced through the simulator's LlmCall
                 // instrumentation — no baseline-side changes needed.
                 let llm = llm_for(llm_name, seed);
-                let (b, t) = traced(|| run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig { seed, ..Default::default() }));
+                let (b, t) = traced(|| {
+                    run_caafe(
+                        &p.raw_train,
+                        &p.raw_test,
+                        &p.target,
+                        p.task,
+                        &llm,
+                        &CaafeConfig { seed, ..Default::default() },
+                    )
+                });
                 accs[2].1.add(&t, b.llm_seconds, b.elapsed_seconds);
                 let llm = llm_for(llm_name, seed);
-                let (b, t) = traced(|| run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig { seed, ..Default::default() }));
+                let (b, t) = traced(|| {
+                    run_aide(
+                        &p.raw_train,
+                        &p.raw_test,
+                        &p.target,
+                        p.task,
+                        &llm,
+                        &AideConfig { seed, ..Default::default() },
+                    )
+                });
                 accs[3].1.add(&t, b.llm_seconds, b.elapsed_seconds);
                 let llm = llm_for(llm_name, seed);
-                let (b, t) = traced(|| run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig { seed, ..Default::default() }));
+                let (b, t) = traced(|| {
+                    run_autogen(
+                        &p.raw_train,
+                        &p.raw_test,
+                        &p.target,
+                        p.task,
+                        &llm,
+                        &AutoGenConfig { seed, ..Default::default() },
+                    )
+                });
                 accs[4].1.add(&t, b.llm_seconds, b.elapsed_seconds);
             }
             for (system, acc) in &accs {

@@ -7,7 +7,9 @@
 //! profile and for regression / multi-table datasets.
 
 use catdb_baselines::{run_caafe, CaafeConfig};
-use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb_traced, save_results, traced, BenchArgs};
+use catdb_bench::{
+    llm_for, paper_llms, prepare, render_table, run_catdb_traced, save_results, traced, BenchArgs,
+};
 use catdb_data::generate;
 use serde_json::json;
 

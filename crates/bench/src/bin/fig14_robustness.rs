@@ -1,25 +1,34 @@
-//! Figure 14 — end-to-end robustness study: inject outliers, missing
-//! values, and mixed corruptions (0–5 %) into Utility (regression) and
-//! Volkert (classification) and compare CatDB against the AutoML tools
-//! and CAAFE.
+//! Figure 14 — end-to-end robustness study, two axes:
 //!
+//! **14a (data corruption):** inject outliers, missing values, and mixed
+//! corruptions (0–5 %) into Utility (regression) and Volkert
+//! (classification) and compare CatDB against the AutoML tools and CAAFE.
 //! Paper shapes: CatDB holds its quality as corruption grows; AutoML
 //! tools deteriorate beyond ~1 % outliers; missing values in regression
 //! are handled by several tools; mixed errors hurt AutoML most.
+//!
+//! **14b (LLM transport faults):** sweep the injected transport fault
+//! rate and measure, from traces, how the resilient client holds the
+//! success rate and what the retries cost (wasted-spend overhead,
+//! degradations to cheaper models).
+//!
+//! `--smoke` runs only the 14b sweep on a tiny dataset with fully
+//! deterministic stdout — the CI determinism gate runs it twice and
+//! diffs the output.
 
 use catdb_automl::{run_automl, AutoMlConfig, AutoMlOutcome, ToolProfile};
 use catdb_baselines::{run_caafe, CaafeConfig, CaafeModel};
-use catdb_bench::{llm_for, pct, render_table, save_results, BenchArgs};
+use catdb_bench::{llm_for, pct, render_table, resilient_llm_for, save_results, BenchArgs};
 use catdb_catalog::CatalogEntry;
-use catdb_core::{generate_pipeline, CatDbConfig};
+use catdb_core::{generate_pipeline, measured_cost, CatDbConfig};
 use catdb_data::{corrupt, generate, Corruption};
 use catdb_profiler::{profile_table, ProfileOptions};
 use serde_json::json;
 
 const RATIOS: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
+const FAULT_RATES: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
 
-fn main() {
-    let args = BenchArgs::parse();
+fn corruption_study(args: &BenchArgs) -> (Vec<Vec<String>>, Vec<serde_json::Value>) {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for name in ["utility", "volkert"] {
@@ -90,13 +99,136 @@ fn main() {
             }
         }
     }
+    (rows, records)
+}
+
+/// The 14b sweep: success-rate and cost-overhead curves over the injected
+/// transport fault rate, everything sourced from traces.
+fn fault_sweep(args: &BenchArgs) -> (Vec<Vec<String>>, Vec<serde_json::Value>) {
+    let datasets: &[&str] = if args.smoke { &["diabetes"] } else { &["utility", "volkert"] };
+    let rates: &[f64] = if args.smoke { &[0.0, 0.3] } else { &FAULT_RATES };
+    let n_seeds: u64 = 3;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for name in datasets {
+        let g = generate(name, &args.gen_options()).expect("known dataset");
+        for &rate in rates {
+            let mut successes = 0u64;
+            let mut scores = Vec::new();
+            let mut llm_calls = 0usize;
+            let mut retries = 0usize;
+            let mut degradations = 0usize;
+            let mut circuit_opens = 0usize;
+            let mut usd_total = 0.0;
+            let mut retry_usd = 0.0;
+            for i in 0..n_seeds {
+                let seed = args.seed + 97 * i;
+                let llm = resilient_llm_for(
+                    "gemini-1.5-pro",
+                    seed,
+                    rate,
+                    args.max_retries,
+                    args.llm_timeout,
+                );
+                let cfg = CatDbConfig { seed, ..Default::default() };
+                // The whole session — catalog refinement and generation —
+                // rides the resilient transport, so the sweep sees the
+                // call volume a production run would.
+                let (outcome, trace) = catdb_bench::traced(|| {
+                    let p = catdb_bench::prepare(&g, true, &llm, seed);
+                    generate_pipeline(&p.entry, &p.train, &p.test, &llm, &cfg)
+                });
+                if outcome.success {
+                    successes += 1;
+                }
+                if let Some(e) = &outcome.evaluation {
+                    scores.push(e.test.headline());
+                }
+                let measured = measured_cost(&trace);
+                llm_calls += measured.llm_calls;
+                retries += measured.retries;
+                degradations += trace.degraded_count();
+                circuit_opens += trace.circuit_open_count();
+                usd_total += measured.usd;
+                retry_usd += measured.retry_usd;
+            }
+            let success_rate = successes as f64 / n_seeds as f64;
+            let mean_score = if scores.is_empty() {
+                f64::NAN
+            } else {
+                scores.iter().sum::<f64>() / scores.len() as f64
+            };
+            let overhead = if usd_total > 0.0 { retry_usd / usd_total } else { 0.0 };
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.0}%", rate * 100.0),
+                format!("{:.0}%", success_rate * 100.0),
+                pct(mean_score),
+                llm_calls.to_string(),
+                retries.to_string(),
+                circuit_opens.to_string(),
+                degradations.to_string(),
+                format!("{:.1}%", overhead * 100.0),
+            ]);
+            records.push(json!({
+                "dataset": name,
+                "fault_rate": rate,
+                "success_rate": success_rate,
+                "llm_calls": llm_calls,
+                "mean_score": if mean_score.is_nan() { None } else { Some(mean_score) },
+                "retries": retries,
+                "circuit_opens": circuit_opens,
+                "degradations": degradations,
+                "retry_cost_overhead": overhead,
+            }));
+        }
+    }
+    (rows, records)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut results = serde_json::Map::new();
+    if !args.smoke {
+        let (rows, records) = corruption_study(&args);
+        println!(
+            "{}",
+            render_table(
+                "Figure 14a: Robustness to injected corruption (test score %)",
+                &[
+                    "dataset",
+                    "corruption",
+                    "ratio",
+                    "catdb",
+                    "flaml",
+                    "autogluon",
+                    "h2o",
+                    "caafe_rf"
+                ],
+                &rows,
+            )
+        );
+        results.insert("records".into(), json!(records));
+    }
+    let (fault_rows, fault_records) = fault_sweep(&args);
     println!(
         "{}",
         render_table(
-            "Figure 14: Robustness to injected corruption (test score %)",
-            &["dataset", "corruption", "ratio", "catdb", "flaml", "autogluon", "h2o", "caafe_rf"],
-            &rows,
+            "Figure 14b: Resilience to LLM transport faults (per fault rate)",
+            &[
+                "dataset",
+                "fault_rate",
+                "success",
+                "score",
+                "llm_calls",
+                "retries",
+                "circuit_opens",
+                "degradations",
+                "retry_cost_overhead",
+            ],
+            &fault_rows,
         )
     );
-    save_results("fig14_robustness", &json!({ "records": records }));
+    results.insert("fault_sweep".into(), json!(fault_records));
+    save_results("fig14_robustness", &serde_json::Value::Object(results));
 }

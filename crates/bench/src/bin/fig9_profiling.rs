@@ -25,9 +25,8 @@ fn main() {
         // break it down per column.
         let (profile, trace) =
             traced(|| profile_table(g.spec.name, &flat, &ProfileOptions::default()));
-        let profile_seconds = trace
-            .last_span_seconds("profile_table")
-            .expect("profile_table span recorded");
+        let profile_seconds =
+            trace.last_span_seconds("profile_table").expect("profile_table span recorded");
         let per_column_micros = trace.profile_micros_total();
         for (ft, n) in profile.feature_type_distribution() {
             *type_totals

@@ -103,10 +103,7 @@ fn main() {
                 successes += 1;
             }
         }
-        ablation_rows.push(vec![
-            label.to_string(),
-            format!("{successes}/{runs}"),
-        ]);
+        ablation_rows.push(vec![label.to_string(), format!("{successes}/{runs}")]);
     }
     println!(
         "{}",

@@ -8,7 +8,9 @@
 //! cleaning trail on those datasets.
 
 use catdb_automl::{run_automl, AutoMlConfig, AutoMlOutcome, ToolProfile};
-use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
+use catdb_baselines::{
+    run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel,
+};
 use catdb_bench::{llm_for, prepare, render_table, save_results, BenchArgs};
 use catdb_clean::{learn2clean, saga, SagaConfig};
 use catdb_core::{generate_pipeline, CatDbConfig};
@@ -54,7 +56,14 @@ fn main() {
         for (label, outcome) in [
             (
                 "caafe_tabpfn",
-                run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default()),
+                run_caafe(
+                    &p.raw_train,
+                    &p.raw_test,
+                    &p.target,
+                    p.task,
+                    &llm,
+                    &CaafeConfig::default(),
+                ),
             ),
             (
                 "caafe_rforest",
@@ -67,10 +76,27 @@ fn main() {
                     &CaafeConfig { model: CaafeModel::RandomForest, ..Default::default() },
                 ),
             ),
-            ("aide", run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig::default())),
+            (
+                "aide",
+                run_aide(
+                    &p.raw_train,
+                    &p.raw_test,
+                    &p.target,
+                    p.task,
+                    &llm,
+                    &AideConfig::default(),
+                ),
+            ),
             (
                 "autogen",
-                run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig::default()),
+                run_autogen(
+                    &p.raw_train,
+                    &p.raw_test,
+                    &p.target,
+                    p.task,
+                    &llm,
+                    &AutoGenConfig::default(),
+                ),
             ),
         ] {
             let cell = match outcome.test_accuracy_pct {
@@ -88,15 +114,18 @@ fn main() {
         let automl_cfg = AutoMlConfig { time_budget_seconds: 12.0, seed: args.seed };
         let cleaned = match saga(&p.raw_train, &p.target, p.task, &SagaConfig::default()) {
             Ok(r) => Some(("SAGA", r)),
-            Err(_) => learn2clean(&p.raw_train, &p.target, p.task, args.seed)
-                .ok()
-                .map(|r| ("L2C", r)),
+            Err(_) => {
+                learn2clean(&p.raw_train, &p.target, p.task, args.seed).ok().map(|r| ("L2C", r))
+            }
         };
-        let clean_label = cleaned.as_ref().map(|(l, _)| l.to_string()).unwrap_or_else(|| "N/A".into());
+        let clean_label =
+            cleaned.as_ref().map(|(l, _)| l.to_string()).unwrap_or_else(|| "N/A".into());
         for tool in [ToolProfile::h2o(), ToolProfile::flaml(), ToolProfile::autogluon()] {
             let raw = run_automl(&tool, &p.raw_train, &p.raw_test, &p.target, p.task, &automl_cfg);
             let cell_raw = match &raw {
-                AutoMlOutcome::Success { test_accuracy_pct, .. } => format!("{test_accuracy_pct:.1}"),
+                AutoMlOutcome::Success { test_accuracy_pct, .. } => {
+                    format!("{test_accuracy_pct:.1}")
+                }
                 other => other.cell(),
             };
             let with_clean = match &cleaned {
@@ -107,7 +136,9 @@ fn main() {
                 None => AutoMlOutcome::Unsupported("cleaning failed"),
             };
             let cell_clean = match &with_clean {
-                AutoMlOutcome::Success { test_accuracy_pct, .. } => format!("{test_accuracy_pct:.1}"),
+                AutoMlOutcome::Success { test_accuracy_pct, .. } => {
+                    format!("{test_accuracy_pct:.1}")
+                }
                 other => other.cell(),
             };
             row.push(format!("{cell_raw}/{cell_clean}"));

@@ -7,7 +7,9 @@
 //! magnitude faster than CAAFE-style stacks; cleaning workflows are the
 //! slowest because of their search loops.
 
-use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
+use catdb_baselines::{
+    run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel,
+};
 use catdb_bench::{llm_for, prepare, render_table, save_results, traced, BenchArgs};
 use catdb_clean::{saga, SagaConfig};
 use catdb_core::{generate_pipeline, CatDbConfig};
@@ -38,7 +40,8 @@ fn main() {
         let (refined, refined_trace) =
             traced(|| generate_pipeline(&p.entry, &p.train, &p.test, &llm, &cfg));
 
-        let caafe = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default());
+        let caafe =
+            run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default());
         let caafe_rf = run_caafe(
             &p.raw_train,
             &p.raw_test,
@@ -47,9 +50,16 @@ fn main() {
             &llm,
             &CaafeConfig { model: CaafeModel::RandomForest, ..Default::default() },
         );
-        let aide = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig::default());
-        let autogen =
-            run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig::default());
+        let aide =
+            run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig::default());
+        let autogen = run_autogen(
+            &p.raw_train,
+            &p.raw_test,
+            &p.target,
+            p.task,
+            &llm,
+            &AutoGenConfig::default(),
+        );
 
         // Cleaning + augmentation workflow timing.
         let clean_start = Instant::now();

@@ -9,21 +9,15 @@
 
 use catdb_automl::{run_automl, AutoMlConfig, AutoMlOutcome, ToolProfile};
 use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig};
-use catdb_bench::{llm_for, pct, prepare, render_table, run_catdb, save_results, test_score, BenchArgs};
+use catdb_bench::{
+    llm_for, pct, prepare, render_table, run_catdb, save_results, test_score, BenchArgs,
+};
 use catdb_clean::{saga, SagaConfig};
 use catdb_data::generate;
 use serde_json::json;
 
-const DATASETS: [&str; 8] = [
-    "airline",
-    "imdb",
-    "accidents",
-    "financial",
-    "cmc",
-    "bike-sharing",
-    "house-sales",
-    "nyc",
-];
+const DATASETS: [&str; 8] =
+    ["airline", "imdb", "accidents", "financial", "cmc", "bike-sharing", "house-sales", "nyc"];
 
 fn main() {
     let args = BenchArgs::parse();
@@ -66,10 +60,23 @@ fn main() {
                 &CaafeConfig::default(),
             );
             let llm4 = llm_for(llm_name, args.seed);
-            let aide = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm4, &AideConfig::default());
+            let aide = run_aide(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm4,
+                &AideConfig::default(),
+            );
             let llm5 = llm_for(llm_name, args.seed);
-            let autogen =
-                run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm5, &AutoGenConfig::default());
+            let autogen = run_autogen(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm5,
+                &AutoGenConfig::default(),
+            );
 
             let mut row = vec![
                 name.to_string(),
@@ -99,8 +106,18 @@ fn main() {
         render_table(
             "Table 7: Single-iteration test AUC/R2 % (AutoML cells: raw/cleaned)",
             &[
-                "dataset", "llm", "catdb", "chain", "caafe", "aide", "autogen",
-                "a.sklearn", "h2o", "flaml", "autogluon", "preproc",
+                "dataset",
+                "llm",
+                "catdb",
+                "chain",
+                "caafe",
+                "aide",
+                "autogen",
+                "a.sklearn",
+                "h2o",
+                "flaml",
+                "autogluon",
+                "preproc",
             ],
             &rows,
         )

@@ -6,21 +6,15 @@
 //! LLM (Fail = 0); CAAFE fails on the large datasets; AIDE/AutoGen fail
 //! sporadically and their runtime tracks the LLM.
 
-use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
-use catdb_bench::{llm_for, paper_llms, prepare, run_catdb, render_table, save_results, BenchArgs};
+use catdb_baselines::{
+    run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel,
+};
+use catdb_bench::{llm_for, paper_llms, prepare, render_table, run_catdb, save_results, BenchArgs};
 use catdb_data::generate;
 use serde_json::json;
 
-const DATASETS: [&str; 8] = [
-    "airline",
-    "imdb",
-    "accidents",
-    "financial",
-    "cmc",
-    "bike-sharing",
-    "house-sales",
-    "nyc",
-];
+const DATASETS: [&str; 8] =
+    ["airline", "imdb", "accidents", "financial", "cmc", "bike-sharing", "house-sales", "nyc"];
 
 #[derive(Default)]
 struct Tally {
@@ -76,7 +70,14 @@ fn main() {
             let o = run_catdb(&p, &llm, 3, args.seed);
             tallies[1].1.add(o.success, o.elapsed_seconds + o.llm_seconds);
             let llm = llm_for(llm_name, args.seed);
-            let b = run_caafe(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &CaafeConfig::default());
+            let b = run_caafe(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm,
+                &CaafeConfig::default(),
+            );
             tallies[2].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
             let llm = llm_for(llm_name, args.seed);
             let b = run_caafe(
@@ -89,10 +90,24 @@ fn main() {
             );
             tallies[3].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
             let llm = llm_for(llm_name, args.seed);
-            let b = run_aide(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AideConfig::default());
+            let b = run_aide(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm,
+                &AideConfig::default(),
+            );
             tallies[4].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
             let llm = llm_for(llm_name, args.seed);
-            let b = run_autogen(&p.raw_train, &p.raw_test, &p.target, p.task, &llm, &AutoGenConfig::default());
+            let b = run_autogen(
+                &p.raw_train,
+                &p.raw_test,
+                &p.target,
+                p.task,
+                &llm,
+                &AutoGenConfig::default(),
+            );
             tallies[5].1.add(b.success, b.elapsed_seconds + b.llm_seconds);
         }
         for (system, tally) in &tallies {

@@ -9,7 +9,7 @@
 use catdb_catalog::CatalogEntry;
 use catdb_core::{generate_pipeline, CatDbConfig, GenerationOutcome, PromptOptions};
 use catdb_data::{GenOptions, GeneratedDataset};
-use catdb_llm::{LanguageModel, ModelProfile, SimLlm};
+use catdb_llm::{FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, SimLlm};
 use catdb_ml::TaskKind;
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_table::Table;
@@ -38,8 +38,7 @@ pub fn prepare(g: &GeneratedDataset, refine: bool, llm: &dyn LanguageModel, seed
     let popts = ProfileOptions::default();
     let profile = profile_table(g.spec.name, &materialized, &popts);
     let profile_seconds = profile.elapsed_seconds;
-    let raw_entry =
-        CatalogEntry::new(g.spec.name, g.target.clone(), g.task, profile.clone());
+    let raw_entry = CatalogEntry::new(g.spec.name, g.target.clone(), g.task, profile.clone());
     let (raw_train, raw_test) = materialized.train_test_split(0.7, seed).expect("split");
 
     let (entry, train, test, refinement) = if refine {
@@ -84,8 +83,32 @@ pub fn paper_llms() -> Vec<&'static str> {
     vec!["gpt-4o", "gemini-1.5-pro", "llama3.1-70b"]
 }
 
+/// Build the full resilient transport stack for a paper model: seeded
+/// fault injection under retry/backoff/circuit-breaking with degradation
+/// to the cheaper paper models (the fig14 fault-sweep configuration).
+pub fn resilient_llm_for(
+    name: &str,
+    seed: u64,
+    fault_rate: f64,
+    max_retries: usize,
+    llm_timeout: Option<f64>,
+) -> ResilientClient {
+    let profile = ModelProfile::by_name(name).unwrap_or_else(ModelProfile::gpt_4o);
+    ResilientClient::simulated(
+        profile,
+        FaultSpec::from_rate(fault_rate),
+        RetryPolicy { max_retries, call_timeout_seconds: llm_timeout, ..Default::default() },
+        seed,
+    )
+}
+
 /// Run CatDB (β = 1) or CatDB Chain (β > 1) on a prepared dataset.
-pub fn run_catdb(p: &Prepared, llm: &dyn LanguageModel, beta: usize, seed: u64) -> GenerationOutcome {
+pub fn run_catdb(
+    p: &Prepared,
+    llm: &dyn LanguageModel,
+    beta: usize,
+    seed: u64,
+) -> GenerationOutcome {
     let cfg = CatDbConfig {
         prompt: PromptOptions { beta, ..Default::default() },
         seed,
@@ -130,12 +153,31 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Quick mode trims iteration counts for smoke runs.
     pub quick: bool,
+    /// CI smoke mode: tiny dataset, one seed, fully deterministic stdout
+    /// (implies `quick`; used by the determinism gate, which runs a bin
+    /// twice and diffs the output).
+    pub smoke: bool,
+    /// Injected LLM transport fault rate for resilience sweeps.
+    pub fault_rate: f64,
+    /// Transport retries per model rung after the first attempt.
+    pub max_retries: usize,
+    /// Per-call deadline on simulated LLM latency, seconds.
+    pub llm_timeout: Option<f64>,
 }
 
 impl BenchArgs {
-    /// Parse `--max-rows N`, `--seed N`, `--quick` from argv.
+    /// Parse `--max-rows N`, `--seed N`, `--quick`, `--smoke`,
+    /// `--fault-rate F`, `--max-retries N`, `--llm-timeout S` from argv.
     pub fn parse() -> BenchArgs {
-        let mut args = BenchArgs { max_rows: 2_000, seed: 7, quick: false };
+        let mut args = BenchArgs {
+            max_rows: 2_000,
+            seed: 7,
+            quick: false,
+            smoke: false,
+            fault_rate: 0.0,
+            max_retries: 3,
+            llm_timeout: None,
+        };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -152,7 +194,30 @@ impl BenchArgs {
                         i += 1;
                     }
                 }
+                "--fault-rate" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.fault_rate = v;
+                        i += 1;
+                    }
+                }
+                "--max-retries" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.max_retries = v;
+                        i += 1;
+                    }
+                }
+                "--llm-timeout" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.llm_timeout = Some(v);
+                        i += 1;
+                    }
+                }
                 "--quick" => args.quick = true,
+                "--smoke" => {
+                    args.smoke = true;
+                    args.quick = true;
+                    args.max_rows = 300;
+                }
                 _ => {}
             }
             i += 1;

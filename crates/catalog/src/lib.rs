@@ -14,6 +14,4 @@ mod refine;
 
 pub use catalog::{CatalogEntry, DataCatalog};
 pub use multi::{MultiTableDataset, Relationship};
-pub use refine::{
-    refine_dataset, ColumnRefinement, RefineAction, RefineOptions, RefinementReport,
-};
+pub use refine::{refine_dataset, ColumnRefinement, RefineAction, RefineOptions, RefinementReport};

@@ -57,7 +57,9 @@ impl MultiTableDataset {
     pub fn materialize(&self) -> Result<Table, TableError> {
         let mut result = self
             .table(&self.fact_table)
-            .ok_or_else(|| TableError::Invalid(format!("fact table '{}' missing", self.fact_table)))?
+            .ok_or_else(|| {
+                TableError::Invalid(format!("fact table '{}' missing", self.fact_table))
+            })?
             .clone();
         let mut joined = vec![self.fact_table.clone()];
         // Breadth-first over relationships until no new table can join.

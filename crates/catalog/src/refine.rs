@@ -18,9 +18,7 @@
 //! expanded), re-profiles, and reports before/after distinct counts — the
 //! exact quantity Table 4 tabulates.
 
-use catdb_llm::{
-    estimate_tokens, LanguageModel, Prompt, TokenUsage,
-};
+use catdb_llm::{estimate_tokens, LanguageModel, Prompt, TokenUsage};
 use catdb_profiler::{profile_table, ColumnProfile, DataProfile, FeatureType, ProfileOptions};
 use catdb_table::{Column, DataType, Table, Value};
 use serde::{Deserialize, Serialize};
@@ -135,10 +133,7 @@ fn split_composite(table: &mut Table, name: &str, n_parts: usize) -> Vec<String>
     let mut new_names = Vec::with_capacity(n_parts);
     for (p, values) in parts.into_iter().enumerate() {
         let col_name = format!("{name}_p{}", p + 1);
-        let all_numeric = values
-            .iter()
-            .flatten()
-            .all(|s| s.parse::<i64>().is_ok());
+        let all_numeric = values.iter().flatten().all(|s| s.parse::<i64>().is_ok());
         let has_any = values.iter().any(|v| v.is_some());
         let new_col = if all_numeric && has_any {
             Column::Int(values.into_iter().map(|v| v.and_then(|s| s.parse().ok())).collect())
@@ -177,13 +172,9 @@ fn expand_list(table: &mut Table, name: &str, separator: &str) -> usize {
         }
     }
     for item in vocab.keys() {
-        let ind: Vec<Option<i64>> = row_items
-            .iter()
-            .map(|items| Some(items.iter().any(|x| x == item) as i64))
-            .collect();
-        table
-            .add_column(format!("{name}={item}"), Column::Int(ind))
-            .expect("fresh name");
+        let ind: Vec<Option<i64>> =
+            row_items.iter().map(|items| Some(items.iter().any(|x| x == item) as i64)).collect();
+        table.add_column(format!("{name}={item}"), Column::Int(ind)).expect("fresh name");
     }
     table.drop_column(name).expect("caller verified");
     vocab.len()
@@ -240,7 +231,8 @@ pub fn refine_dataset(
 ) -> (Table, DataProfile, RefinementReport) {
     let _span = catdb_trace::span("refine_dataset");
     let mut table = table.clone();
-    let mut report = RefinementReport { refinements: Vec::new(), usage: TokenUsage::default(), llm_calls: 0 };
+    let mut report =
+        RefinementReport { refinements: Vec::new(), usage: TokenUsage::default(), llm_calls: 0 };
 
     // --- 1. Feature-type inference over sentence candidates ---
     let candidates: Vec<&ColumnProfile> = profile
@@ -252,8 +244,7 @@ pub fn refine_dataset(
     if !candidates.is_empty() {
         let mut user = String::from("<TASK>feature_type_inference</TASK>\n<SCHEMA>\n");
         for c in &candidates {
-            let samples: Vec<String> =
-                c.samples.iter().take(opts.n_samples).cloned().collect();
+            let samples: Vec<String> = c.samples.iter().take(opts.n_samples).cloned().collect();
             user.push_str(&format!(
                 "col name=\"{}\" values=\"{}\"\n",
                 c.name,
@@ -297,11 +288,7 @@ pub fn refine_dataset(
                 // Still a sentence: try composite splitting.
                 if let Some(shape) = composite_shape(&c.samples) {
                     let parts = split_composite(&mut table, name, shape.len());
-                    let after = parts
-                        .iter()
-                        .map(|p| distinct_count(&table, p))
-                        .max()
-                        .unwrap_or(0);
+                    let after = parts.iter().map(|p| distinct_count(&table, p)).max().unwrap_or(0);
                     report.refinements.push(ColumnRefinement {
                         column: name.clone(),
                         action: RefineAction::SplitComposite { into: parts },
@@ -333,9 +320,7 @@ pub fn refine_dataset(
     // duplicates" that the refinement merges.
     let cat_columns: Vec<String> = table
         .iter_columns()
-        .filter(|(f, c)| {
-            c.dtype() == DataType::Str && distinct_count(&table, &f.name) >= 2
-        })
+        .filter(|(f, c)| c.dtype() == DataType::Str && distinct_count(&table, &f.name) >= 2)
         .map(|(f, _)| f.name.clone())
         .collect();
     for name in cat_columns {
@@ -410,9 +395,8 @@ mod tests {
         let gender: Vec<&str> = (0..n).map(|i| ["Male", "male", "F", "Female"][i % 4]).collect();
         let address: Vec<String> =
             (0..n).map(|i| format!("{} {}", 7000 + (i % 7), ["CA", "TX", "NY"][i % 3])).collect();
-        let skills: Vec<&str> = (0..n)
-            .map(|i| ["Python, Java", "C++", "Java, C++", "Python"][i % 4])
-            .collect();
+        let skills: Vec<&str> =
+            (0..n).map(|i| ["Python, Java", "C++", "Java, C++", "Python"][i % 4]).collect();
         let exp: Vec<&str> =
             (0..n).map(|i| ["1 year", "12 Months", "two years", "2 years"][i % 4]).collect();
         let salary: Vec<f64> = (0..n).map(|i| 100.0 + i as f64).collect();
@@ -450,11 +434,8 @@ mod tests {
     #[test]
     fn composite_address_is_split_and_typed() {
         let (refined, _, report) = run_refinement(&dirty_salary_table());
-        let split = report
-            .refinements
-            .iter()
-            .find(|r| r.column == "address")
-            .expect("address refined");
+        let split =
+            report.refinements.iter().find(|r| r.column == "address").expect("address refined");
         assert!(matches!(split.action, RefineAction::SplitComposite { .. }));
         assert!(!refined.schema().contains("address"));
         assert!(refined.schema().contains("address_p1"));
@@ -466,11 +447,8 @@ mod tests {
     #[test]
     fn skills_list_is_khot_expanded() {
         let (refined, _, report) = run_refinement(&dirty_salary_table());
-        let expand = report
-            .refinements
-            .iter()
-            .find(|r| r.column == "skills")
-            .expect("skills refined");
+        let expand =
+            report.refinements.iter().find(|r| r.column == "skills").expect("skills refined");
         assert!(matches!(expand.action, RefineAction::ExpandList { items: 3 }));
         assert!(refined.schema().contains("skills=Python"));
         assert!(refined.schema().contains("skills=Java"));

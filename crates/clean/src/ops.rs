@@ -169,17 +169,15 @@ mod tests {
         let filled = CleanOp::MedianImpute.apply(&dirty(), "y").unwrap();
         let t = CleanOp::IqrOutliers.apply(&filled, "y").unwrap();
         assert!(t.n_rows() < 80);
-        let max = t.column("x").unwrap().to_f64_vec().into_iter().flatten().fold(f64::MIN, f64::max);
+        let max =
+            t.column("x").unwrap().to_f64_vec().into_iter().flatten().fold(f64::MIN, f64::max);
         assert!(max < 1000.0);
     }
 
     #[test]
     fn approx_dedup_merges_case_variants() {
-        let t = Table::from_columns(vec![(
-            "c",
-            Column::from_strings(vec!["A", "a ", "A", "B"]),
-        )])
-        .unwrap();
+        let t = Table::from_columns(vec![("c", Column::from_strings(vec!["A", "a ", "A", "B"]))])
+            .unwrap();
         let exact = CleanOp::ExactDedup.apply(&t, "y").unwrap();
         assert_eq!(exact.n_rows(), 3);
         let approx = CleanOp::ApproxDedup.apply(&t, "y").unwrap();
@@ -188,11 +186,7 @@ mod tests {
 
     #[test]
     fn decimal_scale_fails_without_numeric_columns() {
-        let t = Table::from_columns(vec![(
-            "c",
-            Column::from_strings(vec!["a", "b"]),
-        )])
-        .unwrap();
+        let t = Table::from_columns(vec![("c", Column::from_strings(vec!["a", "b"]))]).unwrap();
         // The paper: "categorical features caused L2C to fail due to the
         // absence of continuous columns".
         assert!(CleanOp::DecimalScale.apply(&t, "c").is_err());

@@ -40,10 +40,8 @@ impl CleaningResult {
     pub fn apply_value_ops(&self, other: &Table, target: &str) -> Table {
         let mut out = other.clone();
         for op in &self.sequence {
-            let value_level = matches!(
-                op,
-                CleanOp::DecimalScale | CleanOp::EmImpute | CleanOp::MedianImpute
-            );
+            let value_level =
+                matches!(op, CleanOp::DecimalScale | CleanOp::EmImpute | CleanOp::MedianImpute);
             if value_level {
                 if let Ok(t) = op.apply(&out, target) {
                     out = t;
@@ -109,18 +107,16 @@ fn proxy_score(table: &Table, target: &str, task: TaskKind, seed: u64) -> Option
         let enc = LabelEncoder::fit(&fit, target).ok()?;
         let y_fit = enc.encode(&fit, target).ok()?;
         let y_val = enc.encode_lossy(&val, target).ok()?;
-        let tree = DecisionTreeClassifier {
-            config: TreeConfig { max_depth: 6, ..Default::default() },
-        };
+        let tree =
+            DecisionTreeClassifier { config: TreeConfig { max_depth: 6, ..Default::default() } };
         let model = tree.fit(&x_fit, &y_fit, enc.n_classes()).ok()?;
         let pred = model.predict(&x_val).ok()?;
         Some(metrics::accuracy(&y_val, &pred))
     } else {
         let y_fit = catdb_ml::regression_target(&fit, target).ok()?;
         let y_val = catdb_ml::regression_target(&val, target).ok()?;
-        let tree = DecisionTreeRegressor {
-            config: TreeConfig { max_depth: 6, ..Default::default() },
-        };
+        let tree =
+            DecisionTreeRegressor { config: TreeConfig { max_depth: 6, ..Default::default() } };
         let model = tree.fit(&x_fit, &y_fit).ok()?;
         let pred = model.predict(&x_val).ok()?;
         Some(metrics::r2(&y_val, &pred))
@@ -149,9 +145,7 @@ pub fn learn2clean(
 ) -> Result<CleaningResult, CleaningError> {
     let started = Instant::now();
     // L2C's documented failure mode on EU IT: no continuous columns.
-    let has_numeric = table
-        .iter_columns()
-        .any(|(f, _)| f.dtype.is_numeric() && f.name != target);
+    let has_numeric = table.iter_columns().any(|(f, _)| f.dtype.is_numeric() && f.name != target);
     if !has_numeric {
         return Err(CleaningError("no continuous columns".into()));
     }
@@ -289,8 +283,8 @@ pub fn saga(
     if !best_fit.is_finite() {
         return Err(CleaningError("no viable cleaning sequence".into()));
     }
-    let cleaned =
-        apply_sequence(table, &best_seq, target).ok_or_else(|| CleaningError("apply failed".into()))?;
+    let cleaned = apply_sequence(table, &best_seq, target)
+        .ok_or_else(|| CleaningError("apply failed".into()))?;
     Ok(CleaningResult {
         tool: "saga",
         sequence: best_seq,
@@ -321,13 +315,8 @@ mod tests {
                 }
             })
             .collect();
-        let y: Vec<&str> =
-            (0..n).map(|i| if (i % 50) < 25 { "lo" } else { "hi" }).collect();
-        Table::from_columns(vec![
-            ("x", Column::Float(x)),
-            ("y", Column::from_strings(y)),
-        ])
-        .unwrap()
+        let y: Vec<&str> = (0..n).map(|i| if (i % 50) < 25 { "lo" } else { "hi" }).collect();
+        Table::from_columns(vec![("x", Column::Float(x)), ("y", Column::from_strings(y))]).unwrap()
     }
 
     #[test]

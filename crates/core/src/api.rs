@@ -45,14 +45,8 @@ pub fn catdb_collect(
         let entry = CatalogEntry::new(dataset.name.clone(), target, task, profile);
         return Ok((entry, materialized, None));
     }
-    let (prepared, refined_profile, report) = refine_dataset(
-        &dataset.name,
-        &materialized,
-        &profile,
-        target,
-        llm,
-        &opts.refine_options,
-    );
+    let (prepared, refined_profile, report) =
+        refine_dataset(&dataset.name, &materialized, &profile, target, llm, &opts.refine_options);
     let entry = CatalogEntry::new(dataset.name.clone(), target, task, refined_profile);
     Ok((entry, prepared, Some(report)))
 }
@@ -114,7 +108,7 @@ mod tests {
     }
 
     #[test]
-    fn collect_without_refinement_keeps_raw_values(){
+    fn collect_without_refinement_keeps_raw_values() {
         let dataset = toy_dataset();
         let llm = SimLlm::new(ModelProfile::gpt_4o(), 2);
         let (entry, prepared, report) = catdb_collect(

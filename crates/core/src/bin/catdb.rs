@@ -12,7 +12,7 @@
 
 use catdb_catalog::MultiTableDataset;
 use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
-use catdb_llm::{ModelProfile, SimLlm};
+use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
 use catdb_ml::TaskKind;
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_table::{read_csv_path, CsvOptions};
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n  catdb profile --csv FILE"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n  catdb profile --csv FILE"
     );
     ExitCode::from(2)
 }
@@ -36,6 +36,12 @@ struct Args {
     refine: bool,
     seed: u64,
     trace_out: Option<String>,
+    /// Injected LLM transport fault rate (0 disables injection).
+    fault_rate: f64,
+    /// Transport retries per model rung after the first attempt.
+    max_retries: usize,
+    /// Per-call deadline on simulated LLM latency, seconds.
+    llm_timeout: Option<f64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -52,6 +58,9 @@ fn parse_args() -> Option<Args> {
         refine: true,
         seed: 42,
         trace_out: None,
+        fault_rate: 0.0,
+        max_retries: 3,
+        llm_timeout: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -84,6 +93,24 @@ fn parse_args() -> Option<Args> {
                 }
             }
             "--trace-out" => args.trace_out = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--fault-rate" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.fault_rate = v;
+                    i += 1;
+                }
+            }
+            "--max-retries" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.max_retries = v;
+                    i += 1;
+                }
+            }
+            "--llm-timeout" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.llm_timeout = Some(v);
+                    i += 1;
+                }
+            }
             "--no-refine" => args.refine = false,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -167,7 +194,19 @@ fn cmd_run(args: &Args) -> ExitCode {
         eprintln!("unknown model '{}'; use gpt-4o, gemini-1.5-pro, or llama3.1-70b", args.model);
         return ExitCode::FAILURE;
     };
-    let llm = SimLlm::new(profile, args.seed);
+    // The full resilient transport stack: fault injection (off at rate 0)
+    // under retry/backoff/circuit-breaking/degradation. At the default
+    // knobs with no faults this behaves exactly like a bare SimLlm.
+    let llm = ResilientClient::simulated(
+        profile,
+        FaultSpec::from_rate(args.fault_rate),
+        RetryPolicy {
+            max_retries: args.max_retries,
+            call_timeout_seconds: args.llm_timeout,
+            ..Default::default()
+        },
+        args.seed,
+    );
 
     // With --trace-out, the whole run records into a trace sink whose
     // JSON snapshot is written at exit (re-importable via
@@ -206,6 +245,15 @@ fn cmd_run(args: &Args) -> ExitCode {
     println!("{}", result.code);
     if let Some(path) = &args.trace_out {
         let trace = sink.snapshot();
+        if trace.llm_retry_count() > 0 || trace.degraded_count() > 0 {
+            eprintln!(
+                "[resilience: {} retried attempt(s), {} circuit opening(s), {} degradation(s), {} wasted token(s)]",
+                trace.llm_retry_count(),
+                trace.circuit_open_count(),
+                trace.degraded_count(),
+                trace.retry_tokens(),
+            );
+        }
         match std::fs::write(path, trace.to_json_string()) {
             Ok(()) => eprintln!(
                 "[trace: {} span(s), {} event(s) written to {path}]",

@@ -50,28 +50,55 @@ pub fn chain_cost(
 // ---------------------------------------------------------------------------
 
 /// Measured dollar/token usage aggregated from a recorded trace.
+///
+/// Transport retries are real spend: the `input_tokens` and `usd` totals
+/// include the wasted prompt tokens/dollars of failed attempts recorded
+/// as `LlmRetry` events, alongside every served `LlmCall`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredCost {
     pub input_tokens: usize,
     pub output_tokens: usize,
     pub usd: f64,
     pub llm_calls: usize,
+    /// Failed transport attempts (retried or abandoned).
+    pub retries: usize,
+    /// Prompt tokens consumed by failed attempts (included in
+    /// `input_tokens`).
+    pub retry_tokens: usize,
+    /// Dollars consumed by failed attempts (included in `usd`).
+    pub retry_usd: f64,
 }
 
 impl MeasuredCost {
     pub fn total_tokens(&self) -> usize {
         self.input_tokens + self.output_tokens
     }
+
+    /// Fraction of the dollar total burned on failed attempts — the
+    /// cost-overhead metric of the fig14 fault sweep.
+    pub fn retry_overhead(&self) -> f64 {
+        if self.usd <= 0.0 {
+            0.0
+        } else {
+            self.retry_usd / self.usd
+        }
+    }
 }
 
-/// Sum every `LlmCall` event in the trace into one measured total.
+/// Sum every `LlmCall` and `LlmRetry` event in the trace into one
+/// measured total.
 pub fn measured_cost(trace: &catdb_trace::Trace) -> MeasuredCost {
     let (input_tokens, output_tokens) = trace.total_llm_tokens();
+    let retry_tokens = trace.retry_tokens();
+    let retry_usd = trace.retry_cost();
     MeasuredCost {
-        input_tokens,
+        input_tokens: input_tokens + retry_tokens,
         output_tokens,
-        usd: trace.total_llm_cost(),
+        usd: trace.total_llm_cost() + retry_usd,
         llm_calls: trace.llm_call_count(),
+        retries: trace.llm_retry_count(),
+        retry_tokens,
+        retry_usd,
     }
 }
 
@@ -107,11 +134,8 @@ mod tests {
 
     #[test]
     fn eq2_adds_stage_costs() {
-        let stage = |p: usize| ChainStageCost {
-            prompt_tokens: p,
-            gamma: 1,
-            error_prompt_tokens: vec![],
-        };
+        let stage =
+            |p: usize| ChainStageCost { prompt_tokens: p, gamma: 1, error_prompt_tokens: vec![] };
         let total = chain_cost(&stage(50), &[stage(30), stage(30)], &[stage(40), stage(40)]);
         assert_eq!(total, 190);
     }
@@ -121,11 +145,8 @@ mod tests {
         // The chain re-sends context per stage, so with equal per-prompt
         // sizes and more prompts it always costs at least as much.
         let single = single_prompt_cost(120, 1, &[]);
-        let stage = |p: usize| ChainStageCost {
-            prompt_tokens: p,
-            gamma: 1,
-            error_prompt_tokens: vec![],
-        };
+        let stage =
+            |p: usize| ChainStageCost { prompt_tokens: p, gamma: 1, error_prompt_tokens: vec![] };
         let chain = chain_cost(&stage(120), &[stage(80)], &[stage(80)]);
         assert!(chain > single);
     }
@@ -172,6 +193,38 @@ mod tests {
             );
             assert!((reprice(&trace, &profile) - measured.usd).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn measured_cost_includes_retry_waste() {
+        let sink = Arc::new(catdb_trace::TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let profile = ModelProfile::gpt_4o();
+        // One served call…
+        let llm = SimLlm::new(profile.clone(), 4);
+        let prompt = Prompt::new("sys", "<TASK>pipeline_generation</TASK>");
+        llm.complete(&prompt).expect("completion");
+        // …plus two failed attempts recorded by a resilient client.
+        for attempt in 1..=2usize {
+            catdb_trace::emit(catdb_trace::TraceEvent::LlmRetry {
+                model: profile.name.clone(),
+                attempt,
+                error: "service_unavailable".into(),
+                backoff_seconds: 1.0,
+                prompt_tokens: 200,
+                cost: profile.cost_usd(200, 0),
+            });
+        }
+        let trace = sink.snapshot();
+        let measured = measured_cost(&trace);
+        assert_eq!(measured.retries, 2);
+        assert_eq!(measured.retry_tokens, 400);
+        let (served_in, _) = trace.total_llm_tokens();
+        assert_eq!(measured.input_tokens, served_in + 400);
+        let expected_retry_usd = 2.0 * profile.cost_usd(200, 0);
+        assert!((measured.retry_usd - expected_retry_usd).abs() < 1e-12);
+        assert!((measured.usd - (trace.total_llm_cost() + expected_retry_usd)).abs() < 1e-12);
+        assert!(measured.retry_overhead() > 0.0 && measured.retry_overhead() < 1.0);
     }
 
     #[test]

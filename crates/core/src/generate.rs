@@ -11,8 +11,8 @@ use catdb_catalog::CatalogEntry;
 use catdb_llm::{CostLedger, LanguageModel, LlmError, LlmTaskKind};
 use catdb_ml::TaskKind;
 use catdb_pipeline::{
-    execute, parse, ColumnRef, EncodeSpec, Environment, ErrorCategory, Evaluation,
-    ExecutionConfig, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, PipelineError, Program, Step,
+    execute, parse, ColumnRef, EncodeSpec, Environment, ErrorCategory, Evaluation, ExecutionConfig,
+    ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, PipelineError, Program, Step,
 };
 use catdb_table::{DataType, Table};
 use std::time::Instant;
@@ -89,8 +89,7 @@ fn enforce_library_policy(source: &str, disallowed: &[String]) -> String {
         .filter_map(|line| {
             let t = line.trim();
             if let Some(rest) = t.strip_prefix("require ") {
-                if let Some(pkg) = rest.trim().strip_prefix('"').and_then(|r| r.split('"').next())
-                {
+                if let Some(pkg) = rest.trim().strip_prefix('"').and_then(|r| r.split('"').next()) {
                     let name = pkg.split("==").next().unwrap_or(pkg);
                     if banned(name) {
                         return None;
@@ -110,7 +109,9 @@ fn enforce_library_policy(source: &str, disallowed: &[String]) -> String {
             {
                 return None;
             }
-            if banned("text_features") && (out.contains("method khot") || out.contains("method hash")) {
+            if banned("text_features")
+                && (out.contains("method khot") || out.contains("method hash"))
+            {
                 // Fall back to the preinstalled encoder.
                 let idx = out.find("method").expect("encode line");
                 out = format!("{}method onehot;", &out[..idx]);
@@ -249,14 +250,16 @@ impl Session<'_> {
                 }
                 Err(LlmError::ContextLengthExceeded { .. }) => {
                     // "We reduce the number of features via the parameter α"
-                    let current =
-                        opts.alpha.unwrap_or(self.entry.profile.columns.len());
+                    let current = opts.alpha.unwrap_or(self.entry.profile.columns.len());
                     if current <= 4 {
                         return None;
                     }
                     opts.alpha = Some(current / 2);
                 }
-                Err(LlmError::ServiceUnavailable(_)) => continue,
+                // Transport failures (5xx, timeouts, rate limits) that
+                // survived the client's own retry/degradation budget:
+                // resubmit at this level until the attempt cap runs out.
+                Err(_) => continue,
             }
         }
         None
@@ -383,15 +386,13 @@ pub fn generate_pipeline(
         // Parse (syntax check).
         let program = match parse(&source) {
             Ok(p) => p,
-            Err(e) => {
-                match session.handle_error(source.clone(), &e, attempts) {
-                    Some(next) => {
-                        source = next;
-                        continue;
-                    }
-                    None => break,
+            Err(e) => match session.handle_error(source.clone(), &e, attempts) {
+                Some(next) => {
+                    source = next;
+                    continue;
                 }
-            }
+                None => break,
+            },
         };
         // Runtime check on a local validation sample.
         if let Err(e) = execute(&program, &val_train, &val_test, &session.env, &val_cfg) {
@@ -423,6 +424,14 @@ pub fn generate_pipeline(
     // ---- Handcrafted fallback (VERIFYPIPELINECODE / HANDCRAFTPIPELINE) ----
     let mut handcrafted = false;
     if outcome_eval.is_none() && cfg.handcraft_fallback {
+        // The last step of the degradation ladder: no LLM (resilient or
+        // otherwise) produced a working pipeline, so CatDB falls back to
+        // the deterministic catalog-derived program.
+        catdb_trace::emit(catdb_trace::TraceEvent::Degraded {
+            from: llm.model_name().to_string(),
+            to: "handcraft_program".to_string(),
+            reason: "generation_exhausted".to_string(),
+        });
         let program = handcraft_program(entry);
         let mut env = session.env.clone();
         for pkg in catdb_pipeline::required_packages(&program.steps) {
@@ -467,9 +476,9 @@ fn generate_chain(session: &mut Session<'_>) -> Option<String> {
     let mut code: Option<String> = None;
 
     let run_stage = |session: &mut Session<'_>,
-                         task: LlmTaskKind,
-                         cols: &[&catdb_profiler::ColumnProfile],
-                         code: &Option<String>|
+                     task: LlmTaskKind,
+                     cols: &[&catdb_profiler::ColumnProfile],
+                     code: &Option<String>|
      -> Option<String> {
         let prompt = builder.stage_prompt(task, cols, code.as_deref());
         let completion = match session.llm.complete(&prompt) {
@@ -513,14 +522,17 @@ mod tests {
 
     fn dataset() -> (CatalogEntry, Table, Table) {
         let n = 600;
-        let age: Vec<Option<f64>> = (0..n)
-            .map(|i| if i % 13 == 0 { None } else { Some(20.0 + (i % 45) as f64) })
-            .collect();
+        let age: Vec<Option<f64>> =
+            (0..n).map(|i| if i % 13 == 0 { None } else { Some(20.0 + (i % 45) as f64) }).collect();
         let city: Vec<&str> = (0..n).map(|i| ["paris", "rome", "oslo"][i % 3]).collect();
         let y: Vec<String> = (0..n)
             .map(|i| {
                 let signal = (i % 45) as f64 + if i % 3 == 0 { 20.0 } else { 0.0 };
-                if signal > 30.0 { "yes".to_string() } else { "no".to_string() }
+                if signal > 30.0 {
+                    "yes".to_string()
+                } else {
+                    "no".to_string()
+                }
             })
             .collect();
         let t = Table::from_columns(vec![
@@ -566,10 +578,7 @@ mod tests {
         let (entry, train, test) = dataset();
         // A deliberately unreliable model: every generation carries a
         // semantic fault; fixes succeed at the Llama rate.
-        let profile = ModelProfile {
-            semantic_fault_rate: 1.0,
-            ..ModelProfile::llama3_1_70b()
-        };
+        let profile = ModelProfile { semantic_fault_rate: 1.0, ..ModelProfile::llama3_1_70b() };
         let llm = SimLlm::new(profile, 23);
         let outcome = generate_pipeline(&entry, &train, &test, &llm, &CatDbConfig::default());
         assert!(outcome.success);
@@ -594,7 +603,8 @@ mod tests {
         let outcome = generate_pipeline(&entry, &train, &test, &llm, &cfg);
         assert!(!outcome.success);
 
-        let cfg2 = CatDbConfig { use_llm_fix: false, use_knowledge_base: false, ..Default::default() };
+        let cfg2 =
+            CatDbConfig { use_llm_fix: false, use_knowledge_base: false, ..Default::default() };
         let llm2 = SimLlm::new(
             ModelProfile { semantic_fault_rate: 1.0, ..ModelProfile::llama3_1_70b() },
             23,
@@ -658,8 +668,7 @@ mod tests {
     #[test]
     fn referenced_columns_extracts_known_names() {
         let (entry, _, _) = dataset();
-        let cols =
-            referenced_columns(&entry, "column 'age' not found, also 'bogus' and 'city'");
+        let cols = referenced_columns(&entry, "column 'age' not found, also 'bogus' and 'city'");
         assert_eq!(cols, vec!["age".to_string(), "city".to_string()]);
     }
 }

@@ -62,8 +62,7 @@ impl ErrorTraceDb {
 
     /// Table 2's row for one LLM: (total, KB %, SE %, RE %).
     pub fn category_distribution(&self, llm: &str) -> (usize, f64, f64, f64) {
-        let relevant: Vec<&ErrorTrace> =
-            self.traces.iter().filter(|t| t.llm == llm).collect();
+        let relevant: Vec<&ErrorTrace> = self.traces.iter().filter(|t| t.llm == llm).collect();
         let total = relevant.len();
         if total == 0 {
             return (0, 0.0, 0.0, 0.0);

@@ -29,12 +29,7 @@ pub struct PromptOptions {
 
 impl Default for PromptOptions {
     fn default() -> Self {
-        PromptOptions {
-            metadata: MetadataConfig::full(),
-            alpha: None,
-            beta: 1,
-            min_coverage: 0.02,
-        }
+        PromptOptions { metadata: MetadataConfig::full(), alpha: None, beta: 1, min_coverage: 0.02 }
     }
 }
 
@@ -216,7 +211,8 @@ impl<'a> PromptBuilder<'a> {
         include_metadata: bool,
         relevant_columns: &[String],
     ) -> Prompt {
-        let mut user = format!("<TASK>{}</TASK>\n{}\n", LlmTaskKind::ErrorFix.tag(), self.dataset_line());
+        let mut user =
+            format!("<TASK>{}</TASK>\n{}\n", LlmTaskKind::ErrorFix.tag(), self.dataset_line());
         if include_metadata {
             let cols: Vec<&ColumnProfile> = if relevant_columns.is_empty() {
                 self.select_columns()
@@ -326,7 +322,8 @@ mod tests {
         let pre = builder.stage_prompt(LlmTaskKind::Preprocessing, &cols, None);
         assert!(pre.user.contains("rule preprocessing impute_missing"));
         assert!(!pre.user.contains("rule model"));
-        let model = builder.stage_prompt(LlmTaskKind::ModelSelection, &cols, Some("pipeline {\n}\n"));
+        let model =
+            builder.stage_prompt(LlmTaskKind::ModelSelection, &cols, Some("pipeline {\n}\n"));
         assert!(model.user.contains("rule model model_selection"));
         assert!(model.user.contains("<CODE>"));
         assert!(!model.user.contains("rule preprocessing"));

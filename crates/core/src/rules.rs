@@ -172,10 +172,9 @@ pub fn derive_rules(entry: &CatalogEntry, cols: &[&ColumnProfile]) -> Vec<String
         .filter_map(|c| c.statistics.as_ref())
         .map(|s| (s.max - s.min).abs().max(1e-12))
         .collect();
-    if let (Some(max), Some(min)) = (
-        scales.iter().cloned().reduce(f64::max),
-        scales.iter().cloned().reduce(f64::min),
-    ) {
+    if let (Some(max), Some(min)) =
+        (scales.iter().cloned().reduce(f64::max), scales.iter().cloned().reduce(f64::min))
+    {
         if max / min > 1e3 {
             rules.push("rule fe normalize".to_string());
         }
@@ -228,7 +227,9 @@ mod tests {
         let c6 = MetadataConfig::combination(6);
         assert!(c6.distinct_count && c6.missing_frequency && !c6.statistics);
         let c11 = MetadataConfig::combination(11);
-        assert!(c11.distinct_count && c11.missing_frequency && c11.statistics && c11.categorical_values);
+        assert!(
+            c11.distinct_count && c11.missing_frequency && c11.statistics && c11.categorical_values
+        );
     }
 
     #[test]

@@ -36,25 +36,15 @@ pub fn corrupt(table: &Table, target: &str, kind: Corruption, ratio: f64, seed: 
         return out;
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let feature_cols: Vec<String> = table
-        .schema()
-        .names()
-        .iter()
-        .filter(|n| **n != target)
-        .map(|n| n.to_string())
-        .collect();
+    let feature_cols: Vec<String> =
+        table.schema().names().iter().filter(|n| **n != target).map(|n| n.to_string()).collect();
 
     for name in &feature_cols {
         let col = out.column(name).expect("schema copy").clone();
         let numeric = col.dtype().is_numeric();
         let mut new_col = col.clone();
         // Column magnitude for outlier scale.
-        let max_abs = col
-            .to_f64_vec()
-            .into_iter()
-            .flatten()
-            .map(f64::abs)
-            .fold(1.0f64, f64::max);
+        let max_abs = col.to_f64_vec().into_iter().flatten().map(f64::abs).fold(1.0f64, f64::max);
         for i in 0..new_col.len() {
             if rng.gen::<f64>() >= ratio {
                 continue;
@@ -135,13 +125,8 @@ mod tests {
         // String column untouched in outlier mode.
         assert_eq!(t.column("c").unwrap(), c.column("c").unwrap());
         // Outliers are extreme.
-        let max = c
-            .column("x")
-            .unwrap()
-            .to_f64_vec()
-            .into_iter()
-            .flatten()
-            .fold(f64::MIN, f64::max);
+        let max =
+            c.column("x").unwrap().to_f64_vec().into_iter().flatten().fold(f64::MIN, f64::max);
         assert!(max > 100.0, "max {max}");
     }
 
@@ -160,13 +145,8 @@ mod tests {
         let t = table();
         let c = corrupt(&t, "y", Corruption::Mixed, 0.1, 3);
         assert!(c.column("x").unwrap().null_count() > 10);
-        let max = c
-            .column("x")
-            .unwrap()
-            .to_f64_vec()
-            .into_iter()
-            .flatten()
-            .fold(f64::MIN, f64::max);
+        let max =
+            c.column("x").unwrap().to_f64_vec().into_iter().flatten().fold(f64::MIN, f64::max);
         assert!(max > 100.0);
     }
 

@@ -28,26 +28,186 @@ pub struct DatasetSpec {
 
 /// Table 3 verbatim.
 pub const PAPER_DATASETS: [DatasetSpec; 20] = [
-    DatasetSpec { id: 1, name: "wifi", n_tables: 1, paper_rows: 98, n_cols: 9, task: TaskKind::BinaryClassification, n_classes: 2 },
-    DatasetSpec { id: 2, name: "diabetes", n_tables: 1, paper_rows: 768, n_cols: 9, task: TaskKind::BinaryClassification, n_classes: 2 },
-    DatasetSpec { id: 3, name: "tic-tac-toe", n_tables: 1, paper_rows: 958, n_cols: 10, task: TaskKind::BinaryClassification, n_classes: 2 },
-    DatasetSpec { id: 4, name: "imdb", n_tables: 7, paper_rows: 30_530_313, n_cols: 15, task: TaskKind::BinaryClassification, n_classes: 2 },
-    DatasetSpec { id: 5, name: "kdd98", n_tables: 1, paper_rows: 82_318, n_cols: 478, task: TaskKind::BinaryClassification, n_classes: 2 },
-    DatasetSpec { id: 6, name: "walking", n_tables: 1, paper_rows: 149_332, n_cols: 5, task: TaskKind::MulticlassClassification, n_classes: 22 },
-    DatasetSpec { id: 7, name: "cmc", n_tables: 1, paper_rows: 1_473, n_cols: 10, task: TaskKind::MulticlassClassification, n_classes: 3 },
-    DatasetSpec { id: 8, name: "eu-it", n_tables: 1, paper_rows: 1_253, n_cols: 23, task: TaskKind::MulticlassClassification, n_classes: 148 },
-    DatasetSpec { id: 9, name: "survey", n_tables: 1, paper_rows: 2_778, n_cols: 29, task: TaskKind::MulticlassClassification, n_classes: 9 },
-    DatasetSpec { id: 10, name: "etailing", n_tables: 1, paper_rows: 439, n_cols: 44, task: TaskKind::MulticlassClassification, n_classes: 5 },
-    DatasetSpec { id: 11, name: "accidents", n_tables: 3, paper_rows: 954_036, n_cols: 46, task: TaskKind::MulticlassClassification, n_classes: 6 },
-    DatasetSpec { id: 12, name: "financial", n_tables: 8, paper_rows: 552_017, n_cols: 62, task: TaskKind::MulticlassClassification, n_classes: 4 },
-    DatasetSpec { id: 13, name: "airline", n_tables: 19, paper_rows: 445_827, n_cols: 115, task: TaskKind::MulticlassClassification, n_classes: 3 },
-    DatasetSpec { id: 14, name: "gas-drift", n_tables: 1, paper_rows: 13_910, n_cols: 129, task: TaskKind::MulticlassClassification, n_classes: 6 },
-    DatasetSpec { id: 15, name: "volkert", n_tables: 1, paper_rows: 58_310, n_cols: 181, task: TaskKind::MulticlassClassification, n_classes: 10 },
-    DatasetSpec { id: 16, name: "yelp", n_tables: 4, paper_rows: 229_907, n_cols: 194, task: TaskKind::MulticlassClassification, n_classes: 9 },
-    DatasetSpec { id: 17, name: "bike-sharing", n_tables: 1, paper_rows: 17_379, n_cols: 12, task: TaskKind::Regression, n_classes: 869 },
-    DatasetSpec { id: 18, name: "utility", n_tables: 1, paper_rows: 4_574, n_cols: 13, task: TaskKind::Regression, n_classes: 95 },
-    DatasetSpec { id: 19, name: "nyc", n_tables: 1, paper_rows: 581_835, n_cols: 17, task: TaskKind::Regression, n_classes: 1_811 },
-    DatasetSpec { id: 20, name: "house-sales", n_tables: 1, paper_rows: 21_613, n_cols: 18, task: TaskKind::Regression, n_classes: 4_028 },
+    DatasetSpec {
+        id: 1,
+        name: "wifi",
+        n_tables: 1,
+        paper_rows: 98,
+        n_cols: 9,
+        task: TaskKind::BinaryClassification,
+        n_classes: 2,
+    },
+    DatasetSpec {
+        id: 2,
+        name: "diabetes",
+        n_tables: 1,
+        paper_rows: 768,
+        n_cols: 9,
+        task: TaskKind::BinaryClassification,
+        n_classes: 2,
+    },
+    DatasetSpec {
+        id: 3,
+        name: "tic-tac-toe",
+        n_tables: 1,
+        paper_rows: 958,
+        n_cols: 10,
+        task: TaskKind::BinaryClassification,
+        n_classes: 2,
+    },
+    DatasetSpec {
+        id: 4,
+        name: "imdb",
+        n_tables: 7,
+        paper_rows: 30_530_313,
+        n_cols: 15,
+        task: TaskKind::BinaryClassification,
+        n_classes: 2,
+    },
+    DatasetSpec {
+        id: 5,
+        name: "kdd98",
+        n_tables: 1,
+        paper_rows: 82_318,
+        n_cols: 478,
+        task: TaskKind::BinaryClassification,
+        n_classes: 2,
+    },
+    DatasetSpec {
+        id: 6,
+        name: "walking",
+        n_tables: 1,
+        paper_rows: 149_332,
+        n_cols: 5,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 22,
+    },
+    DatasetSpec {
+        id: 7,
+        name: "cmc",
+        n_tables: 1,
+        paper_rows: 1_473,
+        n_cols: 10,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 3,
+    },
+    DatasetSpec {
+        id: 8,
+        name: "eu-it",
+        n_tables: 1,
+        paper_rows: 1_253,
+        n_cols: 23,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 148,
+    },
+    DatasetSpec {
+        id: 9,
+        name: "survey",
+        n_tables: 1,
+        paper_rows: 2_778,
+        n_cols: 29,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 9,
+    },
+    DatasetSpec {
+        id: 10,
+        name: "etailing",
+        n_tables: 1,
+        paper_rows: 439,
+        n_cols: 44,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 5,
+    },
+    DatasetSpec {
+        id: 11,
+        name: "accidents",
+        n_tables: 3,
+        paper_rows: 954_036,
+        n_cols: 46,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 6,
+    },
+    DatasetSpec {
+        id: 12,
+        name: "financial",
+        n_tables: 8,
+        paper_rows: 552_017,
+        n_cols: 62,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 4,
+    },
+    DatasetSpec {
+        id: 13,
+        name: "airline",
+        n_tables: 19,
+        paper_rows: 445_827,
+        n_cols: 115,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 3,
+    },
+    DatasetSpec {
+        id: 14,
+        name: "gas-drift",
+        n_tables: 1,
+        paper_rows: 13_910,
+        n_cols: 129,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 6,
+    },
+    DatasetSpec {
+        id: 15,
+        name: "volkert",
+        n_tables: 1,
+        paper_rows: 58_310,
+        n_cols: 181,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 10,
+    },
+    DatasetSpec {
+        id: 16,
+        name: "yelp",
+        n_tables: 4,
+        paper_rows: 229_907,
+        n_cols: 194,
+        task: TaskKind::MulticlassClassification,
+        n_classes: 9,
+    },
+    DatasetSpec {
+        id: 17,
+        name: "bike-sharing",
+        n_tables: 1,
+        paper_rows: 17_379,
+        n_cols: 12,
+        task: TaskKind::Regression,
+        n_classes: 869,
+    },
+    DatasetSpec {
+        id: 18,
+        name: "utility",
+        n_tables: 1,
+        paper_rows: 4_574,
+        n_cols: 13,
+        task: TaskKind::Regression,
+        n_classes: 95,
+    },
+    DatasetSpec {
+        id: 19,
+        name: "nyc",
+        n_tables: 1,
+        paper_rows: 581_835,
+        n_cols: 17,
+        task: TaskKind::Regression,
+        n_classes: 1_811,
+    },
+    DatasetSpec {
+        id: 20,
+        name: "house-sales",
+        n_tables: 1,
+        paper_rows: 21_613,
+        n_cols: 18,
+        task: TaskKind::Regression,
+        n_classes: 4_028,
+    },
 ];
 
 /// Look up a spec by name.
@@ -87,11 +247,7 @@ pub struct GeneratedDataset {
 }
 
 fn numeric(name: &str, signal: f64, missing: f64) -> ColumnPlan {
-    ColumnPlan::new(
-        name,
-        ColKind::Numeric { mean: 10.0, std: 5.0, signal },
-    )
-    .with_missing(missing)
+    ColumnPlan::new(name, ColKind::Numeric { mean: 10.0, std: 5.0, signal }).with_missing(missing)
 }
 
 fn categorical(name: &str, values: &[&str], signal: f64, dirty: f64) -> ColumnPlan {
@@ -112,7 +268,8 @@ fn categorical(name: &str, values: &[&str], signal: f64, dirty: f64) -> ColumnPl
 fn generic_columns(prefix: &str, count: usize, missing_every: usize) -> Vec<ColumnPlan> {
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
-        let signal = if i < count.div_ceil(3) { 0.75 - 0.4 * (i as f64 / count as f64) } else { 0.0 };
+        let signal =
+            if i < count.div_ceil(3) { 0.75 - 0.4 * (i as f64 / count as f64) } else { 0.0 };
         let missing = if missing_every > 0 && i % missing_every == 2 { 0.08 } else { 0.0 };
         let plan = match i % 5 {
             0..=2 => numeric(&format!("{prefix}{i}"), signal, missing),
@@ -134,7 +291,12 @@ fn generic_columns(prefix: &str, count: usize, missing_every: usize) -> Vec<Colu
 }
 
 fn classification_target(spec: &DatasetSpec, imbalance: f64, dirty: f64) -> TargetPlan {
-    TargetPlan::Classification { n_classes: spec.n_classes.min(200), labels: None, imbalance, dirty }
+    TargetPlan::Classification {
+        n_classes: spec.n_classes.min(200),
+        labels: None,
+        imbalance,
+        dirty,
+    }
 }
 
 /// Blueprint per paper dataset (single-table logical form).
@@ -190,12 +352,30 @@ fn blueprint(spec: &DatasetSpec) -> Blueprint {
         // (Figure 1's 39.2 % → 91.8 % example).
         "eu-it" => {
             const ROLES: [&str; 24] = [
-                "backend_developer", "frontend_developer", "data_analyst", "sys_admin",
-                "solution_architect", "devops_engineer", "qa_engineer", "db_administrator",
-                "ml_engineer", "security_analyst", "network_engineer", "product_manager",
-                "scrum_master", "ui_designer", "data_engineer", "cloud_engineer",
-                "support_engineer", "release_manager", "tech_writer", "site_reliability",
-                "etl_developer", "bi_analyst", "game_developer", "embedded_developer",
+                "backend_developer",
+                "frontend_developer",
+                "data_analyst",
+                "sys_admin",
+                "solution_architect",
+                "devops_engineer",
+                "qa_engineer",
+                "db_administrator",
+                "ml_engineer",
+                "security_analyst",
+                "network_engineer",
+                "product_manager",
+                "scrum_master",
+                "ui_designer",
+                "data_engineer",
+                "cloud_engineer",
+                "support_engineer",
+                "release_manager",
+                "tech_writer",
+                "site_reliability",
+                "etl_developer",
+                "bi_analyst",
+                "game_developer",
+                "embedded_developer",
             ];
             columns = vec![
                 categorical("role", &ROLES, 0.85, 0.35),
@@ -256,10 +436,12 @@ fn blueprint(spec: &DatasetSpec) -> Blueprint {
                 ColumnPlan::new(
                     "categories",
                     ColKind::List {
-                        vocab: ["Golf", "Roofing", "Movers", "Taxis", "Bakery", "Bars", "Gym", "Spa"]
-                            .iter()
-                            .map(|s| s.to_string())
-                            .collect(),
+                        vocab: [
+                            "Golf", "Roofing", "Movers", "Taxis", "Bakery", "Bars", "Gym", "Spa",
+                        ]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
                         max_items: 3,
                         signal: 0.8,
                     },
@@ -287,7 +469,8 @@ fn blueprint(spec: &DatasetSpec) -> Blueprint {
             let cols = spec.n_cols.min(spec.name.len() * 40).min(181);
             columns = (0..cols - 1)
                 .map(|i| {
-                    let signal = if i < cols / 4 { 0.8 - 0.5 * (i as f64 / cols as f64) } else { 0.0 };
+                    let signal =
+                        if i < cols / 4 { 0.8 - 0.5 * (i as f64 / cols as f64) } else { 0.0 };
                     numeric(&format!("s{i}"), signal, if i % 9 == 4 { 0.04 } else { 0.0 })
                 })
                 .collect();
@@ -363,14 +546,14 @@ fn blueprint(spec: &DatasetSpec) -> Blueprint {
 /// a group of 2–3 columns moves into a lookup table keyed by a synthetic
 /// id; the fact table keeps the foreign key. This turns the flat logical
 /// form into the paper's multi-table physical form.
-pub fn normalize_into_star(flat: &Table, name: &str, n_dims: usize, target: &str) -> MultiTableDataset {
-    let feature_names: Vec<String> = flat
-        .schema()
-        .names()
-        .iter()
-        .filter(|n| **n != target)
-        .map(|n| n.to_string())
-        .collect();
+pub fn normalize_into_star(
+    flat: &Table,
+    name: &str,
+    n_dims: usize,
+    target: &str,
+) -> MultiTableDataset {
+    let feature_names: Vec<String> =
+        flat.schema().names().iter().filter(|n| **n != target).map(|n| n.to_string()).collect();
     let n_dims = n_dims.min(feature_names.len() / 2);
     if n_dims == 0 {
         return MultiTableDataset::single(name, flat.clone());
@@ -393,8 +576,7 @@ pub fn normalize_into_star(flat: &Table, name: &str, n_dims: usize, target: &str
         for i in 0..fact.n_rows() {
             let combo: Vec<Value> =
                 group.iter().map(|g| fact.value(i, g).expect("column present")).collect();
-            let key: String =
-                combo.iter().map(|v| v.render()).collect::<Vec<_>>().join("\u{1f}");
+            let key: String = combo.iter().map(|v| v.render()).collect::<Vec<_>>().join("\u{1f}");
             let next_id = combo_ids.len() as i64;
             let id = *combo_ids.entry(key).or_insert_with(|| {
                 dim_rows.push(combo);
@@ -539,9 +721,6 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let a = generate("cmc", &GenOptions::default()).unwrap();
         let b = generate("cmc", &GenOptions::default()).unwrap();
-        assert_eq!(
-            a.dataset.materialize().unwrap(),
-            b.dataset.materialize().unwrap()
-        );
+        assert_eq!(a.dataset.materialize().unwrap(), b.dataset.materialize().unwrap());
     }
 }

@@ -245,9 +245,7 @@ pub fn generate_table(bp: &Blueprint, n_rows: usize, seed: u64) -> Table {
                 let (_, src) = &columns[*source];
                 match src {
                     Column::Float(v) => Column::Float(
-                        v.iter()
-                            .map(|x| x.map(|x| x + noise * normal(&mut rng)))
-                            .collect(),
+                        v.iter().map(|x| x.map(|x| x + noise * normal(&mut rng))).collect(),
                     ),
                     other => other.clone(),
                 }
@@ -373,9 +371,8 @@ mod tests {
         // noise column.
         let bp = simple_blueprint();
         let t = generate_table(&bp, 3000, 2);
-        let y: Vec<bool> = (0..t.n_rows())
-            .map(|i| t.value(i, "y").unwrap().render() == "class_1")
-            .collect();
+        let y: Vec<bool> =
+            (0..t.n_rows()).map(|i| t.value(i, "y").unwrap().render() == "class_1").collect();
         let mean_of = |name: &str, class: bool| -> f64 {
             let vals = t.column(name).unwrap().to_f64_vec();
             let picked: Vec<f64> = vals
@@ -395,12 +392,8 @@ mod tests {
     #[test]
     fn dirty_labels_multiply_distincts() {
         let mut bp = simple_blueprint();
-        bp.target = TargetPlan::Classification {
-            n_classes: 3,
-            labels: None,
-            imbalance: 0.0,
-            dirty: 0.5,
-        };
+        bp.target =
+            TargetPlan::Classification { n_classes: 3, labels: None, imbalance: 0.0, dirty: 0.5 };
         let t = generate_table(&bp, 1000, 3);
         let mut distinct = std::collections::HashSet::new();
         for i in 0..t.n_rows() {
@@ -417,11 +410,8 @@ mod tests {
         // num (signal 0.9) should correlate strongly with y.
         let xs = t.column("num").unwrap().to_f64_vec();
         let ys = t.column("y").unwrap().to_f64_vec();
-        let pairs: Vec<(f64, f64)> = xs
-            .iter()
-            .zip(&ys)
-            .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
-            .collect();
+        let pairs: Vec<(f64, f64)> =
+            xs.iter().zip(&ys).filter_map(|(a, b)| Some(((*a)?, (*b)?))).collect();
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;

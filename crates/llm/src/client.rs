@@ -8,12 +8,38 @@ use crate::tokens::TokenUsage;
 use std::fmt;
 
 /// Errors an LLM backend can raise.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LlmError {
     /// The prompt does not fit the model's context window.
     ContextLengthExceeded { prompt_tokens: usize, window: usize },
     /// Transient service failure (retriable).
     ServiceUnavailable(String),
+    /// The call exceeded its deadline. `seconds` is how long the request
+    /// ran (simulated — latencies in this workspace are returned, never
+    /// slept) before being abandoned.
+    Timeout { seconds: f64 },
+    /// The service shed load (HTTP 429). `retry_after_seconds` is the
+    /// back-pressure hint a production API would return.
+    RateLimited { retry_after_seconds: f64 },
+}
+
+impl LlmError {
+    /// Whether a retry of the same request can plausibly succeed.
+    /// Context overflow is deterministic — the caller must shrink the
+    /// prompt (α-reduction), not resend it.
+    pub fn is_retriable(&self) -> bool {
+        !matches!(self, LlmError::ContextLengthExceeded { .. })
+    }
+
+    /// Short machine-readable code for trace events.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LlmError::ContextLengthExceeded { .. } => "context_length_exceeded",
+            LlmError::ServiceUnavailable(_) => "service_unavailable",
+            LlmError::Timeout { .. } => "timeout",
+            LlmError::RateLimited { .. } => "rate_limited",
+        }
+    }
 }
 
 impl fmt::Display for LlmError {
@@ -24,6 +50,10 @@ impl fmt::Display for LlmError {
                 "prompt of {prompt_tokens} tokens exceeds the {window}-token context window"
             ),
             LlmError::ServiceUnavailable(msg) => write!(f, "service unavailable: {msg}"),
+            LlmError::Timeout { seconds } => write!(f, "call timed out after {seconds:.1}s"),
+            LlmError::RateLimited { retry_after_seconds } => {
+                write!(f, "rate limited; retry after {retry_after_seconds:.1}s")
+            }
         }
     }
 }

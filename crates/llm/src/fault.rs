@@ -1,0 +1,308 @@
+//! Seeded transport-fault injection.
+//!
+//! [`FaultInjectingLlm`] decorates any [`LanguageModel`] with the failure
+//! surface of a real LLM API under heavy traffic: timeouts, transient
+//! 5xx-style outages, rate limiting, and responses that arrive damaged
+//! (truncated or garbled). Faults are drawn deterministically from
+//! `(seed, prompt hash, call counter)` — exactly the [`crate::SimLlm`]
+//! recipe — so an injected failure pattern replays identically for a
+//! fixed seed, which is what lets the resilience tests and the
+//! `fig14_robustness` fault sweep assert exact behaviour.
+
+use crate::client::{Completion, LanguageModel, LlmError};
+use crate::prompt::Prompt;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Per-call fault probabilities. At most one fault fires per call (a
+/// single uniform draw is compared against the cumulative thresholds in
+/// declaration order), so the per-category probabilities are exact and
+/// [`FaultSpec::total`] is the overall per-call fault probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The request hangs past any reasonable deadline.
+    pub timeout: f64,
+    /// Transient service failure (5xx; retriable).
+    pub transient: f64,
+    /// Load shedding (429 with a retry-after hint).
+    pub rate_limit: f64,
+    /// The completion arrives cut off mid-stream.
+    pub truncate: f64,
+    /// The completion arrives with corrupted spans.
+    pub garble: f64,
+}
+
+impl FaultSpec {
+    /// No faults: the decorator becomes a transparent passthrough.
+    pub fn none() -> FaultSpec {
+        FaultSpec { timeout: 0.0, transient: 0.0, rate_limit: 0.0, truncate: 0.0, garble: 0.0 }
+    }
+
+    /// Split one overall per-call fault rate across the categories with
+    /// the default weights (transport errors dominate, matching observed
+    /// API failure mixes: most failures are 5xx/429/timeouts, damaged
+    /// payloads are rarer).
+    pub fn from_rate(rate: f64) -> FaultSpec {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultSpec {
+            timeout: rate * 0.25,
+            transient: rate * 0.30,
+            rate_limit: rate * 0.15,
+            truncate: rate * 0.20,
+            garble: rate * 0.10,
+        }
+    }
+
+    /// Overall per-call fault probability.
+    pub fn total(&self) -> f64 {
+        self.timeout + self.transient + self.rate_limit + self.truncate + self.garble
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.total() <= 0.0
+    }
+}
+
+/// The fault category drawn for one call (internal).
+enum Fault {
+    Timeout,
+    Transient,
+    RateLimit,
+    Truncate,
+    Garble,
+}
+
+impl FaultSpec {
+    /// Draw at most one fault from a single uniform sample.
+    fn draw(&self, rng: &mut StdRng) -> Option<Fault> {
+        let roll: f64 = rng.gen();
+        let mut edge = self.timeout;
+        if roll < edge {
+            return Some(Fault::Timeout);
+        }
+        edge += self.transient;
+        if roll < edge {
+            return Some(Fault::Transient);
+        }
+        edge += self.rate_limit;
+        if roll < edge {
+            return Some(Fault::RateLimit);
+        }
+        edge += self.truncate;
+        if roll < edge {
+            return Some(Fault::Truncate);
+        }
+        edge += self.garble;
+        if roll < edge {
+            return Some(Fault::Garble);
+        }
+        None
+    }
+}
+
+/// A [`LanguageModel`] decorator that injects [`FaultSpec`]-distributed
+/// faults ahead of (timeout/transient/rate-limit) or behind
+/// (truncate/garble) the wrapped backend.
+pub struct FaultInjectingLlm<L> {
+    inner: L,
+    spec: FaultSpec,
+    seed: u64,
+    calls: Mutex<u64>,
+}
+
+impl<L: LanguageModel> FaultInjectingLlm<L> {
+    pub fn new(inner: L, spec: FaultSpec, seed: u64) -> FaultInjectingLlm<L> {
+        FaultInjectingLlm { inner, spec, seed, calls: Mutex::new(0) }
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Calls served (or faulted) so far.
+    pub fn call_count(&self) -> u64 {
+        *self.calls.lock()
+    }
+
+    fn rng_for(&self, prompt: &Prompt, call: u64) -> StdRng {
+        let mut h = DefaultHasher::new();
+        prompt.user.hash(&mut h);
+        prompt.system.hash(&mut h);
+        let seed = self
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(h.finish())
+            .wrapping_add(call.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Cut a completion off mid-stream, keeping 30–85 % of its characters
+/// (on a char boundary, so the result stays valid UTF-8).
+fn truncate_text(text: &str, rng: &mut StdRng) -> String {
+    let keep_fraction: f64 = rng.gen_range(0.30..0.85);
+    let keep_bytes = (text.len() as f64 * keep_fraction) as usize;
+    let mut cut = keep_bytes.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Corrupt ~8 % of a completion's bytes with noise characters, the way a
+/// damaged stream (or a model emitting mojibake under load) looks.
+fn garble_text(text: &str, rng: &mut StdRng) -> String {
+    if text.is_empty() {
+        return text.to_string();
+    }
+    let mut bytes: Vec<u8> = text.bytes().collect();
+    let n_corrupt = (bytes.len() / 12).max(1);
+    for _ in 0..n_corrupt {
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] = b"@#$%~?"[rng.gen_range(0..6usize)];
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+impl<L: LanguageModel> LanguageModel for FaultInjectingLlm<L> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+        let call = {
+            let mut guard = self.calls.lock();
+            let c = *guard;
+            *guard += 1;
+            c
+        };
+        let mut rng = self.rng_for(prompt, call);
+        match self.spec.draw(&mut rng) {
+            Some(Fault::Timeout) => {
+                // The request hung; report how long it ran before abandonment.
+                let seconds: f64 = rng.gen_range(10.0..90.0);
+                Err(LlmError::Timeout { seconds })
+            }
+            Some(Fault::Transient) => {
+                Err(LlmError::ServiceUnavailable("upstream 5xx (injected)".into()))
+            }
+            Some(Fault::RateLimit) => {
+                let retry_after_seconds: f64 = rng.gen_range(1.0..20.0);
+                Err(LlmError::RateLimited { retry_after_seconds })
+            }
+            Some(Fault::Truncate) => {
+                let mut c = self.inner.complete(prompt)?;
+                c.text = truncate_text(&c.text, &mut rng);
+                Ok(c)
+            }
+            Some(Fault::Garble) => {
+                let mut c = self.inner.complete(prompt)?;
+                c.text = garble_text(&c.text, &mut rng);
+                Ok(c)
+            }
+            None => self.inner.complete(prompt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+    use crate::sim::SimLlm;
+
+    fn prompt() -> Prompt {
+        Prompt::new(
+            "You are a data science assistant.",
+            "<TASK>pipeline_generation</TASK>\n\
+             <DATASET name=\"toy\" rows=\"300\" target=\"y\" task=\"binary_classification\" />\n\
+             <SCHEMA>\n\
+             col name=\"a\" type=\"float\" feature=\"numerical\" missing=\"0.1\"\n\
+             col name=\"y\" type=\"string\" feature=\"categorical\" distinct_count=\"2\"\n\
+             </SCHEMA>",
+        )
+    }
+
+    fn outcomes(seed: u64, rate: f64, calls: usize) -> Vec<Result<String, LlmError>> {
+        let llm = FaultInjectingLlm::new(
+            SimLlm::new(ModelProfile::gpt_4o(), 5),
+            FaultSpec::from_rate(rate),
+            seed,
+        );
+        (0..calls).map(|_| llm.complete(&prompt()).map(|c| c.text)).collect()
+    }
+
+    #[test]
+    fn zero_rate_is_a_transparent_passthrough() {
+        let plain = SimLlm::new(ModelProfile::gpt_4o(), 5);
+        let wrapped =
+            FaultInjectingLlm::new(SimLlm::new(ModelProfile::gpt_4o(), 5), FaultSpec::none(), 1);
+        let p = prompt();
+        for _ in 0..4 {
+            assert_eq!(plain.complete(&p).unwrap().text, wrapped.complete(&p).unwrap().text);
+        }
+        assert_eq!(wrapped.context_window(), 16_000);
+        assert_eq!(wrapped.model_name(), "gpt-4o");
+    }
+
+    #[test]
+    fn fault_pattern_replays_identically_for_a_seed() {
+        let a = outcomes(9, 0.5, 40);
+        let b = outcomes(9, 0.5, 40);
+        assert_eq!(a, b);
+        let c = outcomes(10, 0.5, 40);
+        assert_ne!(a, c, "different seeds should draw different fault patterns");
+    }
+
+    #[test]
+    fn observed_fault_rate_tracks_the_spec() {
+        let results = outcomes(3, 0.4, 400);
+        let hard_failures = results.iter().filter(|r| r.is_err()).count();
+        // timeout + transient + rate_limit = 0.7 of the 0.4 rate = 0.28.
+        let expected = 400.0 * 0.4 * 0.7;
+        assert!(
+            (hard_failures as f64) > expected * 0.6 && (hard_failures as f64) < expected * 1.5,
+            "hard failures {hard_failures} vs expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn damaged_payload_faults_alter_the_text() {
+        // Truncate-only spec: every response is a strict prefix cut.
+        let trunc = FaultInjectingLlm::new(
+            SimLlm::new(ModelProfile::gpt_4o(), 5),
+            FaultSpec { truncate: 1.0, ..FaultSpec::none() },
+            7,
+        );
+        let clean = SimLlm::new(ModelProfile::gpt_4o(), 5);
+        let p = prompt();
+        let damaged = trunc.complete(&p).unwrap().text;
+        let intact = clean.complete(&p).unwrap().text;
+        assert!(damaged.len() < intact.len());
+        assert!(intact.starts_with(&damaged));
+
+        let garbled = FaultInjectingLlm::new(
+            SimLlm::new(ModelProfile::gpt_4o(), 5),
+            FaultSpec { garble: 1.0, ..FaultSpec::none() },
+            7,
+        );
+        let noisy = garbled.complete(&p).unwrap().text;
+        assert_ne!(noisy, intact, "garbling must corrupt the payload");
+    }
+
+    #[test]
+    fn spec_helpers_partition_the_rate() {
+        let spec = FaultSpec::from_rate(0.3);
+        assert!((spec.total() - 0.3).abs() < 1e-12);
+        assert!(FaultSpec::none().is_none());
+        assert!(!spec.is_none());
+        assert!((FaultSpec::from_rate(7.0).total() - 1.0).abs() < 1e-12, "rate clamps to 1");
+    }
+}

@@ -15,22 +15,34 @@
 //! pipeline-DSL programs that `catdb-pipeline` parses, with faults injected
 //! at the rates the profile specifies, so the CatDB error-management loop
 //! sees exactly the failure surface the paper describes.
+//!
+//! The transport itself is made failure-aware by two composable layers:
+//! [`FaultInjectingLlm`] injects seed-deterministic transport faults
+//! (timeouts, transient 5xx, rate limits, truncated/garbled payloads)
+//! around any backend, and [`ResilientClient`] answers them with per-call
+//! deadlines, bounded exponential-backoff retry (simulated clock, no
+//! wall time), a per-model circuit breaker, and degradation down a
+//! ladder of cheaper [`ModelProfile`]s — every decision emitted as a
+//! `catdb-trace` event so retries land in cost accounting.
 
 mod client;
+mod fault;
 mod profile;
 mod prompt;
+mod resilient;
 mod sim;
 mod tokens;
 
 pub use client::{Completion, LanguageModel, LlmError};
+pub use fault::{FaultInjectingLlm, FaultSpec};
 pub use profile::ModelProfile;
 pub use prompt::{
-    parse_attrs as prompt_attrs, ColumnInfo, DatasetInfo, LlmTaskKind, Prompt, PromptSpec,
-    RuleInfo,
+    parse_attrs as prompt_attrs, ColumnInfo, DatasetInfo, LlmTaskKind, Prompt, PromptSpec, RuleInfo,
 };
+pub use resilient::{ResilientClient, RetryPolicy, Rung, SimClock};
 pub use sim::codegen::GenStage;
-pub use sim::fixer::clean_syntax as clean_pipeline_syntax;
 pub use sim::dedup::{parse_response as parse_refinement_response, refine_values};
+pub use sim::fixer::clean_syntax as clean_pipeline_syntax;
 pub use sim::typeinfer::{infer_feature_type, parse_response as parse_typeinfer_response};
 pub use sim::SimLlm;
 pub use tokens::{estimate_tokens, CostLedger, TokenUsage};

@@ -1,0 +1,568 @@
+//! Transport resilience around [`LanguageModel`].
+//!
+//! [`ResilientClient`] is the production-shaped wrapper the paper's
+//! error-management loop (Algorithm 4) silently assumes: per-call
+//! deadlines, bounded retry with exponential backoff + deterministic
+//! jitter, a per-model circuit breaker, and a degradation ladder that
+//! falls back to cheaper [`ModelProfile`]s when a rung is exhausted.
+//! Time is fully simulated — backoff advances a [`SimClock`], never a
+//! wall clock — so tests replay byte-identically and retry latency still
+//! lands in the session's accounting (waits are folded into the returned
+//! [`Completion::latency_seconds`]).
+//!
+//! Every resilience decision is observable: failed attempts emit
+//! [`catdb_trace::TraceEvent::LlmRetry`] (carrying the wasted prompt
+//! tokens and dollars, which `measured_cost` folds into the session
+//! totals), breaker openings emit `CircuitOpen`, and ladder descents emit
+//! `Degraded`.
+
+use crate::client::{Completion, LanguageModel, LlmError};
+use crate::fault::{FaultInjectingLlm, FaultSpec};
+use crate::profile::ModelProfile;
+use crate::prompt::Prompt;
+use crate::sim::SimLlm;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Retry/backoff/deadline/breaker configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt, per rung (total attempts per rung
+    /// = `max_retries + 1`).
+    pub max_retries: usize,
+    /// First backoff wait, simulated seconds.
+    pub base_backoff_seconds: f64,
+    /// Multiplier applied per subsequent retry (exponential backoff).
+    pub backoff_multiplier: f64,
+    /// Backoff cap, simulated seconds.
+    pub max_backoff_seconds: f64,
+    /// Uniform jitter as a fraction of the computed backoff (±).
+    pub jitter_fraction: f64,
+    /// Per-call deadline: a served completion whose latency exceeds it is
+    /// treated as a timeout failure (the response arrived too late to
+    /// use). `None` disables the deadline.
+    pub call_timeout_seconds: Option<f64>,
+    /// Consecutive failures that open a rung's circuit breaker.
+    pub breaker_threshold: usize,
+    /// How long an open breaker rejects calls, simulated seconds.
+    pub breaker_cooldown_seconds: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_seconds: 1.0,
+            backoff_multiplier: 2.0,
+            max_backoff_seconds: 30.0,
+            jitter_fraction: 0.25,
+            call_timeout_seconds: None,
+            breaker_threshold: 4,
+            breaker_cooldown_seconds: 120.0,
+        }
+    }
+}
+
+/// Deterministic simulated clock: seconds accumulate from completion
+/// latencies and backoff waits, never from wall time.
+#[derive(Default)]
+pub struct SimClock {
+    seconds: Mutex<f64>,
+}
+
+impl SimClock {
+    pub fn now(&self) -> f64 {
+        *self.seconds.lock()
+    }
+
+    pub fn advance(&self, seconds: f64) {
+        *self.seconds.lock() += seconds.max(0.0);
+    }
+}
+
+/// One rung of the degradation ladder: a backend plus the profile that
+/// prices its wasted (failed) attempts.
+pub struct Rung {
+    pub profile: ModelProfile,
+    pub llm: Box<dyn LanguageModel>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BreakerState {
+    consecutive_failures: usize,
+    /// Simulated-clock instant until which the breaker rejects calls.
+    open_until: Option<f64>,
+}
+
+/// A resilient [`LanguageModel`]: retries, backoff, circuit breaking, and
+/// model degradation over an ordered ladder of rungs (primary first).
+pub struct ResilientClient {
+    rungs: Vec<Rung>,
+    policy: RetryPolicy,
+    seed: u64,
+    clock: SimClock,
+    breakers: Vec<Mutex<BreakerState>>,
+    calls: Mutex<u64>,
+}
+
+impl ResilientClient {
+    /// Build from an explicit ladder. `rungs` must be non-empty and
+    /// ordered primary-first (descending capability/cost).
+    pub fn new(rungs: Vec<Rung>, policy: RetryPolicy, seed: u64) -> ResilientClient {
+        assert!(!rungs.is_empty(), "ResilientClient needs at least one rung");
+        let breakers = rungs.iter().map(|_| Mutex::new(BreakerState::default())).collect();
+        ResilientClient {
+            rungs,
+            policy,
+            seed,
+            clock: SimClock::default(),
+            breakers,
+            calls: Mutex::new(0),
+        }
+    }
+
+    /// The standard simulated stack: a fault-injected [`SimLlm`] for
+    /// `primary`, with every strictly cheaper paper model appended as a
+    /// fallback rung (same fault surface — the faults model the shared
+    /// transport, not one endpoint). Rung seeds are derived from `seed`
+    /// so the whole ladder replays deterministically.
+    pub fn simulated(
+        primary: ModelProfile,
+        faults: FaultSpec,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> ResilientClient {
+        let reference_cost = |p: &ModelProfile| p.cost_usd(1000, 1000);
+        let primary_cost = reference_cost(&primary);
+        let mut profiles = vec![primary.clone()];
+        let mut cheaper: Vec<ModelProfile> = ModelProfile::paper_models()
+            .into_iter()
+            .filter(|p| p.name != primary.name && reference_cost(p) < primary_cost)
+            .collect();
+        cheaper.sort_by(|a, b| reference_cost(b).total_cmp(&reference_cost(a)));
+        profiles.extend(cheaper);
+        let rungs = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let rung_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
+                let inner = SimLlm::new(profile.clone(), rung_seed);
+                let llm: Box<dyn LanguageModel> =
+                    Box::new(FaultInjectingLlm::new(inner, faults, rung_seed));
+                Rung { profile, llm }
+            })
+            .collect();
+        ResilientClient::new(rungs, policy, seed)
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Simulated seconds elapsed on this client's clock (latencies +
+    /// backoff waits).
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advance the simulated clock by idle time (time that passes between
+    /// calls — e.g. local pipeline validation). Lets breaker cooldowns
+    /// elapse without wall-clock sleeps.
+    pub fn advance_clock(&self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+
+    /// Model names of the ladder, primary first.
+    pub fn ladder(&self) -> Vec<&str> {
+        self.rungs.iter().map(|r| r.profile.name.as_str()).collect()
+    }
+
+    /// Backoff before retry number `attempt` (1-based), with
+    /// deterministic jitter drawn from `rng`.
+    fn backoff_seconds(&self, attempt: usize, rng: &mut StdRng) -> f64 {
+        let exp = self.policy.backoff_multiplier.powi(attempt.saturating_sub(1) as i32);
+        let base = (self.policy.base_backoff_seconds * exp).min(self.policy.max_backoff_seconds);
+        if self.policy.jitter_fraction <= 0.0 {
+            return base;
+        }
+        let jitter: f64 = rng.gen_range(-1.0..1.0);
+        (base * (1.0 + jitter * self.policy.jitter_fraction)).max(0.0)
+    }
+
+    /// Record a failure on rung `i`; opens the breaker at the threshold.
+    fn note_failure(&self, i: usize) {
+        let mut b = self.breakers[i].lock();
+        b.consecutive_failures += 1;
+        if b.consecutive_failures >= self.policy.breaker_threshold && b.open_until.is_none() {
+            b.open_until = Some(self.clock.now() + self.policy.breaker_cooldown_seconds);
+            catdb_trace::emit(catdb_trace::TraceEvent::CircuitOpen {
+                model: self.rungs[i].profile.name.clone(),
+                consecutive_failures: b.consecutive_failures,
+                cooldown_seconds: self.policy.breaker_cooldown_seconds,
+            });
+        }
+    }
+
+    fn note_success(&self, i: usize) {
+        let mut b = self.breakers[i].lock();
+        b.consecutive_failures = 0;
+        b.open_until = None;
+    }
+
+    /// Whether rung `i` currently rejects calls. A cooled-down breaker
+    /// moves to half-open: the next attempt is allowed through as a probe.
+    fn breaker_rejects(&self, i: usize) -> bool {
+        let mut b = self.breakers[i].lock();
+        match b.open_until {
+            Some(until) if self.clock.now() < until => true,
+            Some(_) => {
+                // Half-open: allow a probe; one more failure re-opens
+                // immediately (threshold already met, counter kept).
+                b.open_until = None;
+                b.consecutive_failures = self.policy.breaker_threshold.saturating_sub(1);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// One attempt against rung `i`, applying the per-call deadline.
+    fn attempt(&self, i: usize, prompt: &Prompt) -> Result<Completion, LlmError> {
+        let completion = self.rungs[i].llm.complete(prompt)?;
+        if let Some(deadline) = self.policy.call_timeout_seconds {
+            if completion.latency_seconds > deadline {
+                // Served, billed, but too late to use: the clock still
+                // only burns the deadline (the caller abandoned the wait).
+                self.clock.advance(deadline);
+                return Err(LlmError::Timeout { seconds: completion.latency_seconds });
+            }
+        }
+        self.clock.advance(completion.latency_seconds);
+        Ok(completion)
+    }
+}
+
+impl LanguageModel for ResilientClient {
+    fn model_name(&self) -> &str {
+        &self.rungs[0].profile.name
+    }
+
+    fn context_window(&self) -> usize {
+        self.rungs[0].profile.context_window
+    }
+
+    fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+        let call = {
+            let mut guard = self.calls.lock();
+            let c = *guard;
+            *guard += 1;
+            c
+        };
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(call));
+        let mut waited = 0.0;
+        let mut last_err = LlmError::ServiceUnavailable("no rung available".into());
+        for i in 0..self.rungs.len() {
+            let name = self.rungs[i].profile.name.clone();
+            if i > 0 {
+                catdb_trace::emit(catdb_trace::TraceEvent::Degraded {
+                    from: self.rungs[i - 1].profile.name.clone(),
+                    to: name.clone(),
+                    reason: last_err.code().to_string(),
+                });
+            }
+            if self.breaker_rejects(i) {
+                last_err = LlmError::ServiceUnavailable(format!("circuit open for {name}"));
+                continue;
+            }
+            for attempt in 0..=self.policy.max_retries {
+                if attempt > 0 {
+                    let backoff = match &last_err {
+                        // Honour the service's back-pressure hint when it
+                        // exceeds our own schedule.
+                        LlmError::RateLimited { retry_after_seconds } => {
+                            retry_after_seconds.max(self.backoff_seconds(attempt, &mut rng))
+                        }
+                        _ => self.backoff_seconds(attempt, &mut rng),
+                    };
+                    self.clock.advance(backoff);
+                    waited += backoff;
+                }
+                match self.attempt(i, prompt) {
+                    Ok(mut completion) => {
+                        self.note_success(i);
+                        // Fold retry waits into the latency the session
+                        // accounts for.
+                        completion.latency_seconds += waited;
+                        return Ok(completion);
+                    }
+                    Err(e @ LlmError::ContextLengthExceeded { .. }) => {
+                        // Deterministic: resending cannot help. Bubble up
+                        // so the caller shrinks the prompt (α-reduction).
+                        return Err(e);
+                    }
+                    Err(e) => {
+                        // A deadline miss after a served completion was
+                        // already billed via its LlmCall event; transport
+                        // failures waste the prompt tokens unbilled.
+                        let (wasted_tokens, wasted_cost) = match &e {
+                            LlmError::Timeout { .. }
+                                if self.policy.call_timeout_seconds.is_some() =>
+                            {
+                                (0, 0.0)
+                            }
+                            _ => {
+                                let tokens = prompt.token_len();
+                                (tokens, self.rungs[i].profile.cost_usd(tokens, 0))
+                            }
+                        };
+                        let exhausted = attempt == self.policy.max_retries;
+                        let backoff_next = if exhausted {
+                            0.0
+                        } else {
+                            // Preview only for the event; the actual wait
+                            // (drawn fresh) happens at the next attempt.
+                            self.backoff_seconds(attempt + 1, &mut rng)
+                        };
+                        catdb_trace::emit(catdb_trace::TraceEvent::LlmRetry {
+                            model: name.clone(),
+                            attempt: attempt + 1,
+                            error: e.code().to_string(),
+                            backoff_seconds: backoff_next,
+                            prompt_tokens: wasted_tokens,
+                            cost: wasted_cost,
+                        });
+                        self.note_failure(i);
+                        last_err = e;
+                        if self.breaker_rejects(i) {
+                            break; // breaker opened mid-ladder: degrade now
+                        }
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdb_trace::{TraceEvent, TraceSink};
+    use std::sync::Arc;
+
+    fn prompt() -> Prompt {
+        Prompt::new(
+            "You are a data science assistant.",
+            "<TASK>pipeline_generation</TASK>\n\
+             <DATASET name=\"toy\" rows=\"300\" target=\"y\" task=\"binary_classification\" />\n\
+             <SCHEMA>\n\
+             col name=\"a\" type=\"float\" feature=\"numerical\" missing=\"0.1\"\n\
+             col name=\"y\" type=\"string\" feature=\"categorical\" distinct_count=\"2\"\n\
+             </SCHEMA>",
+        )
+    }
+
+    /// A backend that fails `failures` times, then succeeds forever.
+    struct FlakyLlm {
+        inner: SimLlm,
+        failures: Mutex<usize>,
+        error: LlmError,
+    }
+
+    impl FlakyLlm {
+        fn new(failures: usize, error: LlmError) -> FlakyLlm {
+            FlakyLlm {
+                inner: SimLlm::new(ModelProfile::gpt_4o(), 1),
+                failures: Mutex::new(failures),
+                error,
+            }
+        }
+    }
+
+    impl LanguageModel for FlakyLlm {
+        fn model_name(&self) -> &str {
+            self.inner.model_name()
+        }
+        fn context_window(&self) -> usize {
+            self.inner.context_window()
+        }
+        fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+            let mut left = self.failures.lock();
+            if *left > 0 {
+                *left -= 1;
+                return Err(self.error.clone());
+            }
+            self.inner.complete(prompt)
+        }
+    }
+
+    fn single_rung(llm: Box<dyn LanguageModel>, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient::new(vec![Rung { profile: ModelProfile::gpt_4o(), llm }], policy, 7)
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let sink = Arc::new(TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let flaky = FlakyLlm::new(2, LlmError::ServiceUnavailable("5xx".into()));
+        let client = single_rung(Box::new(flaky), RetryPolicy::default());
+        let c = client.complete(&prompt()).expect("third attempt succeeds");
+        assert!(c.text.contains("pipeline {"));
+        let t = sink.snapshot();
+        assert_eq!(t.llm_retry_count(), 2);
+        assert!(t.retry_tokens() > 0);
+        assert!(t.retry_cost() > 0.0);
+        // Backoff waits surfaced in both the clock and the latency.
+        assert!(client.clock_seconds() > 0.0);
+        assert!(c.latency_seconds > 0.0);
+    }
+
+    #[test]
+    fn rate_limit_hint_stretches_backoff() {
+        let flaky = FlakyLlm::new(1, LlmError::RateLimited { retry_after_seconds: 55.0 });
+        let client = single_rung(
+            Box::new(flaky),
+            RetryPolicy {
+                base_backoff_seconds: 0.5,
+                max_backoff_seconds: 2.0,
+                ..Default::default()
+            },
+        );
+        let c = client.complete(&prompt()).expect("recovers");
+        // The 55 s hint dominates the capped 2 s schedule.
+        assert!(c.latency_seconds >= 55.0, "latency {}", c.latency_seconds);
+    }
+
+    #[test]
+    fn deadline_misses_are_timeouts_that_burn_only_the_deadline() {
+        // gpt-4o at ~2.4 s/1k tokens over this prompt takes > 0.1 s.
+        let client = ResilientClient::new(
+            vec![Rung {
+                profile: ModelProfile::gpt_4o(),
+                llm: Box::new(SimLlm::new(ModelProfile::gpt_4o(), 1)),
+            }],
+            RetryPolicy { call_timeout_seconds: Some(0.1), max_retries: 1, ..Default::default() },
+            7,
+        );
+        let err = client.complete(&prompt()).unwrap_err();
+        assert!(matches!(err, LlmError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn breaker_opens_and_ladder_degrades() {
+        let sink = Arc::new(TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let dead = FlakyLlm::new(usize::MAX, LlmError::ServiceUnavailable("down".into()));
+        let healthy = SimLlm::new(ModelProfile::gemini_1_5_pro(), 2);
+        let client = ResilientClient::new(
+            vec![
+                Rung { profile: ModelProfile::gpt_4o(), llm: Box::new(dead) },
+                Rung { profile: ModelProfile::gemini_1_5_pro(), llm: Box::new(healthy) },
+            ],
+            RetryPolicy { max_retries: 5, breaker_threshold: 3, ..Default::default() },
+            7,
+        );
+        let c = client.complete(&prompt()).expect("fallback rung serves");
+        assert!(c.text.contains("pipeline {"));
+        let t = sink.snapshot();
+        // Breaker opened after 3 consecutive failures, before the retry
+        // budget (6 attempts) ran out.
+        assert_eq!(t.circuit_open_count(), 1);
+        assert_eq!(t.llm_retry_count(), 3);
+        assert_eq!(t.degraded_count(), 1);
+        // While open, the primary is skipped without new attempts.
+        let before = t.llm_retry_count();
+        let c2 = client.complete(&prompt()).expect("still served by fallback");
+        assert!(c2.text.contains("model "));
+        let t2 = sink.snapshot();
+        assert_eq!(t2.llm_retry_count(), before, "open breaker must not spend attempts");
+        assert_eq!(t2.degraded_count(), 2);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown() {
+        let flaky = FlakyLlm::new(3, LlmError::ServiceUnavailable("brownout".into()));
+        let client = single_rung(
+            Box::new(flaky),
+            RetryPolicy {
+                max_retries: 2,
+                breaker_threshold: 3,
+                breaker_cooldown_seconds: 5.0,
+                base_backoff_seconds: 10.0,
+                jitter_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        // First call: 3 attempts, all fail, breaker opens, call fails.
+        assert!(client.complete(&prompt()).is_err());
+        // While the breaker is still cooling, the rung is skipped outright.
+        assert!(client.complete(&prompt()).is_err());
+        // Idle time passes the 5 s cooldown; the next call is a half-open
+        // probe — and the backend has recovered.
+        client.advance_clock(6.0);
+        let c = client.complete(&prompt()).expect("half-open probe succeeds");
+        assert!(c.text.contains("pipeline {"));
+    }
+
+    #[test]
+    fn context_overflow_bubbles_up_unretried() {
+        let sink = Arc::new(TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let mut tiny = ModelProfile::gpt_4o();
+        tiny.context_window = 10;
+        let client = ResilientClient::new(
+            vec![Rung { profile: tiny.clone(), llm: Box::new(SimLlm::new(tiny, 1)) }],
+            RetryPolicy::default(),
+            7,
+        );
+        let err = client.complete(&prompt()).unwrap_err();
+        assert!(matches!(err, LlmError::ContextLengthExceeded { .. }));
+        assert_eq!(sink.snapshot().llm_retry_count(), 0);
+    }
+
+    #[test]
+    fn simulated_ladder_orders_paper_models_by_cost() {
+        let client = ResilientClient::simulated(
+            ModelProfile::gpt_4o(),
+            FaultSpec::none(),
+            RetryPolicy::default(),
+            3,
+        );
+        assert_eq!(client.ladder(), vec!["gpt-4o", "gemini-1.5-pro", "llama3.1-70b"]);
+        let from_llama = ResilientClient::simulated(
+            ModelProfile::llama3_1_70b(),
+            FaultSpec::none(),
+            RetryPolicy::default(),
+            3,
+        );
+        assert_eq!(from_llama.ladder(), vec!["llama3.1-70b"]);
+        assert_eq!(client.model_name(), "gpt-4o");
+        assert_eq!(client.context_window(), 16_000);
+    }
+
+    #[test]
+    fn faulty_ladder_replays_identically_for_a_seed() {
+        let run = |seed: u64| {
+            let sink = Arc::new(TraceSink::new());
+            let _guard = catdb_trace::install(sink.clone());
+            let client = ResilientClient::simulated(
+                ModelProfile::gemini_1_5_pro(),
+                FaultSpec::from_rate(0.5),
+                RetryPolicy::default(),
+                seed,
+            );
+            let mut texts = Vec::new();
+            for _ in 0..6 {
+                texts.push(client.complete(&prompt()).map(|c| c.text));
+            }
+            (texts, sink.snapshot().events_modulo_timing())
+        };
+        let (texts_a, events_a) = run(11);
+        let (texts_b, events_b) = run(11);
+        assert_eq!(texts_a, texts_b);
+        assert_eq!(events_a, events_b);
+        assert!(events_a.iter().any(|e| matches!(e, TraceEvent::LlmRetry { .. })));
+    }
+}

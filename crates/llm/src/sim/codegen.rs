@@ -25,8 +25,7 @@ pub enum GenStage {
 
 fn is_numeric_col(c: &ColumnInfo) -> bool {
     matches!(c.feature.as_deref(), Some("numerical"))
-        || (c.feature.is_none()
-            && matches!(c.dtype.as_deref(), Some("int") | Some("float")))
+        || (c.feature.is_none() && matches!(c.dtype.as_deref(), Some("int") | Some("float")))
 }
 
 fn is_stringy_col(c: &ColumnInfo) -> bool {
@@ -126,7 +125,10 @@ fn body_of(code: &str) -> Vec<String> {
     code.lines()
         .map(|l| l.trim())
         .filter(|l| {
-            !l.is_empty() && *l != "pipeline {" && *l != "}" && !l.starts_with('#')
+            !l.is_empty()
+                && *l != "pipeline {"
+                && *l != "}"
+                && !l.starts_with('#')
                 && !l.starts_with("require ")
         })
         .map(|l| format!("  {l}"))
@@ -163,9 +165,7 @@ pub fn generate(
         .map(|t| t.contains("class") || t.contains("binary") || t.contains("multi"))
         .unwrap_or_else(|| {
             // Guess from the target column's metadata.
-            spec.column(&target)
-                .map(|c| !is_numeric_col(c))
-                .unwrap_or(true)
+            spec.column(&target).map(|c| !is_numeric_col(c)).unwrap_or(true)
         });
 
     let mut pre: Vec<String> = Vec::new();
@@ -197,10 +197,7 @@ pub fn generate(
                         let strat = if rng.gen::<f64>() < 0.5 { "mean" } else { "median" };
                         pre.push(format!("  impute \"{}\" strategy {strat};", col.name));
                     } else {
-                        pre.push(format!(
-                            "  impute \"{}\" strategy most_frequent;",
-                            col.name
-                        ));
+                        pre.push(format!("  impute \"{}\" strategy most_frequent;", col.name));
                     }
                 }
             }
@@ -250,10 +247,8 @@ pub fn generate(
                     fe.push(format!("  encode \"{}\" method hash buckets 24;", col.name));
                 }
                 Some("categorical") | None => {
-                    let distinct = col
-                        .distinct_count
-                        .or(col.values.as_ref().map(|v| v.len()))
-                        .unwrap_or(8);
+                    let distinct =
+                        col.distinct_count.or(col.values.as_ref().map(|v| v.len())).unwrap_or(8);
                     if distinct > 60 {
                         fe.push(format!("  encode \"{}\" method hash buckets 32;", col.name));
                     } else if rng.gen::<f64>() < 0.85 {
@@ -278,13 +273,15 @@ pub fn generate(
         if honored("normalize", rng) {
             // With outlier guidance in the prompt, clipped min-max is the
             // robust choice (out-of-range inference values get contained).
-            let method = if outlier_guided || rng.gen::<f64>() < 0.4 { "minmax" } else { "standard" };
+            let method =
+                if outlier_guided || rng.gen::<f64>() < 0.4 { "minmax" } else { "standard" };
             fe.push(format!("  scale * method {method};"));
         } else if outlier_guided && rng.gen::<f64>() < profile.initiative {
             fe.push("  scale * method minmax;".to_string());
         }
         if let Some(rule) = spec.rules.iter().find(|r| r.name == "feature_selection") {
-            if rng.gen::<f64>() < profile.instruction_following * profile.attention_at(rule.token_pos)
+            if rng.gen::<f64>()
+                < profile.instruction_following * profile.attention_at(rule.token_pos)
             {
                 let k = rule.attr("k").and_then(|s| s.parse::<usize>().ok()).unwrap_or(20);
                 fe.push(format!("  select_topk {k} target \"{target}\";"));
@@ -294,7 +291,8 @@ pub fn generate(
 
     // ---- Model selection ----
     if matches!(stage, GenStage::Full | GenStage::ModelSelection) {
-        let prefer = spec.rule("model_selection").and_then(|r| r.attr("prefer").map(|s| s.to_string()));
+        let prefer =
+            spec.rule("model_selection").and_then(|r| r.attr("prefer").map(|s| s.to_string()));
         let algo = choose_algo(classification, profile, rng, prefer.as_deref());
         let family = if classification { "classifier" } else { "regressor" };
         let trees = (30.0 + 90.0 * profile.quality * rng.gen::<f64>()).round();
@@ -320,10 +318,8 @@ pub fn generate(
     body.extend(model);
 
     // Requires for everything the body uses.
-    let mut requires: Vec<String> = needed_packages(&body)
-        .into_iter()
-        .map(|p| format!("  require \"{p}\";"))
-        .collect();
+    let mut requires: Vec<String> =
+        needed_packages(&body).into_iter().map(|p| format!("  require \"{p}\";")).collect();
 
     // ---- Environment faults (KB class) ----
     if !requires.is_empty() && rng.gen::<f64>() < profile.env_fault_rate {
@@ -418,16 +414,14 @@ fn apply_semantic_fault(lines: &mut Vec<String>, target: &str, rng: &mut StdRng)
             // Wrong target name.
             4 => {
                 if let Some(i) = lines.iter().position(|l| l.contains(&format!("\"{target}\""))) {
-                    lines[i] = lines[i]
-                        .replace(&format!("\"{target}\""), &format!("\"{target}_column\""));
+                    lines[i] =
+                        lines[i].replace(&format!("\"{target}\""), &format!("\"{target}_column\""));
                     return;
                 }
             }
             // Numeric strategy on a categorical column.
             _ => {
-                if let Some(i) =
-                    lines.iter().position(|l| l.contains("strategy most_frequent"))
-                {
+                if let Some(i) = lines.iter().position(|l| l.contains("strategy most_frequent")) {
                     lines[i] = lines[i].replace("strategy most_frequent", "strategy mean");
                     return;
                 }
@@ -536,7 +530,8 @@ rule model model_selection
             "<TASK>feature_engineering</TASK>\n<DATASET target=\"income\" task=\"regression\" />\n<SCHEMA>\ncol name=\"gender\" type=\"string\" feature=\"categorical\" values=\"Male|Female\"\n</SCHEMA>\n<CODE>\n{pre}</CODE>\n"
         );
         let spec_fe = spec_for(&fe_prompt);
-        let fe = generate(&spec_fe, &reliable_profile(), 0.0, &mut rng, GenStage::FeatureEngineering);
+        let fe =
+            generate(&spec_fe, &reliable_profile(), 0.0, &mut rng, GenStage::FeatureEngineering);
         assert!(fe.contains("impute"), "prior code preserved: {fe}");
         assert!(fe.contains("encode \"gender\""), "{fe}");
         assert!(!fe.contains("model "));
@@ -560,7 +555,13 @@ rule model model_selection
         let mut profile = reliable_profile();
         profile.semantic_fault_rate = 1.0;
         let mut rng = StdRng::seed_from_u64(3);
-        let clean = generate(&spec, &reliable_profile(), 0.0, &mut StdRng::seed_from_u64(3), GenStage::Full);
+        let clean = generate(
+            &spec,
+            &reliable_profile(),
+            0.0,
+            &mut StdRng::seed_from_u64(3),
+            GenStage::Full,
+        );
         let faulty = generate(&spec, &profile, 0.0, &mut rng, GenStage::Full);
         assert_ne!(clean, faulty);
     }

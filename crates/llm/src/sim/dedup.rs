@@ -113,10 +113,8 @@ pub fn refine_values(values: &[String]) -> Vec<(String, String)> {
     let mut fold: HashMap<String, String> = HashMap::new();
     for key in &keys {
         if key.len() == 1 {
-            let expansions: Vec<&String> = keys
-                .iter()
-                .filter(|k| k.len() > 1 && k.starts_with(key.as_str()))
-                .collect();
+            let expansions: Vec<&String> =
+                keys.iter().filter(|k| k.len() > 1 && k.starts_with(key.as_str())).collect();
             if expansions.len() == 1 {
                 fold.insert(key.clone(), expansions[0].clone());
                 continue;
@@ -175,9 +173,7 @@ pub fn refine_values(values: &[String]) -> Vec<(String, String)> {
         let canonical = members
             .iter()
             .max_by(|a, b| {
-                a.1.cmp(&b.1)
-                    .then_with(|| a.0.len().cmp(&b.0.len()))
-                    .then_with(|| b.0.cmp(&a.0))
+                a.1.cmp(&b.1).then_with(|| a.0.len().cmp(&b.0.len())).then_with(|| b.0.cmp(&a.0))
             })
             .expect("non-empty group")
             .0
@@ -246,9 +242,7 @@ mod tests {
     #[test]
     fn merges_gender_variants() {
         let mapping = refine_values(&vals(&["F:10", "Female:40", "M:5", "Male:45", "male:2"]));
-        let get = |orig: &str| {
-            mapping.iter().find(|(o, _)| o == orig).map(|(_, c)| c.as_str())
-        };
+        let get = |orig: &str| mapping.iter().find(|(o, _)| o == orig).map(|(_, c)| c.as_str());
         assert_eq!(get("F"), Some("Female"));
         assert_eq!(get("M"), Some("Male"));
         assert_eq!(get("male"), Some("Male"));

@@ -14,8 +14,20 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const STEP_KEYWORDS: &[&str] = &[
-    "require", "impute", "scale", "encode", "drop", "drop_high_missing", "drop_constant",
-    "dedup", "drop_null_rows", "outliers", "augment", "rebalance", "select_topk", "model",
+    "require",
+    "impute",
+    "scale",
+    "encode",
+    "drop",
+    "drop_high_missing",
+    "drop_constant",
+    "dedup",
+    "drop_null_rows",
+    "outliers",
+    "augment",
+    "rebalance",
+    "select_topk",
+    "model",
 ];
 
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -79,9 +91,11 @@ pub fn clean_syntax(code: &str) -> String {
 fn parse_error(message: &str) -> (Option<String>, Option<String>) {
     let code = message
         .rfind('(')
-        .and_then(|open| message[open + 1..].find(')').map(|close| {
-            message[open + 1..open + 1 + close].to_string()
-        }))
+        .and_then(|open| {
+            message[open + 1..]
+                .find(')')
+                .map(|close| message[open + 1..open + 1 + close].to_string())
+        })
         .filter(|c| c.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'));
     let entity = message.find('\'').and_then(|open| {
         message[open + 1..].find('\'').map(|close| message[open + 1..open + 1 + close].to_string())
@@ -138,11 +152,8 @@ fn repair(lines: &mut Vec<String>, code: &str, entity: Option<&str>, spec: &Prom
                     spec.columns.iter().find(|c| c.distinct_count.unwrap_or(0) > 60)
                 })
                 .is_some();
-            let step = if hash {
-                "encode * method hash buckets 32;"
-            } else {
-                "encode * method onehot;"
-            };
+            let step =
+                if hash { "encode * method hash buckets 32;" } else { "encode * method onehot;" };
             insert_before_model(lines, &[step]);
         }
         "wrong_type_for_operation" => {
@@ -172,12 +183,8 @@ fn repair(lines: &mut Vec<String>, code: &str, entity: Option<&str>, spec: &Prom
             }
         }
         "model_task_mismatch" => {
-            let classification = spec
-                .dataset
-                .task
-                .as_deref()
-                .map(|t| t.contains("class"))
-                .unwrap_or(true);
+            let classification =
+                spec.dataset.task.as_deref().map(|t| t.contains("class")).unwrap_or(true);
             for l in lines.iter_mut() {
                 if !l.trim_start().starts_with("model ") {
                     continue;
@@ -211,9 +218,8 @@ fn repair(lines: &mut Vec<String>, code: &str, entity: Option<&str>, spec: &Prom
         "unseen_label" | "single_class_target" | "empty_training_set" => {
             // Row-dropping / row-synthesizing steps are the usual culprits.
             let killers = ["outliers", "dedup", "augment", "rebalance", "drop_null_rows"];
-            if let Some(i) = lines
-                .iter()
-                .position(|l| killers.iter().any(|k| l.trim_start().starts_with(k)))
+            if let Some(i) =
+                lines.iter().position(|l| killers.iter().any(|k| l.trim_start().starts_with(k)))
             {
                 lines.remove(i);
             }
@@ -278,7 +284,10 @@ pub fn fix(spec: &PromptSpec, profile: &ModelProfile, rng: &mut StdRng) -> Strin
 
     let is_syntax = matches!(
         kind.as_str(),
-        "unterminated_string" | "unbalanced_braces" | "missing_semicolon" | "unknown_keyword"
+        "unterminated_string"
+            | "unbalanced_braces"
+            | "missing_semicolon"
+            | "unknown_keyword"
             | "stray_prose"
     );
     if is_syntax {
@@ -328,7 +337,8 @@ mod tests {
 
     #[test]
     fn clean_syntax_removes_prose_and_restores_structure() {
-        let dirty = "Here is your pipeline:\npipeline {\n  imputate \"age\" strategy mean\n  drop \"x;\n";
+        let dirty =
+            "Here is your pipeline:\npipeline {\n  imputate \"age\" strategy mean\n  drop \"x;\n";
         let cleaned = clean_syntax(dirty);
         assert!(cleaned.starts_with("pipeline {\n"));
         assert!(cleaned.trim_end().ends_with('}'));

@@ -134,8 +134,8 @@ impl LanguageModel for SimLlm {
         // code), without altering the payload.
         let output_tokens =
             ((estimate_tokens(&text) as f64) * self.profile.verbosity).round() as usize;
-        let latency_seconds = (prompt_tokens + output_tokens) as f64 / 1000.0
-            * self.profile.seconds_per_1k_tokens;
+        let latency_seconds =
+            (prompt_tokens + output_tokens) as f64 / 1000.0 * self.profile.seconds_per_1k_tokens;
         catdb_trace::emit(catdb_trace::TraceEvent::LlmCall {
             model: self.profile.name.clone(),
             prompt_tokens,

@@ -28,7 +28,8 @@ fn looks_boolean(s: &str) -> bool {
 /// Infer the feature type of one column from its samples. Returns the type
 /// label and, for lists, the separator.
 pub fn infer_feature_type(samples: &[String]) -> (String, Option<String>) {
-    let non_empty: Vec<&str> = samples.iter().map(|s| s.as_str()).filter(|s| !s.trim().is_empty()).collect();
+    let non_empty: Vec<&str> =
+        samples.iter().map(|s| s.as_str()).filter(|s| !s.trim().is_empty()).collect();
     if non_empty.is_empty() {
         return ("categorical".to_string(), None);
     }
@@ -41,12 +42,15 @@ pub fn infer_feature_type(samples: &[String]) -> (String, Option<String>) {
     // List detection: a separator splitting most samples into >1 atomic
     // (short, non-sentence) items.
     for sep in SEPARATORS {
-        let split_counts: Vec<usize> =
-            non_empty.iter().map(|s| s.split(sep).filter(|p| !p.trim().is_empty()).count()).collect();
+        let split_counts: Vec<usize> = non_empty
+            .iter()
+            .map(|s| s.split(sep).filter(|p| !p.trim().is_empty()).count())
+            .collect();
         let multi = split_counts.iter().filter(|&&c| c > 1).count();
         if multi * 2 >= non_empty.len() {
             let items_short = non_empty.iter().all(|s| {
-                s.split(sep).all(|item| item.trim().len() <= 24 && item.trim().split(' ').count() <= 3)
+                s.split(sep)
+                    .all(|item| item.trim().len() <= 24 && item.trim().split(' ').count() <= 3)
             });
             if items_short {
                 return ("list".to_string(), Some(sep.to_string()));
@@ -73,18 +77,13 @@ pub fn infer_feature_type(samples: &[String]) -> (String, Option<String>) {
         })
         .collect();
     if let Some(first) = shapes.first() {
-        if first.len() >= 2
-            && first.contains(&'d')
-            && shapes.iter().all(|s| s == first)
-        {
+        if first.len() >= 2 && first.contains(&'d') && shapes.iter().all(|s| s == first) {
             return ("sentence".to_string(), None);
         }
     }
     // Sentence: long values or many words.
-    let avg_words: f64 = non_empty
-        .iter()
-        .map(|s| s.split_whitespace().count())
-        .sum::<usize>() as f64
+    let avg_words: f64 = non_empty.iter().map(|s| s.split_whitespace().count()).sum::<usize>()
+        as f64
         / non_empty.len() as f64;
     if avg_words > 3.0 || non_empty.iter().any(|s| s.len() > 48) {
         return ("sentence".to_string(), None);
@@ -134,10 +133,8 @@ pub fn parse_response(text: &str) -> Vec<(String, String, Option<String>)> {
         let attrs = crate::prompt_attrs(line);
         // Lines look like: col "name" feature="list" sep=","
         if let Some(rest) = line.trim().strip_prefix("col ") {
-            let name = rest
-                .strip_prefix('"')
-                .and_then(|r| r.split('"').next())
-                .map(|s| s.to_string());
+            let name =
+                rest.strip_prefix('"').and_then(|r| r.split('"').next()).map(|s| s.to_string());
             if let (Some(name), Some(feature)) = (name, attrs.get("feature")) {
                 out.push((name, feature.clone(), attrs.get("sep").cloned()));
             }

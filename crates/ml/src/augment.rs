@@ -6,9 +6,9 @@
 use crate::transform::{require_column, Result, Transform, TransformError};
 use catdb_table::{Column, Table, Value};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Oversampling flavours for classification.
@@ -59,13 +59,10 @@ fn numeric_rows(table: &Table, target: &str) -> (Vec<String>, Vec<Vec<f64>>) {
         .filter(|(f, _)| f.name != target && f.dtype.is_numeric())
         .map(|(f, _)| f.name.clone())
         .collect();
-    let cols: Vec<Vec<Option<f64>>> = names
-        .iter()
-        .map(|n| table.column(n).expect("name from schema").to_f64_vec())
-        .collect();
-    let rows = (0..table.n_rows())
-        .map(|i| cols.iter().map(|c| c[i].unwrap_or(0.0)).collect())
-        .collect();
+    let cols: Vec<Vec<Option<f64>>> =
+        names.iter().map(|n| table.column(n).expect("name from schema").to_f64_vec()).collect();
+    let rows =
+        (0..table.n_rows()).map(|i| cols.iter().map(|c| c[i].unwrap_or(0.0)).collect()).collect();
     (names, rows)
 }
 
@@ -74,11 +71,7 @@ fn k_nearest(rows: &[Vec<f64>], candidates: &[usize], from: usize, k: usize) -> 
         .iter()
         .filter(|&&j| j != from)
         .map(|&j| {
-            let d: f64 = rows[from]
-                .iter()
-                .zip(&rows[j])
-                .map(|(a, b)| (a - b).powi(2))
-                .sum();
+            let d: f64 = rows[from].iter().zip(&rows[j]).map(|(a, b)| (a - b).powi(2)).sum();
             (j, d)
         })
         .collect();
@@ -133,15 +126,13 @@ fn append_rows(table: &Table, new_rows: Vec<Vec<Value>>) -> Result<Table> {
     if new_rows.is_empty() {
         return Ok(table.clone());
     }
-    let mut cols: Vec<Column> =
-        (0..table.n_cols()).map(|c| table.column_at(c).clone()).collect();
+    let mut cols: Vec<Column> = (0..table.n_cols()).map(|c| table.column_at(c).clone()).collect();
     for row in new_rows {
         for (col, val) in cols.iter_mut().zip(row) {
             col.push(val).map_err(TransformError::from)?;
         }
     }
-    let names: Vec<String> =
-        table.schema().names().iter().map(|s| s.to_string()).collect();
+    let names: Vec<String> = table.schema().names().iter().map(|s| s.to_string()).collect();
     Ok(Table::from_columns(names.into_iter().zip(cols).collect())?)
 }
 
@@ -189,12 +180,12 @@ impl Transform for Augmenter {
                         // each seed's neighbourhood held by other classes.
                         let mut hardness = 0.0;
                         for &i in group {
-                            let nn = k_nearest(&rows, &(0..table.n_rows()).collect::<Vec<_>>(), i, 5);
+                            let nn =
+                                k_nearest(&rows, &(0..table.n_rows()).collect::<Vec<_>>(), i, 5);
                             let other = nn
                                 .iter()
                                 .filter(|&&j| {
-                                    target_col.is_null_at(j)
-                                        || target_col.get(j).render() != *label
+                                    target_col.is_null_at(j) || target_col.get(j).render() != *label
                                 })
                                 .count();
                             hardness += other as f64 / nn.len().max(1) as f64;
@@ -204,7 +195,14 @@ impl Transform for Augmenter {
                     }
                     let take = need.min(remaining);
                     remaining -= take;
-                    synthetic.extend(synthesize(table, &numeric_names, &rows, group, take, &mut rng));
+                    synthetic.extend(synthesize(
+                        table,
+                        &numeric_names,
+                        &rows,
+                        group,
+                        take,
+                        &mut rng,
+                    ));
                     if remaining == 0 {
                         break;
                     }
@@ -223,9 +221,7 @@ impl Transform for Augmenter {
                 let q1 = sorted[sorted.len() / 4];
                 let q3 = sorted[3 * sorted.len() / 4];
                 let rare: Vec<usize> = (0..table.n_rows())
-                    .filter(|&i| {
-                        target_vals[i].map(|v| v < q1 || v > q3).unwrap_or(false)
-                    })
+                    .filter(|&i| target_vals[i].map(|v| v < q1 || v > q3).unwrap_or(false))
                     .collect();
                 if rare.len() < 2 {
                     return Ok(table.clone());
@@ -258,11 +254,8 @@ mod tests {
             xs.push(100.0 + i as f64);
             ys.push("b".to_string());
         }
-        Table::from_columns(vec![
-            ("x", Column::from_f64(xs)),
-            ("y", Column::from_strings(ys)),
-        ])
-        .unwrap()
+        Table::from_columns(vec![("x", Column::from_f64(xs)), ("y", Column::from_strings(ys))])
+            .unwrap()
     }
 
     #[test]
@@ -298,11 +291,8 @@ mod tests {
     fn smogn_oversamples_rare_targets() {
         let ys: Vec<f64> = (0..40).map(|i| i as f64).collect();
         let xs: Vec<f64> = ys.iter().map(|y| y * 2.0).collect();
-        let t = Table::from_columns(vec![
-            ("x", Column::from_f64(xs)),
-            ("y", Column::from_f64(ys)),
-        ])
-        .unwrap();
+        let t = Table::from_columns(vec![("x", Column::from_f64(xs)), ("y", Column::from_f64(ys))])
+            .unwrap();
         let mut aug = Augmenter::new("y", AugmentMethod::Smogn);
         let out = aug.fit_transform(&t).unwrap();
         assert!(out.n_rows() > t.n_rows());

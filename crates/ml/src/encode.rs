@@ -57,9 +57,7 @@ impl Transform for OneHotEncoder {
         for cat in cats {
             let mut ind = Vec::with_capacity(col.len());
             for i in 0..col.len() {
-                ind.push(Some(
-                    (category_key(&col, i).as_deref() == Some(cat.as_str())) as i64,
-                ));
+                ind.push(Some((category_key(&col, i).as_deref() == Some(cat.as_str())) as i64));
             }
             out.add_column(format!("{}={}", self.column, cat), Column::Int(ind))?;
         }
@@ -127,10 +125,7 @@ impl KHotEncoder {
     }
 
     fn items(cell: &str, sep: &str) -> Vec<String> {
-        cell.split(sep)
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect()
+        cell.split(sep).map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
     }
 
     pub fn vocabulary_len(&self) -> usize {
@@ -171,9 +166,7 @@ impl Transform for KHotEncoder {
         // Precompute per-row item sets once.
         let row_items: Vec<Vec<String>> = (0..col.len())
             .map(|i| {
-                category_key(&col, i)
-                    .map(|c| Self::items(&c, &self.separator))
-                    .unwrap_or_default()
+                category_key(&col, i).map(|c| Self::items(&c, &self.separator)).unwrap_or_default()
             })
             .collect();
         for item in vocab {
@@ -268,9 +261,11 @@ mod tests {
     fn onehot_unseen_category_is_all_zeros() {
         let mut enc = OneHotEncoder::new("city");
         enc.fit(&cat_table()).unwrap();
-        let fresh =
-            Table::from_columns(vec![("city", Column::from_strings(vec!["Z"])), ("y", Column::from_i64(vec![0]))])
-                .unwrap();
+        let fresh = Table::from_columns(vec![
+            ("city", Column::from_strings(vec!["Z"])),
+            ("y", Column::from_i64(vec![0])),
+        ])
+        .unwrap();
         let out = enc.transform(&fresh).unwrap();
         assert_eq!(out.value(0, "city=A").unwrap(), Value::Int(0));
         assert_eq!(out.value(0, "city=B").unwrap(), Value::Int(0));

@@ -63,11 +63,7 @@ pub trait ClassifierModel: Send + Sync {
 
     /// Hard predictions by arg-max over probabilities.
     fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
-        Ok(self
-            .predict_proba(x)?
-            .into_iter()
-            .map(|p| argmax(&p))
-            .collect())
+        Ok(self.predict_proba(x)?.into_iter().map(|p| argmax(&p)).collect())
     }
 }
 
@@ -160,14 +156,8 @@ mod tests {
     #[test]
     fn validation_catches_shape_and_labels() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
-        assert!(matches!(
-            validate_classification(&x, &[0], 2),
-            Err(MlError::ShapeMismatch { .. })
-        ));
-        assert!(matches!(
-            validate_classification(&x, &[0, 5], 2),
-            Err(MlError::BadLabel { .. })
-        ));
+        assert!(matches!(validate_classification(&x, &[0], 2), Err(MlError::ShapeMismatch { .. })));
+        assert!(matches!(validate_classification(&x, &[0, 5], 2), Err(MlError::BadLabel { .. })));
         assert!(matches!(
             validate_regression(&x, &[1.0, f64::INFINITY]),
             Err(MlError::NonFinite { .. })

@@ -36,9 +36,7 @@ impl TaskKind {
     pub fn parse(s: &str) -> Option<TaskKind> {
         match s {
             "binary_classification" | "binary" => Some(TaskKind::BinaryClassification),
-            "multiclass_classification" | "multiclass" => {
-                Some(TaskKind::MulticlassClassification)
-            }
+            "multiclass_classification" | "multiclass" => Some(TaskKind::MulticlassClassification),
             "regression" => Some(TaskKind::Regression),
             _ => None,
         }
@@ -249,11 +247,8 @@ mod tests {
         ])
         .unwrap();
         assert!(enc.encode(&other, "y").is_err());
-        let constant = Table::from_columns(vec![(
-            "y",
-            Column::from_strings(vec!["same", "same"]),
-        )])
-        .unwrap();
+        let constant =
+            Table::from_columns(vec![("y", Column::from_strings(vec!["same", "same"]))]).unwrap();
         assert!(LabelEncoder::fit(&constant, "y").is_err());
     }
 

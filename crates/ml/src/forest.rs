@@ -76,7 +76,8 @@ impl Classifier for RandomForestClassifier {
         // Pre-draw bootstrap samples sequentially for determinism, then
         // train trees in parallel.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let samples: Vec<Vec<usize>> = (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
+        let samples: Vec<Vec<usize>> =
+            (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
         let chunks = chunk_indices(cfg.n_trees, cfg.n_threads);
         let mut trees: Vec<Option<crate::tree::TreeClassifierModel>> = Vec::new();
         trees.resize_with(cfg.n_trees, || None);
@@ -88,7 +89,11 @@ impl Classifier for RandomForestClassifier {
                     chunk
                         .iter()
                         .map(|&t| {
-                            let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                            let tc = tree_config(
+                                cfg,
+                                x.cols(),
+                                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
+                            );
                             (t, fit_class_tree_on(x, y, samples[t].clone(), n_classes, &tc))
                         })
                         .collect::<Vec<_>>()
@@ -154,7 +159,8 @@ impl Regressor for RandomForestRegressor {
         let cfg = &self.config;
         let n = x.rows();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let samples: Vec<Vec<usize>> = (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
+        let samples: Vec<Vec<usize>> =
+            (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
         let chunks = chunk_indices(cfg.n_trees, cfg.n_threads);
         let mut trees: Vec<Option<crate::tree::TreeRegressorModel>> = Vec::new();
         trees.resize_with(cfg.n_trees, || None);
@@ -166,7 +172,11 @@ impl Regressor for RandomForestRegressor {
                     chunk
                         .iter()
                         .map(|&t| {
-                            let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                            let tc = tree_config(
+                                cfg,
+                                x.cols(),
+                                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
+                            );
                             (t, fit_reg_tree(x, y, samples[t].clone(), &tc))
                         })
                         .collect::<Vec<_>>()
@@ -229,7 +239,8 @@ mod tests {
 
     #[test]
     fn forest_regression_beats_mean() {
-        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1] * r[1]).collect();
         let x = Matrix::from_rows(&rows);
         let cfg = ForestConfig { n_trees: 20, n_threads: 2, ..Default::default() };

@@ -58,7 +58,11 @@ fn median(values: &mut [f64]) -> Option<f64> {
     }
     values.sort_by(|a, b| a.total_cmp(b));
     let mid = values.len() / 2;
-    Some(if values.len().is_multiple_of(2) { (values[mid - 1] + values[mid]) / 2.0 } else { values[mid] })
+    Some(if values.len().is_multiple_of(2) {
+        (values[mid - 1] + values[mid]) / 2.0
+    } else {
+        values[mid]
+    })
 }
 
 fn most_frequent(col: &Column) -> Option<Value> {
@@ -106,13 +110,14 @@ impl Transform for Imputer {
                     (None, _) => Value::Float(0.0),
                 }
             }
-            ImputeStrategy::MostFrequent => most_frequent(col).unwrap_or_else(|| match col.dtype()
-            {
-                DataType::Str => Value::Str("missing".into()),
-                DataType::Int => Value::Int(0),
-                DataType::Float => Value::Float(0.0),
-                DataType::Bool => Value::Bool(false),
-            }),
+            ImputeStrategy::MostFrequent => {
+                most_frequent(col).unwrap_or_else(|| match col.dtype() {
+                    DataType::Str => Value::Str("missing".into()),
+                    DataType::Int => Value::Int(0),
+                    DataType::Float => Value::Float(0.0),
+                    DataType::Bool => Value::Bool(false),
+                })
+            }
             ImputeStrategy::Constant(v) => v.clone(),
         };
         self.fill = Some(fill);
@@ -144,10 +149,7 @@ mod tests {
     fn table_with_nulls() -> Table {
         Table::from_columns(vec![
             ("x", Column::Float(vec![Some(1.0), None, Some(3.0), None])),
-            (
-                "c",
-                Column::Str(vec![Some("a".into()), Some("a".into()), None, Some("b".into())]),
-            ),
+            ("c", Column::Str(vec![Some("a".into()), Some("a".into()), None, Some("b".into())])),
         ])
         .unwrap()
     }
@@ -212,11 +214,8 @@ mod tests {
 
     #[test]
     fn int_column_mean_rounds() {
-        let t = Table::from_columns(vec![(
-            "n",
-            Column::Int(vec![Some(1), Some(2), None]),
-        )])
-        .unwrap();
+        let t =
+            Table::from_columns(vec![("n", Column::Int(vec![Some(1), Some(2), None]))]).unwrap();
         let mut imp = Imputer::new("n", ImputeStrategy::Mean);
         let out = imp.fit_transform(&t).unwrap();
         assert_eq!(out.value(2, "n").unwrap(), Value::Int(2)); // 1.5 rounds to 2

@@ -47,11 +47,7 @@ fn fit_scaling(x: &Matrix) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn scale_row(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
-    row.iter()
-        .zip(means)
-        .zip(stds)
-        .map(|((v, m), s)| (v - m) / s)
-        .collect()
+    row.iter().zip(means).zip(stds).map(|((v, m), s)| (v - m) / s).collect()
 }
 
 /// Indices and distances of the k nearest training rows to `q`.
@@ -92,7 +88,8 @@ impl Classifier for KnnClassifier {
     fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<Box<dyn ClassifierModel>> {
         validate_classification(x, y, n_classes)?;
         let (means, stds) = fit_scaling(x);
-        let train: Vec<Vec<f64>> = (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        let train: Vec<Vec<f64>> =
+            (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
         Ok(Box::new(KnnClassModel {
             train,
             labels: y.to_vec(),
@@ -153,7 +150,8 @@ impl Regressor for KnnRegressor {
     fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn RegressorModel>> {
         validate_regression(x, y)?;
         let (means, stds) = fit_scaling(x);
-        let train: Vec<Vec<f64>> = (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        let train: Vec<Vec<f64>> =
+            (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
         Ok(Box::new(KnnRegModel { train, targets: y.to_vec(), means, stds, k: self.config.k }))
     }
 }

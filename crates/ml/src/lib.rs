@@ -37,9 +37,7 @@ mod tree;
 pub use augment::{AugmentMethod, Augmenter};
 pub use boosting::{BoostConfig, GradientBoostingClassifier, GradientBoostingRegressor};
 pub use encode::{FeatureHasher, KHotEncoder, OneHotEncoder, OrdinalEncoder};
-pub use estimator::{
-    argmax, Classifier, ClassifierModel, MlError, Regressor, RegressorModel,
-};
+pub use estimator::{argmax, Classifier, ClassifierModel, MlError, Regressor, RegressorModel};
 pub use featurize::{featurize, regression_target, LabelEncoder, TaskKind};
 pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
 pub use impute::{ImputeStrategy, Imputer};

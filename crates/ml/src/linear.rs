@@ -243,9 +243,8 @@ mod tests {
     #[test]
     fn logistic_separates_linear_data() {
         // y = 1 iff x0 + x1 > 1
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0]).collect();
         let y: Vec<usize> = rows.iter().map(|r| (r[0] + r[1] > 1.0) as usize).collect();
         let x = Matrix::from_rows(&rows);
         let model = LogisticRegression::default().fit(&x, &y, 2).unwrap();
@@ -269,8 +268,7 @@ mod tests {
     #[test]
     fn ridge_recovers_linear_function() {
         // y = 3 x0 - 2 x1 + 5
-        let rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64 / 10.0, (i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0, (i % 7) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
         let x = Matrix::from_rows(&rows);
         let model = RidgeRegression { l2: 1e-6 }.fit(&x, &y).unwrap();

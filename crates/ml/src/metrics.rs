@@ -20,21 +20,9 @@ pub fn f1_macro(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
     let mut f1_sum = 0.0;
     let mut present = 0usize;
     for c in 0..n_classes {
-        let tp = y_true
-            .iter()
-            .zip(y_pred)
-            .filter(|(t, p)| **t == c && **p == c)
-            .count() as f64;
-        let fp = y_true
-            .iter()
-            .zip(y_pred)
-            .filter(|(t, p)| **t != c && **p == c)
-            .count() as f64;
-        let fn_ = y_true
-            .iter()
-            .zip(y_pred)
-            .filter(|(t, p)| **t == c && **p != c)
-            .count() as f64;
+        let tp = y_true.iter().zip(y_pred).filter(|(t, p)| **t == c && **p == c).count() as f64;
+        let fp = y_true.iter().zip(y_pred).filter(|(t, p)| **t != c && **p == c).count() as f64;
+        let fn_ = y_true.iter().zip(y_pred).filter(|(t, p)| **t == c && **p != c).count() as f64;
         if tp + fn_ == 0.0 {
             continue; // class absent from y_true
         }
@@ -78,12 +66,8 @@ pub fn auc_binary(y_true: &[usize], scores: &[f64]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = y_true
-        .iter()
-        .zip(&ranks)
-        .filter(|(&y, _)| y == 1)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        y_true.iter().zip(&ranks).filter(|(&y, _)| y == 1).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }
@@ -221,7 +205,7 @@ mod tests {
         let y_true = [0, 0, 1, 1];
         let y_pred = [0, 0, 1, 0];
         let f1 = f1_macro(&y_true, &y_pred, 3); // class 2 absent
-        // class0: p=2/3 r=1 f1=0.8 ; class1: p=1 r=0.5 f1=2/3
+                                                // class0: p=2/3 r=1 f1=0.8 ; class1: p=1 r=0.5 f1=2/3
         assert!((f1 - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
     }
 

@@ -78,7 +78,8 @@ impl ClassifierModel for GaussianNbModel {
                 .map(|(prior, means, vars)| {
                     let mut lp = *prior;
                     for ((v, m), s2) in row.iter().zip(means).zip(vars) {
-                        lp += -0.5 * ((2.0 * std::f64::consts::PI * s2).ln() + (v - m).powi(2) / s2);
+                        lp +=
+                            -0.5 * ((2.0 * std::f64::consts::PI * s2).ln() + (v - m).powi(2) / s2);
                     }
                     lp
                 })

@@ -123,8 +123,7 @@ impl Transform for OutlierRemover {
                     }
                     let n = present.len() as f64;
                     let mean = present.iter().sum::<f64>() / n;
-                    let std =
-                        (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+                    let std = (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
                     if std < 1e-12 {
                         continue;
                     }
@@ -248,9 +247,8 @@ impl Transform for NullRowDropper {
     }
 
     fn transform(&self, table: &Table) -> Result<Table> {
-        let filtered = table.filter(|i| {
-            !(0..table.n_cols()).any(|c| table.column_at(c).is_null_at(i))
-        });
+        let filtered =
+            table.filter(|i| !(0..table.n_cols()).any(|c| table.column_at(c).is_null_at(i)));
         // Keep at least something trainable.
         if filtered.n_rows() == 0 {
             return Ok(table.clone());
@@ -322,7 +320,8 @@ impl Transform for HighMissingDropper {
     }
 
     fn transform(&self, table: &Table) -> Result<Table> {
-        let drop = self.to_drop.as_ref().ok_or(TransformError::NotFitted("high-missing dropper"))?;
+        let drop =
+            self.to_drop.as_ref().ok_or(TransformError::NotFitted("high-missing dropper"))?;
         let mut out = table.clone();
         for name in drop {
             if out.schema().contains(name) {
@@ -379,10 +378,7 @@ impl Transform for ConstantColumnDropper {
 
 /// Convenience: is the column numeric in this table?
 pub fn is_numeric_column(table: &Table, name: &str) -> bool {
-    table
-        .column(name)
-        .map(|c| c.dtype().is_numeric())
-        .unwrap_or(false)
+    table.column(name).map(|c| c.dtype().is_numeric()).unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -402,11 +398,9 @@ mod tests {
 
     #[test]
     fn zscore_keeps_inliers() {
-        let t = Table::from_columns(vec![(
-            "x",
-            Column::from_f64(vec![0.0, 0.1, -0.1, 0.05, 50.0]),
-        )])
-        .unwrap();
+        let t =
+            Table::from_columns(vec![("x", Column::from_f64(vec![0.0, 0.1, -0.1, 0.05, 50.0]))])
+                .unwrap();
         let mut rem = OutlierRemover::new(vec![], OutlierMethod::ZScore(1.5));
         let out = rem.fit_transform(&t).unwrap();
         assert_eq!(out.n_rows(), 4);
@@ -417,8 +411,7 @@ mod tests {
         let mut rows: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
         rows.push(500.0);
         let t = Table::from_columns(vec![("x", Column::from_f64(rows))]).unwrap();
-        let mut rem =
-            OutlierRemover::new(vec![], OutlierMethod::Lof { k: 5, factor: 10.0 });
+        let mut rem = OutlierRemover::new(vec![], OutlierMethod::Lof { k: 5, factor: 10.0 });
         let out = rem.fit_transform(&t).unwrap();
         assert_eq!(out.n_rows(), 50);
     }

@@ -26,11 +26,8 @@ impl TopKSelector {
 }
 
 fn pearson_abs(a: &[Option<f64>], b: &[Option<f64>]) -> f64 {
-    let pairs: Vec<(f64, f64)> = a
-        .iter()
-        .zip(b)
-        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
-        .collect();
+    let pairs: Vec<(f64, f64)> =
+        a.iter().zip(b).filter_map(|(x, y)| Some(((*x)?, (*y)?))).collect();
     if pairs.len() < 3 {
         return 0.0;
     }
@@ -127,11 +124,8 @@ impl Transform for TopKSelector {
 
     fn transform(&self, table: &Table) -> Result<Table> {
         let keep = self.keep.as_ref().ok_or(TransformError::NotFitted("top-k selector"))?;
-        let mut names: Vec<&str> = keep
-            .iter()
-            .map(|s| s.as_str())
-            .filter(|n| table.schema().contains(n))
-            .collect();
+        let mut names: Vec<&str> =
+            keep.iter().map(|s| s.as_str()).filter(|n| table.schema().contains(n)).collect();
         if table.schema().contains(&self.target) {
             names.push(self.target.as_str());
         }

@@ -72,11 +72,6 @@ pub trait Transform: Send + Sync {
 }
 
 /// Look up a column or produce the transform-level error.
-pub(crate) fn require_column<'t>(
-    table: &'t Table,
-    name: &str,
-) -> Result<&'t catdb_table::Column> {
-    table
-        .column(name)
-        .map_err(|_| TransformError::ColumnNotFound(name.to_string()))
+pub(crate) fn require_column<'t>(table: &'t Table, name: &str) -> Result<&'t catdb_table::Column> {
+    table.column(name).map_err(|_| TransformError::ColumnNotFound(name.to_string()))
 }

@@ -160,14 +160,13 @@ impl Builder<'_> {
             }
             let stride = (boundaries.len() / self.cfg.max_thresholds).max(1);
             for &cut in boundaries.iter().step_by(stride) {
-                if cut < self.cfg.min_samples_leaf || vals.len() - cut < self.cfg.min_samples_leaf
-                {
+                if cut < self.cfg.min_samples_leaf || vals.len() - cut < self.cfg.min_samples_leaf {
                     continue;
                 }
                 let left_rows: Vec<usize> = vals[..cut].iter().map(|&(_, r)| r).collect();
                 let right_rows: Vec<usize> = vals[cut..].iter().map(|&(_, r)| r).collect();
-                let child =
-                    self.target.weighted_impurity(&left_rows) + self.target.weighted_impurity(&right_rows);
+                let child = self.target.weighted_impurity(&left_rows)
+                    + self.target.weighted_impurity(&right_rows);
                 let gain = parent_impurity - child;
                 if best.as_ref().is_none_or(|b| gain > b.0) && gain > 1e-12 {
                     let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
@@ -305,12 +304,8 @@ pub(crate) fn fit_reg_tree(
     rows: Vec<usize>,
     cfg: &TreeConfig,
 ) -> TreeRegressorModel {
-    let mut builder = Builder {
-        x,
-        target: Target::Reg { y },
-        cfg,
-        rng: StdRng::seed_from_u64(cfg.seed),
-    };
+    let mut builder =
+        Builder { x, target: Target::Reg { y }, cfg, rng: StdRng::seed_from_u64(cfg.seed) };
     let root = builder.build(rows, 0);
     TreeRegressorModel { root }
 }

@@ -184,19 +184,47 @@ impl ModelSpec {
 pub enum Step {
     /// Declare a package dependency ("import"); unavailable packages raise
     /// KB-class errors that the knowledge base resolves by installation.
-    Require { package: String },
-    Impute { column: ColumnRef, strategy: ImputeSpec },
-    Scale { column: ColumnRef, method: ScaleMethod },
-    Encode { column: ColumnRef, method: EncodeSpec },
-    Drop { column: String },
-    DropHighMissing { threshold: f64 },
+    Require {
+        package: String,
+    },
+    Impute {
+        column: ColumnRef,
+        strategy: ImputeSpec,
+    },
+    Scale {
+        column: ColumnRef,
+        method: ScaleMethod,
+    },
+    Encode {
+        column: ColumnRef,
+        method: EncodeSpec,
+    },
+    Drop {
+        column: String,
+    },
+    DropHighMissing {
+        threshold: f64,
+    },
     DropConstant,
-    Dedup { approximate: bool },
+    Dedup {
+        approximate: bool,
+    },
     DropNullRows,
-    Outliers { column: ColumnRef, method: OutlierSpec },
-    Augment { method: AugmentMethod, target: String },
-    Rebalance { target: String },
-    SelectTopK { k: usize, target: String },
+    Outliers {
+        column: ColumnRef,
+        method: OutlierSpec,
+    },
+    Augment {
+        method: AugmentMethod,
+        target: String,
+    },
+    Rebalance {
+        target: String,
+    },
+    SelectTopK {
+        k: usize,
+        target: String,
+    },
     Model(ModelSpec),
 }
 

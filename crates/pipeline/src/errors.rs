@@ -99,10 +99,12 @@ impl ErrorKind {
     pub fn category(self) -> ErrorCategory {
         use ErrorKind::*;
         match self {
-            MissingPackage | PackageVersionMismatch | MissingSystemDependency
-            | EnvironmentPathError | PermissionDenied | ResourceTemporarilyUnavailable => {
-                ErrorCategory::KnowledgeBase
-            }
+            MissingPackage
+            | PackageVersionMismatch
+            | MissingSystemDependency
+            | EnvironmentPathError
+            | PermissionDenied
+            | ResourceTemporarilyUnavailable => ErrorCategory::KnowledgeBase,
             UnterminatedString | UnbalancedBraces | MissingSemicolon | UnknownKeyword
             | StrayProse => ErrorCategory::Syntax,
             _ => ErrorCategory::Runtime,
@@ -174,7 +176,13 @@ impl PipelineError {
     /// Render the error as it would appear in an `<ERROR>` prompt block.
     pub fn render(&self) -> String {
         match self.line {
-            Some(line) => format!("[{}] line {}: {} ({})", self.category().label(), line, self.message, self.kind),
+            Some(line) => format!(
+                "[{}] line {}: {} ({})",
+                self.category().label(),
+                line,
+                self.message,
+                self.kind
+            ),
             None => format!("[{}] {} ({})", self.category().label(), self.message, self.kind),
         }
     }
@@ -196,7 +204,8 @@ mod tests {
     fn taxonomy_has_exactly_23_kinds() {
         assert_eq!(ErrorKind::ALL.len(), 23);
         // Category split: 6 KB, 5 SE, 12 RE.
-        let kb = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::KnowledgeBase).count();
+        let kb =
+            ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::KnowledgeBase).count();
         let se = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::Syntax).count();
         let re = ErrorKind::ALL.iter().filter(|k| k.category() == ErrorCategory::Runtime).count();
         assert_eq!((kb, se, re), (6, 5, 12));

@@ -18,8 +18,8 @@ use catdb_ml::{
     GradientBoostingRegressor, HighMissingDropper, ImputeStrategy, Imputer, KHotEncoder,
     KnnClassifier, KnnConfig, KnnRegressor, LabelEncoder, LogisticRegression, MlError,
     NullRowDropper, OneHotEncoder, OrdinalEncoder, OutlierMethod, OutlierRemover,
-    RandomForestClassifier, RandomForestRegressor, Regressor, RidgeRegression, Scaler, TabPfnSurrogate, TaskKind, TopKSelector, Transform,
-    TransformError as TErr,
+    RandomForestClassifier, RandomForestRegressor, Regressor, RidgeRegression, Scaler,
+    TabPfnSurrogate, TaskKind, TopKSelector, Transform, TransformError as TErr,
 };
 use catdb_table::{DataType, Table, Value};
 use std::time::Instant;
@@ -90,10 +90,9 @@ fn step_line(idx: usize) -> usize {
 fn map_transform_err(e: TransformError, line: usize) -> PipelineError {
     let (kind, message) = match &e {
         TErr::ColumnNotFound(c) => (ErrorKind::ColumnNotFound, format!("column '{c}' not found")),
-        TErr::WrongType { column, expected } => (
-            ErrorKind::WrongTypeForOperation,
-            format!("column '{column}' is not {expected}"),
-        ),
+        TErr::WrongType { column, expected } => {
+            (ErrorKind::WrongTypeForOperation, format!("column '{column}' is not {expected}"))
+        }
         TErr::NotFitted(n) => (ErrorKind::NumericalInstability, format!("{n} used before fit")),
         TErr::Invalid(m) => (ErrorKind::WrongTypeForOperation, m.clone()),
         TErr::Table(t) => (ErrorKind::ColumnNotFound, t.to_string()),
@@ -281,7 +280,11 @@ fn run_model(
     if !spec.family.matches_task(cfg.task) {
         return Err(PipelineError::new(
             ErrorKind::ModelTaskMismatch,
-            format!("task is {} but the pipeline trains a {}", cfg.task.label(), spec.family.label()),
+            format!(
+                "task is {} but the pipeline trains a {}",
+                cfg.task.label(),
+                spec.family.label()
+            ),
         )
         .at_line(line));
     }
@@ -300,10 +303,8 @@ fn run_model(
         .at_line(line));
     }
     if train.n_rows() == 0 {
-        return Err(
-            PipelineError::new(ErrorKind::EmptyTrainingSet, "training table has no rows")
-                .at_line(line),
-        );
+        return Err(PipelineError::new(ErrorKind::EmptyTrainingSet, "training table has no rows")
+            .at_line(line));
     }
 
     let (x_train, feats) = featurize(train, &spec.target).map_err(|e| map_ml_err(e, line))?;
@@ -420,8 +421,10 @@ pub fn execute(
         match step {
             Step::Require { .. } => {}
             Step::Impute { column, strategy } => {
-                let numeric_only =
-                    matches!(strategy, ImputeSpec::Mean | ImputeSpec::Median | ImputeSpec::ConstantNum(_));
+                let numeric_only = matches!(
+                    strategy,
+                    ImputeSpec::Mean | ImputeSpec::Median | ImputeSpec::ConstantNum(_)
+                );
                 let cols = expand_columns(&train, column, target.as_deref(), |f, c| {
                     c.null_count() > 0 && (!numeric_only || f.dtype.is_numeric())
                 });
@@ -457,9 +460,8 @@ pub fn execute(
                 }
             }
             Step::Scale { column, method } => {
-                let cols = expand_columns(&train, column, target.as_deref(), |f, _| {
-                    f.dtype.is_numeric()
-                });
+                let cols =
+                    expand_columns(&train, column, target.as_deref(), |f, _| f.dtype.is_numeric());
                 for col in cols {
                     let mut t = Scaler::new(col, *method);
                     apply(&mut t, &mut train, &mut test, line)?;
@@ -561,10 +563,7 @@ pub fn execute(
     }
 
     let Some((train_metrics, test_metrics, n_features)) = model_result else {
-        return Err(PipelineError::new(
-            ErrorKind::ModelTaskMismatch,
-            "pipeline has no model step",
-        ));
+        return Err(PipelineError::new(ErrorKind::ModelTaskMismatch, "pipeline has no model step"));
     };
     let algo = program.model().expect("model present").algo;
     Ok(Evaluation {
@@ -617,8 +616,7 @@ mod tests {
     fn clean_pipeline_executes_and_scores_well() {
         let (train, test) = toy_dataset();
         let cfg = ExecutionConfig::new(TaskKind::BinaryClassification);
-        let eval =
-            execute(&good_program(), &train, &test, &Environment::default(), &cfg).unwrap();
+        let eval = execute(&good_program(), &train, &test, &Environment::default(), &cfg).unwrap();
         assert!(eval.test.headline() > 0.9, "test AUC {:?}", eval.test);
         assert_eq!(eval.model_algo, ModelAlgo::RandomForest);
         assert_eq!(eval.n_features, 3); // x + color=blue + color=red
@@ -737,11 +735,9 @@ mod tests {
         let n = 2400; // > 1000 training rows after split
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let y: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
-        let t = Table::from_columns(vec![
-            ("x", Column::from_f64(xs)),
-            ("y", Column::from_strings(y)),
-        ])
-        .unwrap();
+        let t =
+            Table::from_columns(vec![("x", Column::from_f64(xs)), ("y", Column::from_strings(y))])
+                .unwrap();
         let (train, test) = t.train_test_split(0.7, 1).unwrap();
         let program =
             parse("pipeline {\n  require \"tabpfn\";\n  model classifier tabpfn target \"y\";\n}")

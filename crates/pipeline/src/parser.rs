@@ -151,10 +151,10 @@ impl<'a> Cursor<'a> {
     fn expect_ident(&mut self, what: &str) -> Result<String, PipelineError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.clone()),
-            other => Err(self.err(
-                ErrorKind::UnknownKeyword,
-                format!("expected {what}, found {other:?}"),
-            )),
+            other => {
+                Err(self
+                    .err(ErrorKind::UnknownKeyword, format!("expected {what}, found {other:?}")))
+            }
         }
     }
 
@@ -179,17 +179,28 @@ impl<'a> Cursor<'a> {
                 }
             }
             None => Err(self.err(ErrorKind::MissingSemicolon, "statement missing ';'")),
-            other => Err(self.err(
-                ErrorKind::MissingSemicolon,
-                format!("expected ';', found {other:?}"),
-            )),
+            other => {
+                Err(self.err(ErrorKind::MissingSemicolon, format!("expected ';', found {other:?}")))
+            }
         }
     }
 }
 
 const STEP_KEYWORDS: &[&str] = &[
-    "require", "impute", "scale", "encode", "drop", "drop_high_missing", "drop_constant",
-    "dedup", "drop_null_rows", "outliers", "augment", "rebalance", "select_topk", "model",
+    "require",
+    "impute",
+    "scale",
+    "encode",
+    "drop",
+    "drop_high_missing",
+    "drop_constant",
+    "dedup",
+    "drop_null_rows",
+    "outliers",
+    "augment",
+    "rebalance",
+    "select_topk",
+    "model",
 ];
 
 fn parse_step(tokens: &[Token], line_no: usize) -> Result<Step, PipelineError> {
@@ -292,10 +303,9 @@ fn parse_step(tokens: &[Token], line_no: usize) -> Result<Step, PipelineError> {
                 "exact" => Step::Dedup { approximate: false },
                 "approx" => Step::Dedup { approximate: true },
                 other => {
-                    return Err(c.err(
-                        ErrorKind::UnknownKeyword,
-                        format!("unknown dedup mode '{other}'"),
-                    ))
+                    return Err(
+                        c.err(ErrorKind::UnknownKeyword, format!("unknown dedup mode '{other}'"))
+                    )
                 }
             }
         }
@@ -360,10 +370,9 @@ fn parse_step(tokens: &[Token], line_no: usize) -> Result<Step, PipelineError> {
                 "classifier" => ModelFamily::Classifier,
                 "regressor" => ModelFamily::Regressor,
                 other => {
-                    return Err(c.err(
-                        ErrorKind::UnknownKeyword,
-                        format!("unknown model family '{other}'"),
-                    ))
+                    return Err(
+                        c.err(ErrorKind::UnknownKeyword, format!("unknown model family '{other}'"))
+                    )
                 }
             };
             let algo_name = c.expect_ident("model algorithm")?;
@@ -529,7 +538,10 @@ pipeline {
     fn star_column_refs_parse() {
         let src = "pipeline {\n  impute * strategy median;\n  scale * method minmax;\n}\n";
         let p = parse(src).unwrap();
-        assert_eq!(p.steps[0], Step::Impute { column: ColumnRef::All, strategy: ImputeSpec::Median });
+        assert_eq!(
+            p.steps[0],
+            Step::Impute { column: ColumnRef::All, strategy: ImputeSpec::Median }
+        );
     }
 
     #[test]

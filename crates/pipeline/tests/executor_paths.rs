@@ -27,8 +27,7 @@ fn classification_data() -> (Table, Table) {
             }
         })
         .collect();
-    let skills: Vec<&str> =
-        (0..n).map(|i| ["sql, rust", "rust", "go, sql", "go"][i % 4]).collect();
+    let skills: Vec<&str> = (0..n).map(|i| ["sql, rust", "rust", "go, sql", "go"][i % 4]).collect();
     let id: Vec<String> = (0..n).map(|i| format!("user_{i}")).collect();
     // Imbalanced labels: 25% positive.
     let y: Vec<&str> = (0..n).map(|i| if (i % 40) >= 30 { "pos" } else { "neg" }).collect();

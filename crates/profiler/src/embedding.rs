@@ -106,8 +106,22 @@ mod tests {
 
     #[test]
     fn disjoint_value_sets_have_low_cosine() {
-        let a = embed(&(0..50).map(|i| format!("a{i}")).collect::<Vec<_>>().iter().map(|s| s.as_str()).collect::<Vec<_>>());
-        let b = embed(&(0..50).map(|i| format!("b{i}")).collect::<Vec<_>>().iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let a = embed(
+            &(0..50)
+                .map(|i| format!("a{i}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
+        );
+        let b = embed(
+            &(0..50)
+                .map(|i| format!("b{i}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
+        );
         assert!(a.cosine(&b).abs() < 0.3);
     }
 

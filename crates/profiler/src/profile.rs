@@ -68,7 +68,8 @@ fn numeric_stats(col: &Column) -> Option<NumericStats> {
     let mean = vals.iter().sum::<f64>() / n;
     let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
     let mid = vals.len() / 2;
-    let median = if vals.len().is_multiple_of(2) { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] };
+    let median =
+        if vals.len().is_multiple_of(2) { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] };
     Some(NumericStats { min: vals[0], max: *vals.last().expect("non-empty"), mean, median, std })
 }
 
@@ -113,11 +114,8 @@ fn detect_feature_type(
 fn pearson_abs(a: &Column, b: &Column) -> f64 {
     let av = a.to_f64_vec();
     let bv = b.to_f64_vec();
-    let pairs: Vec<(f64, f64)> = av
-        .iter()
-        .zip(&bv)
-        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
-        .collect();
+    let pairs: Vec<(f64, f64)> =
+        av.iter().zip(&bv).filter_map(|(x, y)| Some(((*x)?, (*y)?))).collect();
     if pairs.len() < 3 {
         return 0.0;
     }
@@ -151,13 +149,8 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
     let _span = catdb_trace::span("profile_table");
     let started = Instant::now();
     let n_rows = table.n_rows();
-    let fields: Vec<(usize, String)> = table
-        .schema()
-        .names()
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (i, n.to_string()))
-        .collect();
+    let fields: Vec<(usize, String)> =
+        table.schema().names().iter().enumerate().map(|(i, n)| (i, n.to_string())).collect();
 
     // Per-column extraction, parallel across a worker pool (profiling large
     // wide tables is the dominant offline cost — Figure 9a).
@@ -186,8 +179,9 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
                         let missing = col.null_count();
                         let non_null = n_rows - missing;
                         let feature_type = detect_feature_type(col, distinct.len(), non_null, opts);
-                        let embedding =
-                            ColumnEmbedding::from_distinct_values(distinct.iter().map(|s| s.as_str()));
+                        let embedding = ColumnEmbedding::from_distinct_values(
+                            distinct.iter().map(|s| s.as_str()),
+                        );
                         // Samples: all distinct values for categoricals,
                         // else τ₁ random values (Algorithm 1, line 10).
                         let samples = if matches!(
@@ -280,10 +274,7 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
                     profiles[j].similarities.push((a.profile.name.clone(), cos));
                 }
                 if a.profile.data_type.is_numeric() && b.profile.data_type.is_numeric() {
-                    let corr = pearson_abs(
-                        table.column_at(a.idx),
-                        table.column_at(b.idx),
-                    );
+                    let corr = pearson_abs(table.column_at(a.idx), table.column_at(b.idx));
                     if corr >= 0.3 {
                         profiles[i].correlations.push((b.profile.name.clone(), corr));
                         profiles[j].correlations.push((a.profile.name.clone(), corr));
@@ -291,22 +282,14 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
                 }
             }
             // Inclusion: is column i's value set inside column j's?
-            let score = inclusion_score(
-                &a.embedding,
-                &b.embedding,
-                a.distinct.len(),
-                b.distinct.len(),
-            );
+            let score =
+                inclusion_score(&a.embedding, &b.embedding, a.distinct.len(), b.distinct.len());
             if score >= opts.inclusion_threshold && a.distinct.len() >= 2 {
                 profiles[i].inclusion_dependencies.push(b.profile.name.clone());
             }
         }
-        profiles[i]
-            .similarities
-            .sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
-        profiles[i]
-            .correlations
-            .sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        profiles[i].similarities.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        profiles[i].correlations.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
     }
 
     DataProfile {

@@ -72,7 +72,11 @@ impl Bencher {
 pub struct Criterion;
 
 impl Criterion {
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher::new();
         f(&mut b);
         b.report(&name.to_string());
@@ -95,7 +99,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher::new();
         f(&mut b);
         b.report(&format!("  {name}"));

@@ -288,16 +288,14 @@ fn parse_pattern(pattern: &str) -> Vec<Quantified> {
 fn sample_pattern(parts: &[Quantified], rng: &mut StdRng) -> String {
     let mut out = String::new();
     for part in parts {
-        let count = if part.min == part.max {
-            part.min
-        } else {
-            rng.gen_range(part.min..=part.max)
-        };
+        let count =
+            if part.min == part.max { part.min } else { rng.gen_range(part.min..=part.max) };
         for _ in 0..count {
             match &part.atom {
                 Atom::Literal(c) => out.push(*c),
                 Atom::Class(ranges) => {
-                    let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                    let total: u32 =
+                        ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
                     let mut pick = rng.gen_range(0..total);
                     for (lo, hi) in ranges {
                         let span = *hi as u32 - *lo as u32 + 1;
@@ -333,7 +331,7 @@ impl Strategy for String {
 // ---------------------------------------------------------------------------
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
 
     /// Sizes accepted by `collection::vec`: exact or a range.
@@ -374,11 +372,8 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
-            let len = if self.min == self.max {
-                self.min
-            } else {
-                rng.gen_range(self.min..=self.max)
-            };
+            let len =
+                if self.min == self.max { self.min } else { rng.gen_range(self.min..=self.max) };
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }

@@ -250,10 +250,9 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn deserialize(v: &Value) -> Result<HashMap<String, V>, DeError> {
         match v {
-            Value::Object(m) => m
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
-                .collect(),
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
             other => Err(DeError::type_mismatch("object", other)),
         }
     }
@@ -262,10 +261,9 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn deserialize(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
         match v {
-            Value::Object(m) => m
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
-                .collect(),
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
             other => Err(DeError::type_mismatch("object", other)),
         }
     }
@@ -281,8 +279,9 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     match v {
         Value::Object(m) => match m.get(name) {
-            Some(inner) => T::deserialize(inner)
-                .map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+            Some(inner) => {
+                T::deserialize(inner).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+            }
             None => T::deserialize(&Value::Null)
                 .map_err(|_| DeError::new(format!("missing field `{name}`"))),
         },

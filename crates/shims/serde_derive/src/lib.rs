@@ -204,7 +204,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                return Err(format!("tuple struct `{name}` is not supported by the serde shim derive"))
+                return Err(format!(
+                    "tuple struct `{name}` is not supported by the serde shim derive"
+                ))
             }
             Some(_) => continue, // `where` clauses etc. would land here
             None => return Err(format!("`{name}` has no body")),
@@ -273,8 +275,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
                         for f in fields.iter().filter(|f| !f.skip) {
                             inner.push_str(&format!(
@@ -312,15 +313,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let mut inits = String::new();
             for f in &fields {
                 if f.skip {
-                    inits.push_str(&format!(
-                        "{}: ::core::default::Default::default(),\n",
-                        f.name
-                    ));
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
                 } else {
-                    inits.push_str(&format!(
-                        "{}: ::serde::field(v, {:?})?,\n",
-                        f.name, f.name
-                    ));
+                    inits.push_str(&format!("{}: ::serde::field(v, {:?})?,\n", f.name, f.name));
                 }
             }
             format!(
@@ -338,9 +333,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantShape::Unit => {
                         unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
                         // Also accept `{"Unit": null}`.
-                        tagged_arms.push_str(&format!(
-                            "{vn:?} => return Ok({name}::{vn}),\n"
-                        ));
+                        tagged_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
                     }
                     VariantShape::Tuple(n) => {
                         if *n == 1 {

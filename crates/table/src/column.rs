@@ -142,10 +142,9 @@ impl Column {
             Column::Int(v) => v.iter().map(|x| x.map(|i| i as f64)).collect(),
             Column::Float(v) => v.clone(),
             Column::Bool(v) => v.iter().map(|x| x.map(|b| if b { 1.0 } else { 0.0 })).collect(),
-            Column::Str(v) => v
-                .iter()
-                .map(|x| x.as_ref().and_then(|s| s.trim().parse::<f64>().ok()))
-                .collect(),
+            Column::Str(v) => {
+                v.iter().map(|x| x.as_ref().and_then(|s| s.trim().parse::<f64>().ok())).collect()
+            }
         }
     }
 

@@ -179,10 +179,8 @@ pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Table> {
 
     // Materialize columns; degrade to string when later rows contradict the
     // sampled type (a cell fails to parse but is not a null marker).
-    let mut cols: Vec<Column> = dtypes
-        .iter()
-        .map(|&dt| Column::with_capacity(dt, records.len()))
-        .collect();
+    let mut cols: Vec<Column> =
+        dtypes.iter().map(|&dt| Column::with_capacity(dt, records.len())).collect();
     for c in 0..n_cols {
         let mut degraded = false;
         for rec in &records {
@@ -228,12 +226,8 @@ fn quote_if_needed(cell: &str, delim: u8) -> String {
 /// Serialize a table as CSV.
 pub fn write_csv<W: Write>(table: &Table, writer: &mut W, delimiter: u8) -> Result<()> {
     let delim = delimiter as char;
-    let header: Vec<String> = table
-        .schema()
-        .names()
-        .iter()
-        .map(|n| quote_if_needed(n, delimiter))
-        .collect();
+    let header: Vec<String> =
+        table.schema().names().iter().map(|n| quote_if_needed(n, delimiter)).collect();
     writeln!(writer, "{}", header.join(&delim.to_string()))?;
     for r in 0..table.n_rows() {
         let mut first = true;
@@ -283,10 +277,7 @@ mod tests {
     #[test]
     fn ragged_rows_are_rejected() {
         let csv = "a,b\n1,2\n3\n";
-        assert!(matches!(
-            read_csv_str(csv, &CsvOptions::default()),
-            Err(TableError::Csv { .. })
-        ));
+        assert!(matches!(read_csv_str(csv, &CsvOptions::default()), Err(TableError::Csv { .. })));
     }
 
     #[test]

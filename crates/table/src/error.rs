@@ -39,7 +39,9 @@ impl fmt::Display for TableError {
             TableError::RowOutOfBounds { index, len } => {
                 write!(f, "row index {index} out of bounds for table of {len} rows")
             }
-            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             TableError::Io(msg) => write!(f, "io error: {msg}"),
             TableError::InvalidJoinKey(k) => write!(f, "invalid join key: {k}"),
             TableError::Invalid(msg) => write!(f, "{msg}"),

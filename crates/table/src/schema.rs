@@ -45,12 +45,7 @@ impl Schema {
 
     /// Rebuild the name index (needed after deserialization, which skips it).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .fields
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.clone(), i))
-            .collect();
+        self.index = self.fields.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
     }
 
     pub fn fields(&self) -> &[Field] {
@@ -95,9 +90,8 @@ impl Schema {
 
     /// Remove the field named `name`; errors if absent.
     pub fn remove(&mut self, name: &str) -> Result<Field> {
-        let idx = self
-            .index_of(name)
-            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))?;
+        let idx =
+            self.index_of(name).ok_or_else(|| TableError::ColumnNotFound(name.to_string()))?;
         let f = self.fields.remove(idx);
         self.rebuild_index();
         Ok(f)
@@ -110,9 +104,7 @@ impl Schema {
         if self.contains(&new) {
             return Err(TableError::DuplicateColumn(new));
         }
-        let idx = self
-            .index_of(old)
-            .ok_or_else(|| TableError::ColumnNotFound(old.to_string()))?;
+        let idx = self.index_of(old).ok_or_else(|| TableError::ColumnNotFound(old.to_string()))?;
         self.fields[idx].name = new;
         self.rebuild_index();
         Ok(())

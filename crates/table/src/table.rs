@@ -272,11 +272,7 @@ impl Table {
         let mut left_rows: Vec<usize> = Vec::new();
         let mut right_rows: Vec<Option<usize>> = Vec::new();
         for i in 0..self.n_rows {
-            let matches = if lk.is_null_at(i) {
-                None
-            } else {
-                index.get(&lk.get(i).render())
-            };
+            let matches = if lk.is_null_at(i) { None } else { index.get(&lk.get(i).render()) };
             match matches {
                 Some(rs) => {
                     for &r in rs {

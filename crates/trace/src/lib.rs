@@ -55,6 +55,25 @@ pub enum TraceEvent {
     ErrorIteration { kind: String, attempt: usize },
     /// One pipeline operator executed over the train table.
     PipelineOp { op: String, rows_in: usize, rows_out: usize, micros: u64 },
+    /// A transport-level LLM attempt failed and was (or is about to be)
+    /// retried. `prompt_tokens`/`cost` are the *wasted* spend newly
+    /// attributable to the failed attempt (zero when the attempt already
+    /// produced a billed `LlmCall`, e.g. a deadline miss after a served
+    /// completion); `backoff_seconds` is the simulated wait applied
+    /// before the next attempt (zero when the budget is exhausted).
+    LlmRetry {
+        model: String,
+        attempt: usize,
+        error: String,
+        backoff_seconds: f64,
+        prompt_tokens: usize,
+        cost: f64,
+    },
+    /// A per-model circuit breaker opened after consecutive failures.
+    CircuitOpen { model: String, consecutive_failures: usize, cooldown_seconds: f64 },
+    /// The resilience ladder degraded from one rung to the next (or to
+    /// the handcrafted fallback when every LLM rung is exhausted).
+    Degraded { from: String, to: String, reason: String },
 }
 
 impl TraceEvent {
@@ -67,6 +86,9 @@ impl TraceEvent {
             TraceEvent::LlmCall { .. } => "llm_call",
             TraceEvent::ErrorIteration { .. } => "error_iteration",
             TraceEvent::PipelineOp { .. } => "pipeline_op",
+            TraceEvent::LlmRetry { .. } => "llm_retry",
+            TraceEvent::CircuitOpen { .. } => "circuit_open",
+            TraceEvent::Degraded { .. } => "degraded",
         }
     }
 }
@@ -323,12 +345,58 @@ impl Trace {
         self.events.iter().filter(|r| matches!(r.event, TraceEvent::LlmCall { .. })).count()
     }
 
-    /// Number of error-management repair attempts recorded.
-    pub fn error_iteration_count(&self) -> usize {
+    /// Number of transport-level retry events recorded.
+    pub fn llm_retry_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::LlmRetry { .. })).count()
+    }
+
+    /// Wasted prompt tokens over all [`TraceEvent::LlmRetry`] events —
+    /// input the failed attempts consumed without yielding a completion.
+    pub fn retry_tokens(&self) -> usize {
         self.events
             .iter()
-            .filter(|r| matches!(r.event, TraceEvent::ErrorIteration { .. }))
-            .count()
+            .filter_map(|r| match &r.event {
+                TraceEvent::LlmRetry { prompt_tokens, .. } => Some(*prompt_tokens),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Wasted dollar cost over all [`TraceEvent::LlmRetry`] events.
+    pub fn retry_cost(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::LlmRetry { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total simulated backoff seconds spent waiting between retries.
+    pub fn retry_backoff_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::LlmRetry { backoff_seconds, .. } => Some(*backoff_seconds),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of circuit-breaker openings recorded.
+    pub fn circuit_open_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::CircuitOpen { .. })).count()
+    }
+
+    /// Number of degradation steps (rung-to-rung or to-handcraft) recorded.
+    pub fn degraded_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::Degraded { .. })).count()
+    }
+
+    /// Number of error-management repair attempts recorded.
+    pub fn error_iteration_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::ErrorIteration { .. })).count()
     }
 
     /// `(prompt, completion)` tokens per prompt task, attributing each
@@ -572,6 +640,51 @@ mod tests {
         let back = Trace::from_json_str(&text).unwrap();
         assert_eq!(t, back);
         back.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn resilience_events_round_trip_and_aggregate() {
+        let sink = TraceSink::new();
+        sink.emit(TraceEvent::LlmRetry {
+            model: "gpt-4o".into(),
+            attempt: 1,
+            error: "timeout".into(),
+            backoff_seconds: 1.5,
+            prompt_tokens: 120,
+            cost: 0.0003,
+        });
+        sink.emit(TraceEvent::LlmRetry {
+            model: "gpt-4o".into(),
+            attempt: 2,
+            error: "rate_limited".into(),
+            backoff_seconds: 3.0,
+            prompt_tokens: 120,
+            cost: 0.0003,
+        });
+        sink.emit(TraceEvent::CircuitOpen {
+            model: "gpt-4o".into(),
+            consecutive_failures: 4,
+            cooldown_seconds: 120.0,
+        });
+        sink.emit(TraceEvent::Degraded {
+            from: "gpt-4o".into(),
+            to: "gemini-1.5-pro".into(),
+            reason: "circuit_open".into(),
+        });
+        let t = sink.snapshot();
+        assert_eq!(t.llm_retry_count(), 2);
+        assert_eq!(t.retry_tokens(), 240);
+        assert!((t.retry_cost() - 0.0006).abs() < 1e-12);
+        assert!((t.retry_backoff_seconds() - 4.5).abs() < 1e-12);
+        assert_eq!(t.circuit_open_count(), 1);
+        assert_eq!(t.degraded_count(), 1);
+        // Retries are not completions: the LlmCall totals stay untouched.
+        assert_eq!(t.total_llm_tokens(), (0, 0));
+        let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.events[2].event.kind(), "circuit_open");
+        assert_eq!(back.events[3].event.kind(), "degraded");
+        assert_eq!(back.events[0].event.kind(), "llm_retry");
     }
 
     #[test]

@@ -14,10 +14,8 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
             feature_type: "numerical".to_string(),
             micros,
         }),
-        ("[a-z]{1,8}", 0usize..2_000).prop_map(|(task, tokens)| TraceEvent::PromptBuilt {
-            task,
-            tokens,
-        }),
+        ("[a-z]{1,8}", 0usize..2_000)
+            .prop_map(|(task, tokens)| TraceEvent::PromptBuilt { task, tokens }),
         (0usize..5_000, 0usize..5_000).prop_map(|(input, output)| TraceEvent::LlmCall {
             model: "gpt-4o".to_string(),
             prompt_tokens: input,

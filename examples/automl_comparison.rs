@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example automl_comparison`
 
 use catdb_automl::{run_automl, AutoMlConfig, AutoMlOutcome, ToolProfile};
-use catdb_baselines::{run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel};
+use catdb_baselines::{
+    run_aide, run_autogen, run_caafe, AideConfig, AutoGenConfig, CaafeConfig, CaafeModel,
+};
 use catdb_catalog::{refine_dataset, CatalogEntry, RefineOptions};
 use catdb_core::{generate_pipeline, CatDbConfig};
 use catdb_data::{generate, GenOptions};

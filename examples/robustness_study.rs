@@ -26,11 +26,7 @@ fn main() {
         let profile = profile_table("utility", &corrupted, &ProfileOptions::default());
         let entry = CatalogEntry::new("utility", g.target.clone(), g.task, profile);
         let outcome = generate_pipeline(&entry, &train, &test, &llm, &CatDbConfig::default());
-        let catdb_r2 = outcome
-            .evaluation
-            .as_ref()
-            .map(|e| e.test.headline())
-            .unwrap_or(f64::NAN);
+        let catdb_r2 = outcome.evaluation.as_ref().map(|e| e.test.headline()).unwrap_or(f64::NAN);
 
         let automl = run_automl(
             &ToolProfile::flaml(),

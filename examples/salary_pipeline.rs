@@ -31,7 +31,11 @@ fn salary_table(n: usize, seed: u64) -> Table {
     for _ in 0..n {
         let level = rng.gen_range(0..3usize); // latent seniority
         gender.push(genders[rng.gen_range(0..genders.len())].to_string());
-        address.push(format!("{} {}", 7000 + rng.gen_range(0..20) * 7, states[rng.gen_range(0..3usize)]));
+        address.push(format!(
+            "{} {}",
+            7000 + rng.gen_range(0..20) * 7,
+            states[rng.gen_range(0..3usize)]
+        ));
         let k = 1 + rng.gen_range(0..3usize);
         let mut items: Vec<&str> = Vec::new();
         for _ in 0..k {

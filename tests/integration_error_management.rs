@@ -58,14 +58,14 @@ fn traces_classify_into_paper_categories() {
         assert_eq!(t.category, t.kind.category());
     }
     // Syntax errors should mostly resolve locally (the KB/AST channel).
-    let syntax_fixed_locally = db
-        .traces()
-        .iter()
-        .filter(|t| t.category == ErrorCategory::Syntax)
-        .all(|t| {
+    let syntax_fixed_locally =
+        db.traces().iter().filter(|t| t.category == ErrorCategory::Syntax).all(|t| {
             matches!(
                 t.fixed_by,
-                FixedBy::LocalSyntaxCleanup | FixedBy::LlmResubmission | FixedBy::Handcrafted | FixedBy::Unfixed
+                FixedBy::LocalSyntaxCleanup
+                    | FixedBy::LlmResubmission
+                    | FixedBy::Handcrafted
+                    | FixedBy::Unfixed
             )
         });
     assert!(syntax_fixed_locally);

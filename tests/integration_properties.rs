@@ -6,7 +6,9 @@
 use catdb_data::{corrupt, Corruption};
 use catdb_llm::refine_values;
 use catdb_ml::metrics;
-use catdb_pipeline::{parse, ColumnRef, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, Program, Step};
+use catdb_pipeline::{
+    parse, ColumnRef, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, Program, Step,
+};
 use catdb_table::{read_csv_str, to_csv_string, Column, CsvOptions, Table};
 use proptest::prelude::*;
 

@@ -1,0 +1,198 @@
+//! Cross-crate integration of the resilient LLM transport: with injected
+//! transport faults at 30 % and the default retry budget, every seed in
+//! the matrix must still produce a valid pipeline, the retries must show
+//! up in the recorded trace, and their wasted spend must be folded into
+//! the measured cost totals.
+
+use catdb_core::{generate_pipeline, measured_cost, CatDbConfig};
+use catdb_data::{generate, GenOptions};
+use catdb_llm::{
+    FaultInjectingLlm, FaultSpec, LanguageModel, LlmError, ModelProfile, Prompt, ResilientClient,
+    RetryPolicy, Rung, SimLlm,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn prepared() -> (catdb_catalog::CatalogEntry, catdb_table::Table, catdb_table::Table) {
+    let g = generate("diabetes", &GenOptions { max_rows: 300, scale: 1.0, seed: 7 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = catdb_profiler::profile_table("diabetes", &flat, &Default::default());
+    let entry = catdb_catalog::CatalogEntry::new("diabetes", g.target.clone(), g.task, profile);
+    let (train, test) = flat.train_test_split(0.7, 7).unwrap();
+    (entry, train, test)
+}
+
+fn faulty_client(seed: u64, rate: f64, max_retries: usize) -> ResilientClient {
+    ResilientClient::simulated(
+        ModelProfile::gemini_1_5_pro(),
+        FaultSpec::from_rate(rate),
+        RetryPolicy { max_retries, ..Default::default() },
+        seed,
+    )
+}
+
+/// The PR's acceptance criterion: `--fault-rate 0.3 --max-retries 3`
+/// yields a valid pipeline for every seed in the matrix, the union of
+/// traces contains `LlmRetry` events, and their token/cost totals are
+/// included in `measured_cost()`.
+#[test]
+fn faulty_transport_still_converges_and_bills_retries() {
+    let (entry, train, test) = prepared();
+    let mut union_retries = 0usize;
+    for seed in 0..6u64 {
+        let sink = Arc::new(catdb_trace::TraceSink::new());
+        let guard = catdb_trace::install(sink.clone());
+        let llm = faulty_client(seed, 0.3, 3);
+        let cfg = CatDbConfig { seed, ..Default::default() };
+        let outcome = generate_pipeline(&entry, &train, &test, &llm, &cfg);
+        drop(guard);
+        assert!(outcome.success, "seed {seed}: resilient transport must converge");
+        assert!(outcome.evaluation.is_some(), "seed {seed}: pipeline must evaluate");
+
+        let trace = sink.snapshot();
+        let measured = measured_cost(&trace);
+        union_retries += measured.retries;
+        // Retry waste is accounted, not hidden: the aggregated totals
+        // contain the wasted prompt tokens/dollars on top of served calls.
+        let (served_in, _) = trace.total_llm_tokens();
+        assert_eq!(measured.input_tokens, served_in + trace.retry_tokens(), "seed {seed}");
+        assert!(
+            (measured.usd - (trace.total_llm_cost() + trace.retry_cost())).abs() < 1e-12,
+            "seed {seed}"
+        );
+        assert_eq!(measured.retries, trace.llm_retry_count(), "seed {seed}");
+        if measured.retries > 0 {
+            assert!(measured.retry_usd > 0.0, "seed {seed}: retries must carry cost");
+            assert!(measured.retry_overhead() > 0.0, "seed {seed}");
+        }
+    }
+    assert!(union_retries > 0, "a 30% fault rate over 6 seeds must surface LlmRetry events");
+}
+
+/// At fault rate zero and default knobs the resilient stack is a
+/// transparent wrapper: same completions as a bare `SimLlm`, no retry or
+/// degradation events.
+#[test]
+fn zero_fault_rate_is_transparent() {
+    let profile = ModelProfile::gemini_1_5_pro();
+    let resilient = faulty_client(11, 0.0, 3);
+    let bare = SimLlm::new(profile, 11);
+    let prompt = Prompt::new("sys", "<TASK>pipeline_generation</TASK> transparent check");
+    let sink = Arc::new(catdb_trace::TraceSink::new());
+    let guard = catdb_trace::install(sink.clone());
+    for _ in 0..3 {
+        let a = resilient.complete(&prompt).expect("resilient");
+        let b = bare.complete(&prompt).expect("bare");
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.usage, b.usage);
+    }
+    drop(guard);
+    let trace = sink.snapshot();
+    assert_eq!(trace.llm_retry_count(), 0);
+    assert_eq!(trace.degraded_count(), 0);
+    assert_eq!(trace.circuit_open_count(), 0);
+}
+
+/// A [`LanguageModel`] that counts how many times the ladder actually
+/// reaches the wire, for pinning down the retry budget.
+struct CountingLlm<L> {
+    inner: L,
+    calls: Arc<AtomicUsize>,
+}
+
+impl<L: LanguageModel> LanguageModel for CountingLlm<L> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn complete(&self, prompt: &Prompt) -> Result<catdb_llm::Completion, LlmError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.complete(prompt)
+    }
+}
+
+fn counting_ladder(
+    seed: u64,
+    rate: f64,
+    max_retries: usize,
+) -> (ResilientClient, Vec<Arc<AtomicUsize>>) {
+    let mut counters = Vec::new();
+    let rungs = ModelProfile::paper_models()
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let rung_seed = seed.wrapping_add(i as u64);
+            let counter = Arc::new(AtomicUsize::new(0));
+            counters.push(counter.clone());
+            let inner = FaultInjectingLlm::new(
+                SimLlm::new(profile.clone(), rung_seed),
+                FaultSpec::from_rate(rate),
+                rung_seed,
+            );
+            Rung { profile, llm: Box::new(CountingLlm { inner, calls: counter }) }
+        })
+        .collect();
+    let client =
+        ResilientClient::new(rungs, RetryPolicy { max_retries, ..Default::default() }, seed);
+    (client, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Determinism: for a fixed seed the resilient client over the fault
+    /// injector replays the exact same outcome — same completion text and
+    /// usage, or the same error — on a fresh identical stack.
+    #[test]
+    fn resilient_client_is_deterministic_per_seed(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.9,
+        calls in 1usize..4,
+    ) {
+        let prompt = Prompt::new("sys", "<TASK>pipeline_generation</TASK> determinism probe");
+        let run = |seed: u64| {
+            let llm = faulty_client(seed, rate, 2);
+            (0..calls)
+                .map(|_| match llm.complete(&prompt) {
+                    Ok(c) => (Some((c.text, c.usage)), None),
+                    Err(e) => (None, Some(e.code().to_string())),
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Termination: one logical completion never costs more than the
+    /// retry budget — at most `rungs × (max_retries + 1)` wire attempts,
+    /// even under a heavy fault rate that exhausts every rung.
+    #[test]
+    fn retry_budget_bounds_wire_attempts(
+        seed in 0u64..10_000,
+        rate in 0.0f64..1.0,
+        max_retries in 0usize..4,
+    ) {
+        let (client, counters) = counting_ladder(seed, rate, max_retries);
+        let n_rungs = counters.len();
+        let prompt = Prompt::new("sys", "<TASK>pipeline_generation</TASK> budget probe");
+        let result = client.complete(&prompt);
+        let attempts: usize = counters.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        prop_assert!(attempts >= 1);
+        prop_assert!(
+            attempts <= n_rungs * (max_retries + 1),
+            "attempts {} exceeds budget {} × {}",
+            attempts,
+            n_rungs,
+            max_retries + 1
+        );
+        // An error is only legal once the whole ladder was exhausted (or
+        // rejected); success must come from within the budget.
+        if result.is_ok() {
+            prop_assert!(attempts <= n_rungs * (max_retries + 1));
+        }
+    }
+}

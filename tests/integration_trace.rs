@@ -44,20 +44,13 @@ fn diabetes_run_records_full_trace() {
         "generation span missing: {:?}",
         trace.spans
     );
-    assert!(
-        !trace.spans_named("execute_pipeline").is_empty(),
-        "execution span missing"
-    );
+    assert!(!trace.spans_named("execute_pipeline").is_empty(), "execution span missing");
     // Pipeline execution happened inside the generation session.
     let gen_id = trace.spans_named("generate_pipeline")[0].id;
-    assert!(trace
-        .spans_named("execute_pipeline")
-        .iter()
-        .all(|s| s.parent == Some(gen_id)));
+    assert!(trace.spans_named("execute_pipeline").iter().all(|s| s.parent == Some(gen_id)));
 
     // Executed operators were recorded with row counts.
-    let ops: Vec<&TraceEvent> =
-        events.iter().filter(|e| e.kind() == "pipeline_op").collect();
+    let ops: Vec<&TraceEvent> = events.iter().filter(|e| e.kind() == "pipeline_op").collect();
     assert!(!ops.is_empty(), "expected PipelineOp events");
     for op in ops {
         if let TraceEvent::PipelineOp { rows_in, op, .. } = op {
