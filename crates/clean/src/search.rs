@@ -154,20 +154,26 @@ pub fn learn2clean(
     let mut best_score = proxy_score(&current, target, task, seed)
         .ok_or_else(|| CleaningError("baseline evaluation failed".into()))?;
     let mut evaluated = 1;
+    let limit = catdb_runtime::pool_size().saturating_add(1);
     for _ in 0..4 {
-        let mut round_best: Option<(f64, CleanOp, Table)> = None;
-        for op in CleanOp::ALL {
-            if sequence.contains(&op) {
-                continue;
-            }
-            let Ok(candidate) = op.apply(&current, target) else { continue };
+        // Score every unused op in parallel; `parallel_map` returns the
+        // results in input order, so the strict `>` fold below keeps the
+        // same first-max-wins winner as the old sequential loop.
+        let unused: Vec<CleanOp> =
+            CleanOp::ALL.into_iter().filter(|op| !sequence.contains(op)).collect();
+        let scored = catdb_runtime::parallel_map(limit, &unused, |_, &op| {
+            let Ok(candidate) = op.apply(&current, target) else { return None };
             if candidate.n_rows() < 10 {
-                continue;
+                return None;
             }
-            let Some(score) = proxy_score(&candidate, target, task, seed) else { continue };
+            let score = proxy_score(&candidate, target, task, seed)?;
+            Some((score, op, candidate))
+        });
+        let mut round_best: Option<(f64, CleanOp, Table)> = None;
+        for entry in scored.into_iter().flatten() {
             evaluated += 1;
-            if round_best.as_ref().is_none_or(|(s, _, _)| score > *s) {
-                round_best = Some((score, op, candidate));
+            if round_best.as_ref().is_none_or(|(s, _, _)| entry.0 > *s) {
+                round_best = Some(entry);
             }
         }
         match round_best {
@@ -222,30 +228,34 @@ pub fn saga(
         ops
     };
     let mut evaluated = 0;
-    let fitness = |seq: &[CleanOp], evaluated: &mut usize| -> f64 {
-        *evaluated += 1;
+    let fitness = |seq: &[CleanOp]| -> f64 {
         match apply_sequence(table, seq, target) {
             Some(t) => proxy_score(&t, target, task, cfg.seed).unwrap_or(f64::NEG_INFINITY),
             None => f64::NEG_INFINITY,
         }
     };
+    let limit = catdb_runtime::pool_size().saturating_add(1);
+    // Fitness evaluation never touches the RNG, so candidate sequences are
+    // drawn sequentially (identical RNG stream to the old code) and then
+    // scored in parallel on the shared runtime.
+    let score_all = |seqs: Vec<Vec<CleanOp>>, evaluated: &mut usize| -> Vec<(Vec<CleanOp>, f64)> {
+        *evaluated += seqs.len();
+        let scores = catdb_runtime::parallel_map(limit, &seqs, |_, seq| fitness(seq));
+        seqs.into_iter().zip(scores).collect()
+    };
 
-    let mut population: Vec<(Vec<CleanOp>, f64)> = (0..cfg.population)
-        .map(|_| {
-            let seq = random_seq(&mut rng);
-            let f = fitness(&seq, &mut evaluated);
-            (seq, f)
-        })
-        .collect();
+    let seeds: Vec<Vec<CleanOp>> = (0..cfg.population).map(|_| random_seq(&mut rng)).collect();
+    let mut population = score_all(seeds, &mut evaluated);
     // Seed the empty sequence so "no cleaning" competes.
-    let empty_fit = fitness(&[], &mut evaluated);
+    evaluated += 1;
+    let empty_fit = fitness(&[]);
     population.push((Vec::new(), empty_fit));
 
     for _ in 0..cfg.generations {
         population.sort_by(|a, b| b.1.total_cmp(&a.1));
         population.truncate(cfg.population);
         let elite = population[..population.len().min(4)].to_vec();
-        let mut offspring = Vec::new();
+        let mut children = Vec::new();
         for _ in 0..cfg.population / 2 {
             // Crossover: splice two elite parents.
             let pa = &elite[rng.gen_range(0..elite.len())].0;
@@ -273,10 +283,9 @@ pub fn saga(
                 _ => {}
             }
             child.truncate(cfg.max_sequence_len);
-            let f = fitness(&child, &mut evaluated);
-            offspring.push((child, f));
+            children.push(child);
         }
-        population.extend(offspring);
+        population.extend(score_all(children, &mut evaluated));
     }
     population.sort_by(|a, b| b.1.total_cmp(&a.1));
     let (best_seq, best_fit) = population.into_iter().next().expect("population non-empty");

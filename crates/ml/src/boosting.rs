@@ -108,8 +108,14 @@ impl Classifier for GradientBoostingClassifier {
     fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<Box<dyn ClassifierModel>> {
         validate_classification(x, y, n_classes)?;
         let n = x.rows() as f64;
-        let mut classes = Vec::with_capacity(n_classes);
-        for c in 0..n_classes {
+        // Rounds within a class are sequential (each stage fits the
+        // previous margin's gradient), but the one-vs-rest classes are
+        // independent: train them in parallel on the shared runtime.
+        // Stage seeds depend only on (class, round), so the ensemble is
+        // identical no matter how many threads participate.
+        let class_ids: Vec<usize> = (0..n_classes).collect();
+        let limit = catdb_runtime::pool_size().saturating_add(1);
+        let classes = catdb_runtime::parallel_map(limit, &class_ids, |_, &c| {
             let targets: Vec<f64> = y.iter().map(|&l| (l == c) as usize as f64).collect();
             let pos = targets.iter().sum::<f64>().clamp(1.0, n - 1.0);
             let prior = (pos / (n - pos)).ln();
@@ -133,8 +139,8 @@ impl Classifier for GradientBoostingClassifier {
                 }
                 stages.push(tree);
             }
-            classes.push((prior, stages));
-        }
+            (prior, stages)
+        });
         Ok(Box::new(BoostClassModel {
             classes,
             learning_rate: self.config.learning_rate,

@@ -3,7 +3,7 @@
 //! behaviour (Skills → one 0/1 column per extracted list item).
 
 use crate::transform::{require_column, Result, Transform, TransformError};
-use catdb_table::{Column, DataType, Table};
+use catdb_table::{column_dict, Column, DataType, Table, NULL_CODE};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
@@ -44,21 +44,28 @@ impl Transform for OneHotEncoder {
 
     fn fit(&mut self, table: &Table) -> Result<()> {
         let col = require_column(table, &self.column)?;
-        let cats: BTreeSet<String> = (0..col.len()).filter_map(|i| category_key(col, i)).collect();
-        self.categories = Some(cats.into_iter().collect());
+        // The dictionary's value list is exactly the sorted distinct
+        // rendered values — the same set the old per-row BTreeSet built.
+        self.categories = Some(column_dict(col).values().to_vec());
         Ok(())
     }
 
     fn transform(&self, table: &Table) -> Result<Table> {
         let cats = self.categories.as_ref().ok_or(TransformError::NotFitted("onehot"))?;
-        let col = require_column(table, &self.column)?.clone();
+        let col = require_column(table, &self.column)?;
+        let dict = column_dict(col);
         let mut out = table.clone();
         out.drop_column(&self.column)?;
         for cat in cats {
-            let mut ind = Vec::with_capacity(col.len());
-            for i in 0..col.len() {
-                ind.push(Some((category_key(&col, i).as_deref() == Some(cat.as_str())) as i64));
-            }
+            // Compare per-row integer codes against the category's code
+            // instead of re-rendering every cell per category. Unseen
+            // categories have no code and nulls carry NULL_CODE, so both
+            // fall out as all-zero columns exactly like before.
+            let code = dict.code_of(cat);
+            let ind: Vec<Option<i64>> = match code {
+                Some(code) => dict.codes().iter().map(|&c| Some((c == code) as i64)).collect(),
+                None => vec![Some(0); dict.codes().len()],
+            };
             out.add_column(format!("{}={}", self.column, cat), Column::Int(ind))?;
         }
         Ok(out)
@@ -86,21 +93,25 @@ impl Transform for OrdinalEncoder {
 
     fn fit(&mut self, table: &Table) -> Result<()> {
         let col = require_column(table, &self.column)?;
-        let cats: BTreeSet<String> = (0..col.len()).filter_map(|i| category_key(col, i)).collect();
-        self.categories = Some(cats.into_iter().collect());
+        self.categories = Some(column_dict(col).values().to_vec());
         Ok(())
     }
 
     fn transform(&self, table: &Table) -> Result<Table> {
         let cats = self.categories.as_ref().ok_or(TransformError::NotFitted("ordinal"))?;
         let col = require_column(table, &self.column)?;
-        let codes: Vec<Option<i64>> = (0..col.len())
-            .map(|i| {
-                Some(match category_key(col, i) {
-                    Some(k) => cats.binary_search(&k).map(|p| p as i64).unwrap_or(-1),
-                    None => -1,
-                })
-            })
+        let dict = column_dict(col);
+        // Resolve each *distinct* value against the fitted categories once,
+        // then translate the per-row codes through that small table.
+        let code_map: Vec<i64> = dict
+            .values()
+            .iter()
+            .map(|v| cats.binary_search(v).map(|p| p as i64).unwrap_or(-1))
+            .collect();
+        let codes: Vec<Option<i64>> = dict
+            .codes()
+            .iter()
+            .map(|&c| Some(if c == NULL_CODE { -1 } else { code_map[c as usize] }))
             .collect();
         let mut out = table.clone();
         out.replace_column(&self.column, Column::Int(codes))?;
@@ -146,12 +157,13 @@ impl Transform for KHotEncoder {
                 expected: "string (list feature)",
             });
         }
+        // Split each *distinct* cell once — repeated cells contribute the
+        // same items, so the dictionary pass is equivalent to the old
+        // per-row scan.
         let mut vocab = BTreeSet::new();
-        for i in 0..col.len() {
-            if let Some(cell) = category_key(col, i) {
-                for item in Self::items(&cell, &self.separator) {
-                    vocab.insert(item);
-                }
+        for cell in column_dict(col).values() {
+            for item in Self::items(cell, &self.separator) {
+                vocab.insert(item);
             }
         }
         self.vocabulary = Some(vocab.into_iter().collect());
@@ -160,19 +172,30 @@ impl Transform for KHotEncoder {
 
     fn transform(&self, table: &Table) -> Result<Table> {
         let vocab = self.vocabulary.as_ref().ok_or(TransformError::NotFitted("khot"))?;
-        let col = require_column(table, &self.column)?.clone();
+        let col = require_column(table, &self.column)?;
+        let dict = column_dict(col);
         let mut out = table.clone();
         out.drop_column(&self.column)?;
-        // Precompute per-row item sets once.
-        let row_items: Vec<Vec<String>> = (0..col.len())
-            .map(|i| {
-                category_key(&col, i).map(|c| Self::items(&c, &self.separator)).unwrap_or_default()
+        // Per distinct cell, mark which vocabulary items it contains; the
+        // per-row work is then a plain flag lookup through the codes.
+        let distinct_flags: Vec<Vec<bool>> = dict
+            .values()
+            .iter()
+            .map(|cell| {
+                let mut flags = vec![false; vocab.len()];
+                for item in Self::items(cell, &self.separator) {
+                    if let Ok(p) = vocab.binary_search(&item) {
+                        flags[p] = true;
+                    }
+                }
+                flags
             })
             .collect();
-        for item in vocab {
-            let ind: Vec<Option<i64>> = row_items
+        for (v, item) in vocab.iter().enumerate() {
+            let ind: Vec<Option<i64>> = dict
+                .codes()
                 .iter()
-                .map(|items| Some(items.iter().any(|x| x == item) as i64))
+                .map(|&c| Some((c != NULL_CODE && distinct_flags[c as usize][v]) as i64))
                 .collect();
             out.add_column(format!("{}={}", self.column, item), Column::Int(ind))?;
         }

@@ -9,7 +9,7 @@
 
 use crate::estimator::MlError;
 use crate::matrix::Matrix;
-use catdb_table::{DataType, Table};
+use catdb_table::{column_dict, DataType, Table, NULL_CODE};
 use std::collections::HashMap;
 
 /// Supervised task types, matching the paper's dataset table.
@@ -56,17 +56,21 @@ impl LabelEncoder {
         let col = table
             .column(target)
             .map_err(|_| MlError::Unsupported(format!("target column '{target}' not found")))?;
+        // First-appearance class order, recovered from the column
+        // dictionary: each distinct label is rendered exactly once and the
+        // per-row scan only touches integer codes.
+        let dict = column_dict(col);
         let mut classes: Vec<String> = Vec::new();
         let mut index = HashMap::new();
-        for i in 0..col.len() {
-            if col.is_null_at(i) {
+        let mut seen = vec![false; dict.n_distinct()];
+        for &code in dict.codes() {
+            if code == NULL_CODE || seen[code as usize] {
                 continue;
             }
-            let key = col.get(i).render();
-            if !index.contains_key(&key) {
-                index.insert(key.clone(), classes.len());
-                classes.push(key);
-            }
+            seen[code as usize] = true;
+            let key = dict.value_of(code).unwrap_or_default().to_string();
+            index.insert(key.clone(), classes.len());
+            classes.push(key);
         }
         if classes.len() < 2 {
             return Err(MlError::Unsupported(format!(
@@ -93,13 +97,17 @@ impl LabelEncoder {
         let col = table
             .column(target)
             .map_err(|_| MlError::Unsupported(format!("target column '{target}' not found")))?;
-        Ok((0..col.len())
-            .map(|i| {
-                if col.is_null_at(i) {
-                    return self.classes.len();
-                }
-                self.index.get(&col.get(i).render()).copied().unwrap_or(self.classes.len())
-            })
+        let dict = column_dict(col);
+        // Resolve each distinct label against the fitted classes once.
+        let code_to_class: Vec<usize> = dict
+            .values()
+            .iter()
+            .map(|v| self.index.get(v).copied().unwrap_or(self.classes.len()))
+            .collect();
+        Ok(dict
+            .codes()
+            .iter()
+            .map(|&c| if c == NULL_CODE { self.classes.len() } else { code_to_class[c as usize] })
             .collect())
     }
 
@@ -109,17 +117,20 @@ impl LabelEncoder {
         let col = table
             .column(target)
             .map_err(|_| MlError::Unsupported(format!("target column '{target}' not found")))?;
-        let mut out = Vec::with_capacity(col.len());
-        for i in 0..col.len() {
-            if col.is_null_at(i) {
+        let dict = column_dict(col);
+        let code_to_class: Vec<Option<usize>> =
+            dict.values().iter().map(|v| self.index.get(v).copied()).collect();
+        let mut out = Vec::with_capacity(dict.codes().len());
+        for &c in dict.codes() {
+            if c == NULL_CODE {
                 return Err(MlError::NonFinite { location: "target labels" });
             }
-            let key = col.get(i).render();
-            match self.index.get(&key) {
-                Some(&idx) => out.push(idx),
+            match code_to_class[c as usize] {
+                Some(idx) => out.push(idx),
                 None => {
                     return Err(MlError::Unsupported(format!(
-                        "unseen class label '{key}' in target '{target}'"
+                        "unseen class label '{}' in target '{target}'",
+                        dict.value_of(c).unwrap_or_default()
                     )))
                 }
             }

@@ -1,5 +1,7 @@
 //! Random forests: bagged CART trees with per-split feature subsampling.
-//! Trees are trained in parallel with crossbeam scoped threads.
+//! Trees are trained in parallel on the shared `catdb-runtime` pool; the
+//! per-tree seeds are drawn sequentially up front, so predictions are
+//! identical for every `n_threads` value.
 
 use crate::estimator::{
     check_finite, validate_classification, validate_regression, Classifier, ClassifierModel,
@@ -42,17 +44,6 @@ fn tree_config(cfg: &ForestConfig, n_features: usize, tree_seed: u64) -> TreeCon
     }
 }
 
-/// Partition `0..n` into per-thread chunks of roughly equal size.
-fn chunk_indices(n: usize, n_threads: usize) -> Vec<Vec<usize>> {
-    let n_threads = n_threads.max(1).min(n.max(1));
-    let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); n_threads];
-    for i in 0..n {
-        chunks[i % n_threads].push(i);
-    }
-    chunks.retain(|c| !c.is_empty());
-    chunks
-}
-
 /// Random-forest classifier.
 #[derive(Debug, Clone, Default)]
 pub struct RandomForestClassifier {
@@ -78,39 +69,11 @@ impl Classifier for RandomForestClassifier {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let samples: Vec<Vec<usize>> =
             (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
-        let chunks = chunk_indices(cfg.n_trees, cfg.n_threads);
-        let mut trees: Vec<Option<crate::tree::TreeClassifierModel>> = Vec::new();
-        trees.resize_with(cfg.n_trees, || None);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in &chunks {
-                let samples = &samples;
-                let handle = scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&t| {
-                            let tc = tree_config(
-                                cfg,
-                                x.cols(),
-                                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
-                            );
-                            (t, fit_class_tree_on(x, y, samples[t].clone(), n_classes, &tc))
-                        })
-                        .collect::<Vec<_>>()
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                for (t, model) in h.join().expect("tree training panicked") {
-                    trees[t] = Some(model);
-                }
-            }
-        })
-        .expect("thread scope failed");
-        Ok(Box::new(ForestClassifierModel {
-            trees: trees.into_iter().map(|t| t.expect("all trees trained")).collect(),
-            n_classes,
-        }))
+        let trees = catdb_runtime::parallel_map(cfg.n_threads, &samples, |t, sample| {
+            let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            fit_class_tree_on(x, y, sample.clone(), n_classes, &tc)
+        });
+        Ok(Box::new(ForestClassifierModel { trees, n_classes }))
     }
 }
 
@@ -161,38 +124,11 @@ impl Regressor for RandomForestRegressor {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let samples: Vec<Vec<usize>> =
             (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
-        let chunks = chunk_indices(cfg.n_trees, cfg.n_threads);
-        let mut trees: Vec<Option<crate::tree::TreeRegressorModel>> = Vec::new();
-        trees.resize_with(cfg.n_trees, || None);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in &chunks {
-                let samples = &samples;
-                let handle = scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&t| {
-                            let tc = tree_config(
-                                cfg,
-                                x.cols(),
-                                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
-                            );
-                            (t, fit_reg_tree(x, y, samples[t].clone(), &tc))
-                        })
-                        .collect::<Vec<_>>()
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                for (t, model) in h.join().expect("tree training panicked") {
-                    trees[t] = Some(model);
-                }
-            }
-        })
-        .expect("thread scope failed");
-        Ok(Box::new(ForestRegressorModel {
-            trees: trees.into_iter().map(|t| t.expect("all trees trained")).collect(),
-        }))
+        let trees = catdb_runtime::parallel_map(cfg.n_threads, &samples, |t, sample| {
+            let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            fit_reg_tree(x, y, sample.clone(), &tc)
+        });
+        Ok(Box::new(ForestRegressorModel { trees }))
     }
 }
 

@@ -101,26 +101,34 @@ impl Classifier for KnnClassifier {
     }
 }
 
+/// Rows per parallel prediction chunk. Fixed (not derived from the
+/// thread count) so the flattened output is identical for any pool size.
+const PREDICT_CHUNK: usize = 64;
+
 impl ClassifierModel for KnnClassModel {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<Vec<f64>>> {
         check_finite(x, "prediction features")?;
-        let mut out = Vec::with_capacity(x.rows());
-        for r in 0..x.rows() {
-            let q = scale_row(x.row(r), &self.means, &self.stds);
-            let nn = neighbours(&self.train, &q, self.k);
-            let mut probs = vec![0.0; self.n_classes];
-            let mut total = 0.0;
-            for (i, d) in nn {
-                let w = 1.0 / (d + 1e-9);
-                probs[self.labels[i]] += w;
-                total += w;
-            }
-            for p in &mut probs {
-                *p /= total;
-            }
-            out.push(probs);
-        }
-        Ok(out)
+        let limit = catdb_runtime::pool_size().saturating_add(1);
+        let chunks = catdb_runtime::parallel_chunks(limit, x.rows(), PREDICT_CHUNK, |range| {
+            range
+                .map(|r| {
+                    let q = scale_row(x.row(r), &self.means, &self.stds);
+                    let nn = neighbours(&self.train, &q, self.k);
+                    let mut probs = vec![0.0; self.n_classes];
+                    let mut total = 0.0;
+                    for (i, d) in nn {
+                        let w = 1.0 / (d + 1e-9);
+                        probs[self.labels[i]] += w;
+                        total += w;
+                    }
+                    for p in &mut probs {
+                        *p /= total;
+                    }
+                    probs
+                })
+                .collect::<Vec<_>>()
+        });
+        Ok(chunks.into_iter().flatten().collect())
     }
 
     fn n_classes(&self) -> usize {
@@ -159,20 +167,24 @@ impl Regressor for KnnRegressor {
 impl RegressorModel for KnnRegModel {
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
         check_finite(x, "prediction features")?;
-        Ok((0..x.rows())
-            .map(|r| {
-                let q = scale_row(x.row(r), &self.means, &self.stds);
-                let nn = neighbours(&self.train, &q, self.k);
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for (i, d) in nn {
-                    let w = 1.0 / (d + 1e-9);
-                    num += w * self.targets[i];
-                    den += w;
-                }
-                num / den
-            })
-            .collect())
+        let limit = catdb_runtime::pool_size().saturating_add(1);
+        let chunks = catdb_runtime::parallel_chunks(limit, x.rows(), PREDICT_CHUNK, |range| {
+            range
+                .map(|r| {
+                    let q = scale_row(x.row(r), &self.means, &self.stds);
+                    let nn = neighbours(&self.train, &q, self.k);
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (i, d) in nn {
+                        let w = 1.0 / (d + 1e-9);
+                        num += w * self.targets[i];
+                        den += w;
+                    }
+                    num / den
+                })
+                .collect::<Vec<_>>()
+        });
+        Ok(chunks.into_iter().flatten().collect())
     }
 }
 

@@ -3,8 +3,8 @@
 //! high-missing column dropping.
 
 use crate::transform::{require_column, Result, Transform, TransformError};
-use catdb_table::Table;
-use std::collections::HashSet;
+use catdb_table::{column_dict, Table, NULL_CODE};
+use std::collections::{HashMap, HashSet};
 
 /// Outlier detection methods.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,23 +206,46 @@ impl Transform for Deduplicator {
     }
 
     fn transform(&self, table: &Table) -> Result<Table> {
+        // Row keys are vectors of per-column dictionary codes, so each
+        // distinct cell value is rendered (and normalized) once instead of
+        // once per row. Codes are remapped per column so that rendered
+        // equality — including a null rendering like the empty string, and
+        // the approximate trim/lowercase collapse — matches the old
+        // string-join keys exactly.
+        let keyed: Vec<(Vec<u32>, Vec<u32>, u32)> = table
+            .iter_columns()
+            .map(|(_, col)| {
+                let dict = column_dict(col);
+                let mut ids: HashMap<String, u32> = HashMap::new();
+                let remap: Vec<u32> = dict
+                    .values()
+                    .iter()
+                    .map(|v| {
+                        let norm =
+                            if self.approximate { v.trim().to_lowercase() } else { v.clone() };
+                        let next = ids.len() as u32;
+                        *ids.entry(norm).or_insert(next)
+                    })
+                    .collect();
+                let next = ids.len() as u32;
+                let null_key = *ids.entry(String::new()).or_insert(next);
+                (dict.codes().to_vec(), remap, null_key)
+            })
+            .collect();
         let mut seen = HashSet::new();
-        let approx = self.approximate;
         Ok(table.filter(|i| {
-            let key: String = table
-                .row(i)
-                .expect("row in range")
+            let key: Vec<u32> = keyed
                 .iter()
-                .map(|v| {
-                    let s = v.render();
-                    if approx {
-                        s.trim().to_lowercase()
-                    } else {
-                        s
-                    }
-                })
-                .collect::<Vec<_>>()
-                .join("\u{1f}");
+                .map(
+                    |(codes, remap, null_key)| {
+                        if codes[i] == NULL_CODE {
+                            *null_key
+                        } else {
+                            remap[codes[i] as usize]
+                        }
+                    },
+                )
+                .collect();
             seen.insert(key)
         }))
     }
@@ -347,16 +370,7 @@ impl Transform for ConstantColumnDropper {
     fn fit(&mut self, table: &Table) -> Result<()> {
         let mut drop = Vec::new();
         for (field, col) in table.iter_columns() {
-            let mut distinct: HashSet<String> = HashSet::new();
-            for i in 0..col.len() {
-                if !col.is_null_at(i) {
-                    distinct.insert(col.get(i).render());
-                    if distinct.len() > 1 {
-                        break;
-                    }
-                }
-            }
-            if distinct.len() <= 1 {
+            if column_dict(col).n_distinct() <= 1 {
                 drop.push(field.name.clone());
             }
         }

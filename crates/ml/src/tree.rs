@@ -114,6 +114,43 @@ fn gini_weighted(counts: &[usize], n: usize) -> f64 {
     n_f * (1.0 - sum_sq / (n_f * n_f))
 }
 
+/// [`gini_weighted`] of the complement counts (`parent − left`) without
+/// materializing them. Identical arithmetic to calling `gini_weighted`
+/// on the right-side counts, since the differences are exact integers.
+fn gini_weighted_rest(parent: &[usize], left: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let sum_sq: f64 = parent.iter().zip(left).map(|(&p, &l)| ((p - l) as f64).powi(2)).sum();
+    n_f * (1.0 - sum_sq / (n_f * n_f))
+}
+
+/// Sort `(value, row)` pairs for feature `f` into `vals` and collect the
+/// boundaries between distinct values into `boundaries`. Returns `false`
+/// when the feature is constant at this node (no candidates).
+fn prepare_candidates(
+    x: &Matrix,
+    rows: &[usize],
+    f: usize,
+    vals: &mut Vec<(f64, usize)>,
+    boundaries: &mut Vec<usize>,
+) -> bool {
+    vals.clear();
+    vals.extend(rows.iter().map(|&r| (x.get(r, f), r)));
+    vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if vals[0].0 == vals[vals.len() - 1].0 {
+        return false;
+    }
+    boundaries.clear();
+    for i in 1..vals.len() {
+        if vals[i].0 > vals[i - 1].0 {
+            boundaries.push(i);
+        }
+    }
+    true
+}
+
 struct Builder<'a> {
     x: &'a Matrix,
     target: Target<'a>,
@@ -141,36 +178,91 @@ impl Builder<'_> {
             features.truncate(k.max(1).min(d));
         }
 
+        // Candidate scan. Split positions are boundaries between distinct
+        // sorted values, strided to at most max_thresholds. Rather than
+        // materializing left/right row sets and recomputing impurity from
+        // scratch per candidate (O(n) each), the scan walks the sorted
+        // order once: classification keeps incremental class counts (the
+        // counts are exact integers, so the Gini floats are bit-identical
+        // to the recomputing version), regression keeps a running prefix
+        // sum for the left mean (same addition order as before) and only
+        // touches each side once per candidate for the SSE.
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut vals: Vec<(f64, usize)> = Vec::with_capacity(rows.len());
-        for &f in &features {
-            vals.clear();
-            vals.extend(rows.iter().map(|&r| (self.x.get(r, f), r)));
-            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
-            if vals[0].0 == vals[vals.len() - 1].0 {
-                continue; // constant feature at this node
-            }
-            // Candidate split positions: boundaries between distinct values,
-            // strided to at most max_thresholds.
-            let mut boundaries: Vec<usize> = Vec::new();
-            for i in 1..vals.len() {
-                if vals[i].0 > vals[i - 1].0 {
-                    boundaries.push(i);
+        let mut boundaries: Vec<usize> = Vec::new();
+        match &self.target {
+            Target::Class { y, n_classes } => {
+                let mut parent_counts = vec![0usize; *n_classes];
+                for &r in &rows {
+                    parent_counts[y[r]] += 1;
+                }
+                let mut left_counts = vec![0usize; *n_classes];
+                for &f in &features {
+                    if !prepare_candidates(self.x, &rows, f, &mut vals, &mut boundaries) {
+                        continue; // constant feature at this node
+                    }
+                    let stride = (boundaries.len() / self.cfg.max_thresholds).max(1);
+                    left_counts.fill(0);
+                    let mut pos = 0usize;
+                    for &cut in boundaries.iter().step_by(stride) {
+                        while pos < cut {
+                            left_counts[y[vals[pos].1]] += 1;
+                            pos += 1;
+                        }
+                        if cut < self.cfg.min_samples_leaf
+                            || vals.len() - cut < self.cfg.min_samples_leaf
+                        {
+                            continue;
+                        }
+                        let child = gini_weighted(&left_counts, cut)
+                            + gini_weighted_rest(&parent_counts, &left_counts, vals.len() - cut);
+                        let gain = parent_impurity - child;
+                        if best.as_ref().is_none_or(|b| gain > b.0) && gain > 1e-12 {
+                            let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
+                            best = Some((gain, f, threshold));
+                        }
+                    }
                 }
             }
-            let stride = (boundaries.len() / self.cfg.max_thresholds).max(1);
-            for &cut in boundaries.iter().step_by(stride) {
-                if cut < self.cfg.min_samples_leaf || vals.len() - cut < self.cfg.min_samples_leaf {
-                    continue;
-                }
-                let left_rows: Vec<usize> = vals[..cut].iter().map(|&(_, r)| r).collect();
-                let right_rows: Vec<usize> = vals[cut..].iter().map(|&(_, r)| r).collect();
-                let child = self.target.weighted_impurity(&left_rows)
-                    + self.target.weighted_impurity(&right_rows);
-                let gain = parent_impurity - child;
-                if best.as_ref().is_none_or(|b| gain > b.0) && gain > 1e-12 {
-                    let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
-                    best = Some((gain, f, threshold));
+            Target::Reg { y } => {
+                for &f in &features {
+                    if !prepare_candidates(self.x, &rows, f, &mut vals, &mut boundaries) {
+                        continue; // constant feature at this node
+                    }
+                    let stride = (boundaries.len() / self.cfg.max_thresholds).max(1);
+                    let mut pos = 0usize;
+                    let mut left_sum = 0.0f64;
+                    for &cut in boundaries.iter().step_by(stride) {
+                        while pos < cut {
+                            left_sum += y[vals[pos].1];
+                            pos += 1;
+                        }
+                        if cut < self.cfg.min_samples_leaf
+                            || vals.len() - cut < self.cfg.min_samples_leaf
+                        {
+                            continue;
+                        }
+                        let left_mean = left_sum / cut as f64;
+                        let mut left_sse = 0.0f64;
+                        for &(_, r) in &vals[..cut] {
+                            left_sse += (y[r] - left_mean).powi(2);
+                        }
+                        let mut right_sum = 0.0f64;
+                        for &(_, r) in &vals[cut..] {
+                            right_sum += y[r];
+                        }
+                        let right_mean = right_sum / (vals.len() - cut) as f64;
+                        let mut right_sse = 0.0f64;
+                        for &(_, r) in &vals[cut..] {
+                            right_sse += (y[r] - right_mean).powi(2);
+                        }
+                        let child = left_sse + right_sse;
+                        let gain = parent_impurity - child;
+                        if best.as_ref().is_none_or(|b| gain > b.0) && gain > 1e-12 {
+                            let threshold = (vals[cut - 1].0 + vals[cut].0) / 2.0;
+                            best = Some((gain, f, threshold));
+                        }
+                    }
                 }
             }
         }

@@ -4,6 +4,17 @@
 
 use std::time::{Duration, Instant};
 
+/// Per-benchmark wall-clock budget. `CATDB_BENCH_BUDGET_MS` overrides the
+/// 300 ms default so scripts (e.g. `scripts/bench_quick.sh`) can trade
+/// precision for turnaround.
+fn budget() -> Duration {
+    let ms = std::env::var("CATDB_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
 /// Batch sizing hints (accepted, ignored — batches are per-iteration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchSize {
@@ -25,7 +36,7 @@ impl Bencher {
     /// Time a routine: warm up once, then sample until the budget is spent.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         std::hint::black_box(routine()); // warm-up
-        let budget = Duration::from_millis(300);
+        let budget = budget();
         let started = Instant::now();
         while started.elapsed() < budget || self.samples.len() < 5 {
             let t = Instant::now();
@@ -44,7 +55,7 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         std::hint::black_box(routine(setup()));
-        let budget = Duration::from_millis(300);
+        let budget = budget();
         let started = Instant::now();
         while started.elapsed() < budget || self.samples.len() < 5 {
             let input = setup();

@@ -1,0 +1,128 @@
+//! Content fingerprints for columns and tables.
+//!
+//! The dictionary cache (`crate::dict`) and the profiler's memo key
+//! cached derived data by *content*, not by identity: a mutated or
+//! rebuilt column hashes to a different fingerprint, so stale entries can
+//! never be served and no explicit invalidation hooks are needed on the
+//! mutation paths.
+//!
+//! Fingerprints are 128 bits — two independently seeded 64-bit SipHash
+//! passes over the raw typed values (no string rendering) — which makes
+//! accidental collisions between the few thousand distinct columns a
+//! process ever sees vanishingly unlikely. They are only used as
+//! process-local cache keys, never persisted.
+
+use crate::column::Column;
+use crate::table::Table;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// 128-bit content fingerprint of a column: type tag plus every value
+/// (and its validity) in row order.
+pub fn column_fingerprint(col: &Column) -> u128 {
+    combine(hash_column(col, 0x9E37_79B9_7F4A_7C15), hash_column(col, 0xC2B2_AE3D_27D4_EB4F))
+}
+
+/// 128-bit content fingerprint of a whole table: schema (names + types,
+/// in order) plus every column's content.
+pub fn table_fingerprint(table: &Table) -> u128 {
+    combine(hash_table(table, 0x9E37_79B9_7F4A_7C15), hash_table(table, 0xC2B2_AE3D_27D4_EB4F))
+}
+
+fn combine(lo: u64, hi: u64) -> u128 {
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn hash_column(col: &Column, seed: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    hash_column_into(col, &mut h);
+    h.finish()
+}
+
+fn hash_column_into(col: &Column, h: &mut DefaultHasher) {
+    match col {
+        Column::Int(v) => {
+            0u8.hash(h);
+            v.hash(h);
+        }
+        Column::Float(v) => {
+            // f64 has no Hash impl; hash the raw bits (distinguishes
+            // -0.0 from 0.0 and NaN payloads, which is fine for a cache
+            // key — at worst a bitwise-distinct duplicate misses).
+            1u8.hash(h);
+            v.len().hash(h);
+            for x in v {
+                match x {
+                    Some(f) => {
+                        1u8.hash(h);
+                        f.to_bits().hash(h);
+                    }
+                    None => 0u8.hash(h),
+                }
+            }
+        }
+        Column::Str(v) => {
+            2u8.hash(h);
+            v.hash(h);
+        }
+        Column::Bool(v) => {
+            3u8.hash(h);
+            v.hash(h);
+        }
+    }
+}
+
+fn hash_table(table: &Table, seed: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    table.n_rows().hash(&mut h);
+    for (field, col) in table.iter_columns() {
+        field.name.hash(&mut h);
+        field.dtype.name().hash(&mut h);
+        hash_column_into(col, &mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn equal_content_hashes_equal() {
+        let a = Column::from_i64(vec![1, 2, 3]);
+        let b = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(column_fingerprint(&a), column_fingerprint(&b));
+    }
+
+    #[test]
+    fn mutation_changes_the_fingerprint() {
+        let a = Column::from_i64(vec![1, 2, 3]);
+        let mut b = a.clone();
+        b.set(1, Value::Int(99)).unwrap();
+        assert_ne!(column_fingerprint(&a), column_fingerprint(&b));
+        let mut c = a.clone();
+        c.set(1, Value::Null).unwrap();
+        assert_ne!(column_fingerprint(&a), column_fingerprint(&c));
+    }
+
+    #[test]
+    fn type_tag_distinguishes_identical_bit_patterns() {
+        let ints = Column::Int(vec![Some(0), None]);
+        let bools = Column::Bool(vec![Some(false), None]);
+        assert_ne!(column_fingerprint(&ints), column_fingerprint(&bools));
+    }
+
+    #[test]
+    fn table_fingerprint_sees_renames_and_data() {
+        let t1 = Table::from_columns(vec![("a", Column::from_i64(vec![1, 2]))]).unwrap();
+        let mut t2 = t1.clone();
+        assert_eq!(table_fingerprint(&t1), table_fingerprint(&t2));
+        t2.rename_column("a", "b").unwrap();
+        assert_ne!(table_fingerprint(&t1), table_fingerprint(&t2));
+        let t3 = Table::from_columns(vec![("a", Column::from_i64(vec![1, 3]))]).unwrap();
+        assert_ne!(table_fingerprint(&t1), table_fingerprint(&t3));
+    }
+}

@@ -20,14 +20,18 @@
 
 mod column;
 mod csv;
+mod dict;
 mod error;
+mod fingerprint;
 mod schema;
 mod table;
 mod value;
 
 pub use column::Column;
 pub use csv::{read_csv, read_csv_path, read_csv_str, to_csv_string, write_csv, CsvOptions};
+pub use dict::{column_dict, ValueDict, COUNTER_DICT_HITS, COUNTER_DICT_MISSES, NULL_CODE};
 pub use error::{Result, TableError};
+pub use fingerprint::{column_fingerprint, table_fingerprint};
 pub use schema::{Field, Schema};
 pub use table::{JoinKind, Table};
 pub use value::{DataType, Value};

@@ -125,23 +125,41 @@ impl Value {
 
 /// Float formatting that round-trips and avoids noisy `1.0000000000000002`.
 fn format_float(v: f64) -> String {
+    let mut s = String::new();
+    write_float(&mut s, v).expect("String formatting never fails");
+    s
+}
+
+/// Write a float with [`format_float`] semantics straight into a writer.
+///
+/// Branch analysis mirrors the old string-inspecting version: `Display`
+/// for `f64` never uses scientific notation, so a fractional finite value
+/// always carries a `.`, infinities render as `inf`, and the only case
+/// that needs a `.0` suffix is a finite integral value too large for the
+/// `{:.1}` fast path.
+fn write_float<W: fmt::Write>(w: &mut W, v: f64) -> fmt::Result {
     if v.is_nan() {
-        return "NaN".to_string();
-    }
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{:.1}", v)
+        w.write_str("NaN")
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        write!(w, "{v:.1}")
+    } else if v.is_finite() && v == v.trunc() {
+        write!(w, "{v}.0")
     } else {
-        let mut s = format!("{}", v);
-        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
-            s.push_str(".0");
-        }
-        s
+        write!(w, "{v}")
     }
 }
 
 impl fmt::Display for Value {
+    /// Identical text to [`Value::render`], but written directly to the
+    /// formatter — no intermediate `String` per cell.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
+        match self {
+            Value::Null => Ok(()),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write_float(f, *v),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
     }
 }
 
@@ -203,6 +221,27 @@ mod tests {
         assert_eq!(Value::Float(2.0).render(), "2.0");
         assert_eq!(Value::Float(2.5).render(), "2.5");
         assert_eq!(Value::Null.render(), "");
+    }
+
+    #[test]
+    fn display_matches_render_for_every_shape() {
+        let vals = [
+            Value::Null,
+            Value::Int(-7),
+            Value::Bool(true),
+            Value::Str("free text".into()),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1e18),
+            Value::Float(1.0000000000000002),
+        ];
+        for v in vals {
+            assert_eq!(v.to_string(), v.render(), "Display/render diverged for {v:?}");
+        }
     }
 
     #[test]

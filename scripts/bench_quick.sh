@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Quick perf snapshot: run the criterion micro benches with a reduced
+# per-bench budget and record the profiling / training hot-path numbers in
+# results/BENCH_perf.json, alongside the pre-runtime baselines measured on
+# the same container class. Intended as a non-blocking CI step — failures
+# here report a regression but never break the build.
+#
+# Usage: scripts/bench_quick.sh [budget_ms]   (default 120)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET_MS="${1:-120}"
+OUT="results/BENCH_perf.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== cargo bench -p catdb-bench --bench micro (budget ${BUDGET_MS} ms/bench) =="
+CATDB_BENCH_BUDGET_MS="$BUDGET_MS" cargo bench -p catdb-bench --bench micro | tee "$RAW"
+
+# Pre-PR baselines (300 ms budget, same machine class): mean ms/iter before
+# the shared runtime, profile memo, and incremental tree-split scan landed.
+BASE_PROFILING_MS=240.818
+BASE_FOREST_MS=29.803
+
+awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
+    -v base_prof="$BASE_PROFILING_MS" -v base_forest="$BASE_FOREST_MS" '
+  # Convert a criterion duration token ("4.508ms", "127.3µs", "1.2s") to ms.
+  function to_ms(s,  v) {
+    v = s; gsub(/[^0-9.]/, "", v); v += 0
+    if (index(s, "µs") > 0 || index(s, "us") > 0) return v / 1000
+    if (index(s, "ns") > 0) return v / 1000000
+    if (index(s, "ms") > 0) return v
+    return v * 1000  # plain seconds
+  }
+  $1 == "gas-drift_2000rows" { prof_ms = to_ms($2) }
+  $1 == "random_forest_20trees_1000x20" { forest_ms = to_ms($2) }
+  END {
+    if (prof_ms == 0 || forest_ms == 0) {
+      print "bench_quick: missing bench lines in output" > "/dev/stderr"
+      exit 1
+    }
+    prof_rows_s = 2000 / (prof_ms / 1000)
+    forest_rows_s = 1000 / (forest_ms / 1000)
+    printf "{\n" > out
+    printf "  \"budget_ms\": %d,\n", budget_ms >> out
+    printf "  \"benches\": {\n" >> out
+    printf "    \"profiling/gas-drift_2000rows\": {\n" >> out
+    printf "      \"mean_ms\": %.3f,\n", prof_ms >> out
+    printf "      \"rows_per_sec\": %.0f,\n", prof_rows_s >> out
+    printf "      \"baseline_ms\": %.3f,\n", base_prof >> out
+    printf "      \"speedup\": %.2f\n", base_prof / prof_ms >> out
+    printf "    },\n" >> out
+    printf "    \"models/random_forest_20trees_1000x20\": {\n" >> out
+    printf "      \"mean_ms\": %.3f,\n", forest_ms >> out
+    printf "      \"rows_per_sec\": %.0f,\n", forest_rows_s >> out
+    printf "      \"baseline_ms\": %.3f,\n", base_forest >> out
+    printf "      \"speedup\": %.2f\n", base_forest / forest_ms >> out
+    printf "    }\n" >> out
+    printf "  }\n" >> out
+    printf "}\n" >> out
+    printf "profiling : %.3f ms/iter (baseline %.3f, %.2fx)\n", prof_ms, base_prof, base_prof / prof_ms
+    printf "forest    : %.3f ms/iter (baseline %.3f, %.2fx)\n", forest_ms, base_forest, base_forest / forest_ms
+  }
+' "$RAW"
+
+echo "Wrote $OUT"

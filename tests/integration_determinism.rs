@@ -1,0 +1,68 @@
+//! Thread-count invariance: the shared work-stealing runtime must never
+//! leak scheduling order into results. Profiling the same table and
+//! training the same model with the same seed must produce byte-identical
+//! output for every `n_threads` value.
+
+use catdb_ml::{Classifier, ForestConfig, Matrix, RandomForestClassifier};
+use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_table::{Column, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn profiling_is_byte_identical_across_thread_counts(
+        ints in prop::collection::vec(-50i64..50, 8..40),
+        cats in prop::collection::vec(
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("dd")],
+            8..40,
+        ),
+    ) {
+        let n = ints.len().min(cats.len());
+        let ints: Vec<Option<i64>> =
+            (0..n).map(|i| if i % 5 == 0 { None } else { Some(ints[i]) }).collect();
+        let floats: Vec<Option<f64>> = (0..n)
+            .map(|i| if i % 7 == 0 { None } else { Some(i as f64 * 0.5 - 3.0) })
+            .collect();
+        let table = Table::from_columns(vec![
+            ("num", Column::Int(ints)),
+            ("cat", Column::Str(cats[..n].iter().map(|s| Some(s.to_string())).collect())),
+            ("f", Column::Float(floats)),
+        ])
+        .unwrap();
+        let mut jsons = Vec::new();
+        for &threads in &[1usize, 2, 8] {
+            let opts = ProfileOptions { n_threads: threads, ..Default::default() };
+            let mut profile = profile_table("prop", &table, &opts);
+            // Wall-clock is the only field allowed to differ.
+            profile.elapsed_seconds = 0.0;
+            jsons.push(serde_json::to_string(&profile).unwrap());
+        }
+        prop_assert_eq!(&jsons[0], &jsons[1], "1 vs 2 threads");
+        prop_assert_eq!(&jsons[0], &jsons[2], "1 vs 8 threads");
+    }
+
+    #[test]
+    fn forest_predictions_identical_across_thread_counts(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 4.0, rng.gen::<f64>() * 4.0])
+            .collect();
+        let y: Vec<usize> = rows.iter().map(|r| (r[0] + r[1] > 4.0) as usize).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut probas = Vec::new();
+        for &threads in &[1usize, 2, 8] {
+            let cfg = ForestConfig { n_trees: 10, n_threads: threads, seed, ..Default::default() };
+            let model = RandomForestClassifier { config: cfg }.fit(&x, &y, 2).unwrap();
+            probas.push(model.predict_proba(&x).unwrap());
+        }
+        // Exact float equality: same trees, same order, same arithmetic.
+        prop_assert_eq!(&probas[0], &probas[1], "1 vs 2 threads");
+        prop_assert_eq!(&probas[0], &probas[2], "1 vs 8 threads");
+    }
+}
