@@ -5,14 +5,16 @@
 //! (embedding-based profiling, single vs chain prompt construction,
 //! per-column vs wildcard pipelines).
 
-use catdb_core::{PromptBuilder, PromptOptions};
+use catdb_core::{generate_chain_source, CatDbConfig, PromptBuilder, PromptOptions};
 use catdb_data::{generate, GenOptions};
-use catdb_llm::{ModelProfile, SimLlm};
+use catdb_llm::{Completion, LanguageModel, LlmError, ModelProfile, Prompt, SimLlm};
 use catdb_ml::{Classifier, ForestConfig, LogisticRegression, Matrix, RandomForestClassifier};
 use catdb_pipeline::{execute, parse, Environment, ExecutionConfig};
 use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_sched::{CompletionCache, LlmScheduler};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_profiling(c: &mut Criterion) {
     let mut group = c.benchmark_group("profiling");
@@ -135,6 +137,99 @@ fn bench_llm_generation(c: &mut Criterion) {
     });
 }
 
+/// A [`SimLlm`] with real per-call wall-clock latency, standing in for
+/// network round-trips so the chain bench measures what the concurrent
+/// scheduler actually buys (SimLlm itself only *records* latency into
+/// the completion, it never sleeps).
+struct SlowLlm {
+    inner: SimLlm,
+    delay: std::time::Duration,
+}
+
+impl LanguageModel for SlowLlm {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+        std::thread::sleep(self.delay);
+        self.inner.complete(prompt)
+    }
+}
+
+fn bench_chain_generation(c: &mut Criterion) {
+    let g = generate("cmc", &GenOptions { max_rows: 600, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = profile_table("cmc", &flat, &ProfileOptions::default());
+    let entry = catdb_catalog::CatalogEntry::new(
+        "cmc",
+        "target",
+        catdb_ml::TaskKind::MulticlassClassification,
+        profile,
+    );
+    // 3 ms of simulated network latency per call; β = 4 chunks → nine
+    // prompts per chain (4 preprocessing + 4 feature engineering + 1
+    // model selection). Sequentially that is 9 round-trips of latency;
+    // at concurrency 4 the two fan-out stages collapse to one round-trip
+    // each, so the concurrent bench should run ≈3x faster.
+    let llm = SlowLlm {
+        inner: SimLlm::new(ModelProfile::gpt_4o(), 3),
+        delay: std::time::Duration::from_millis(3),
+    };
+    let cfg_at = |concurrency: usize| CatDbConfig {
+        prompt: PromptOptions { beta: 4, ..Default::default() },
+        llm_concurrency: concurrency,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("chain");
+    group.sample_size(10);
+    group.bench_function("chain_gen_beta4_seq", |b| {
+        let cfg = cfg_at(1);
+        b.iter(|| generate_chain_source(black_box(&entry), &llm, &cfg).unwrap())
+    });
+    group.bench_function("chain_gen_beta4_conc4", |b| {
+        let cfg = cfg_at(4);
+        b.iter(|| generate_chain_source(black_box(&entry), &llm, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_completion_cache(c: &mut Criterion) {
+    let g = generate("survey", &GenOptions { max_rows: 800, scale: 1.0, seed: 3 }).unwrap();
+    let flat = g.dataset.materialize().unwrap();
+    let profile = profile_table("survey", &flat, &ProfileOptions::default());
+    let entry = catdb_catalog::CatalogEntry::new(
+        "survey",
+        "target",
+        catdb_ml::TaskKind::MulticlassClassification,
+        profile,
+    );
+    let builder = PromptBuilder::new(&entry, PromptOptions::default());
+    let prompt = builder.single_prompt();
+    let llm = SimLlm::new(ModelProfile::gpt_4o(), 3);
+    let mut group = c.benchmark_group("cache");
+    // Cold: a fresh cache every iteration, so each completion pays the
+    // full simulator path plus fingerprint + insert.
+    group.bench_function("cache_cold_miss", |b| {
+        b.iter_batched(
+            || LlmScheduler::new(&llm, Arc::new(CompletionCache::new(64))),
+            |sched| sched.complete(black_box(&prompt)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Warm: one pre-warmed cache; every iteration is a pure hit.
+    let sched = LlmScheduler::new(&llm, Arc::new(CompletionCache::new(64)));
+    sched.complete(&prompt).unwrap();
+    group.bench_function("cache_warm_hit", |b| {
+        b.iter(|| sched.complete(black_box(&prompt)).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_profiling,
@@ -142,6 +237,8 @@ criterion_group!(
     bench_prompt_construction,
     bench_parse_execute,
     bench_models,
-    bench_llm_generation
+    bench_llm_generation,
+    bench_chain_generation,
+    bench_completion_cache
 );
 criterion_main!(benches);

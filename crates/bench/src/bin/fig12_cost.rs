@@ -23,6 +23,8 @@ struct Acc {
     llm_seconds: f64,
     local_seconds: f64,
     runs: usize,
+    cache_hits: usize,
+    cache_saved_usd: f64,
 }
 
 impl Acc {
@@ -36,6 +38,8 @@ impl Acc {
         self.llm_seconds += llm_s;
         self.local_seconds += local_s;
         self.runs += 1;
+        self.cache_hits += trace.cache_hit_count();
+        self.cache_saved_usd += trace.cache_saved_cost();
     }
 
     fn row(&self, dataset: &str, llm: &str, system: &str) -> Vec<String> {
@@ -126,6 +130,8 @@ fn main() {
                     "avg_cost_usd": acc.usd / acc.runs.max(1) as f64,
                     "avg_llm_seconds": acc.llm_seconds / acc.runs.max(1) as f64,
                     "avg_local_seconds": acc.local_seconds / acc.runs.max(1) as f64,
+                    "cache_hits": acc.cache_hits,
+                    "cache_saved_usd": acc.cache_saved_usd,
                 }));
             }
         }

@@ -65,6 +65,8 @@ fn main() {
                     "error_tokens": err_tokens,
                     "total_tokens": total,
                     "error_iterations": trace.error_iteration_count(),
+                    "cache_hits": trace.cache_hit_count(),
+                    "cache_saved_tokens": trace.cache_saved_tokens(),
                 }));
             }
             // CAAFE total for comparison (single ledger bucket).

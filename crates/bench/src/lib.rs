@@ -12,9 +12,11 @@ use catdb_data::{GenOptions, GeneratedDataset};
 use catdb_llm::{FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, SimLlm};
 use catdb_ml::TaskKind;
 use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_sched::{CompletionCache, DEFAULT_LLM_CONCURRENCY};
 use catdb_table::Table;
 use serde_json::json;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A dataset prepared for experiments.
 pub struct Prepared {
@@ -109,9 +111,26 @@ pub fn run_catdb(
     beta: usize,
     seed: u64,
 ) -> GenerationOutcome {
+    run_catdb_with(p, llm, beta, seed, DEFAULT_LLM_CONCURRENCY, None)
+}
+
+/// [`run_catdb`] with explicit scheduler knobs: the fan-out bound for the
+/// chain's independent per-chunk prompts, and an optional completion
+/// cache shared across runs (a sweep re-visiting a configuration replays
+/// its completions for free).
+pub fn run_catdb_with(
+    p: &Prepared,
+    llm: &dyn LanguageModel,
+    beta: usize,
+    seed: u64,
+    llm_concurrency: usize,
+    cache: Option<Arc<CompletionCache>>,
+) -> GenerationOutcome {
     let cfg = CatDbConfig {
         prompt: PromptOptions { beta, ..Default::default() },
         seed,
+        llm_concurrency,
+        llm_cache: cache,
         ..Default::default()
     };
     generate_pipeline(&p.entry, &p.train, &p.test, llm, &cfg)
@@ -163,11 +182,14 @@ pub struct BenchArgs {
     pub max_retries: usize,
     /// Per-call deadline on simulated LLM latency, seconds.
     pub llm_timeout: Option<f64>,
+    /// Concurrent in-flight LLM requests for the chain's fan-out stages.
+    pub llm_concurrency: usize,
 }
 
 impl BenchArgs {
     /// Parse `--max-rows N`, `--seed N`, `--quick`, `--smoke`,
-    /// `--fault-rate F`, `--max-retries N`, `--llm-timeout S` from argv.
+    /// `--fault-rate F`, `--max-retries N`, `--llm-timeout S`,
+    /// `--llm-concurrency N` from argv.
     pub fn parse() -> BenchArgs {
         let mut args = BenchArgs {
             max_rows: 2_000,
@@ -177,6 +199,7 @@ impl BenchArgs {
             fault_rate: 0.0,
             max_retries: 3,
             llm_timeout: None,
+            llm_concurrency: DEFAULT_LLM_CONCURRENCY,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -209,6 +232,12 @@ impl BenchArgs {
                 "--llm-timeout" => {
                     if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                         args.llm_timeout = Some(v);
+                        i += 1;
+                    }
+                }
+                "--llm-concurrency" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.llm_concurrency = v;
                         i += 1;
                     }
                 }

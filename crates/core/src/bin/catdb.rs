@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n  catdb profile --csv FILE"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE"
     );
     ExitCode::from(2)
 }
@@ -42,6 +42,10 @@ struct Args {
     max_retries: usize,
     /// Per-call deadline on simulated LLM latency, seconds.
     llm_timeout: Option<f64>,
+    /// Concurrent in-flight LLM requests for the chain's fan-out stages.
+    llm_concurrency: usize,
+    /// JSON-lines file persisting the completion cache across runs.
+    llm_cache: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -61,6 +65,8 @@ fn parse_args() -> Option<Args> {
         fault_rate: 0.0,
         max_retries: 3,
         llm_timeout: None,
+        llm_concurrency: catdb_sched::DEFAULT_LLM_CONCURRENCY,
+        llm_cache: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -111,6 +117,13 @@ fn parse_args() -> Option<Args> {
                     i += 1;
                 }
             }
+            "--llm-concurrency" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.llm_concurrency = v;
+                    i += 1;
+                }
+            }
+            "--llm-cache" => args.llm_cache = argv.get(i + 1).cloned().inspect(|_| i += 1),
             "--no-refine" => args.refine = false,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -208,11 +221,19 @@ fn cmd_run(args: &Args) -> ExitCode {
         args.seed,
     );
 
-    // With --trace-out, the whole run records into a trace sink whose
-    // JSON snapshot is written at exit (re-importable via
+    // The whole run records into a trace sink: cache hit/miss counters
+    // are read from it for the `[llm cache: ...]` summary, and with
+    // --trace-out its JSON snapshot is written at exit (re-importable via
     // catdb_trace::Trace::from_json_str).
     let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
-    let _trace_guard = args.trace_out.as_ref().map(|_| catdb_trace::install(sink.clone()));
+    let _trace_guard = catdb_trace::install(sink.clone());
+
+    // A persistent completion cache shared by generation and error fixing;
+    // warm entries replay for free on later runs with the same seed.
+    let cache = args
+        .llm_cache
+        .as_ref()
+        .map(|path| std::sync::Arc::new(catdb_sched::CompletionCache::persistent(path, 4096)));
 
     let dataset = MultiTableDataset::single(name, table);
     let opts = CollectOptions { refine: args.refine, ..Default::default() };
@@ -233,6 +254,8 @@ fn cmd_run(args: &Args) -> ExitCode {
     let cfg = CatDbConfig {
         prompt: PromptOptions { beta: args.beta, alpha: args.alpha, ..Default::default() },
         seed: args.seed,
+        llm_concurrency: args.llm_concurrency,
+        llm_cache: cache.clone(),
         ..Default::default()
     };
     let result = match catdb_pipgen(&entry, &prepared, &llm, &cfg) {
@@ -243,6 +266,16 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     println!("{}", result.code);
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        eprintln!(
+            "[llm cache: {} hit(s), {} miss(es), {} insertion(s), {} entr(ies) resident]",
+            stats.hits,
+            stats.misses,
+            stats.insertions,
+            cache.len(),
+        );
+    }
     if let Some(path) = &args.trace_out {
         let trace = sink.snapshot();
         if trace.llm_retry_count() > 0 || trace.degraded_count() > 0 {

@@ -67,6 +67,15 @@ pub struct MeasuredCost {
     pub retry_tokens: usize,
     /// Dollars consumed by failed attempts (included in `usd`).
     pub retry_usd: f64,
+    /// Requests served from the completion cache (or coalesced onto an
+    /// in-flight duplicate). Billed at zero: these never contribute to
+    /// `input_tokens`, `output_tokens`, or `usd`.
+    pub cache_hits: usize,
+    /// Tokens the cache avoided re-spending (NOT included in the token
+    /// totals above — this is the counterfactual upstream usage).
+    pub cache_saved_tokens: usize,
+    /// Dollars the cache avoided re-spending (NOT included in `usd`).
+    pub cache_saved_usd: f64,
 }
 
 impl MeasuredCost {
@@ -99,6 +108,9 @@ pub fn measured_cost(trace: &catdb_trace::Trace) -> MeasuredCost {
         retries: trace.llm_retry_count(),
         retry_tokens,
         retry_usd,
+        cache_hits: trace.cache_hit_count(),
+        cache_saved_tokens: trace.cache_saved_tokens(),
+        cache_saved_usd: trace.cache_saved_cost(),
     }
 }
 
@@ -225,6 +237,31 @@ mod tests {
         assert!((measured.retry_usd - expected_retry_usd).abs() < 1e-12);
         assert!((measured.usd - (trace.total_llm_cost() + expected_retry_usd)).abs() < 1e-12);
         assert!(measured.retry_overhead() > 0.0 && measured.retry_overhead() < 1.0);
+    }
+
+    #[test]
+    fn cache_hits_are_reported_but_billed_at_zero() {
+        let sink = Arc::new(catdb_trace::TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let llm = SimLlm::new(ModelProfile::gpt_4o(), 4);
+        let sched =
+            catdb_sched::LlmScheduler::new(&llm, Arc::new(catdb_sched::CompletionCache::new(64)));
+        let prompt = Prompt::new("sys", "<TASK>pipeline_generation</TASK>");
+        let first = sched.complete(&prompt).expect("upstream completion");
+        let billed = measured_cost(&sink.snapshot());
+        // Three repeats: all served from the cache, zero extra spend.
+        for _ in 0..3 {
+            assert_eq!(sched.complete(&prompt).expect("cached completion").text, first.text);
+        }
+        let measured = measured_cost(&sink.snapshot());
+        assert_eq!(measured.cache_hits, 3);
+        assert_eq!(measured.llm_calls, 1);
+        assert_eq!(measured.input_tokens, billed.input_tokens);
+        assert_eq!(measured.output_tokens, billed.output_tokens);
+        assert!((measured.usd - billed.usd).abs() < 1e-15, "hits must not add cost");
+        // The savings figure reflects the counterfactual re-spend.
+        assert_eq!(measured.cache_saved_tokens, 3 * billed.total_tokens());
+        assert!((measured.cache_saved_usd - 3.0 * billed.usd).abs() < 1e-12);
     }
 
     #[test]

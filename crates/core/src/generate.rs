@@ -8,14 +8,21 @@
 use crate::kb::{ErrorTrace, FixedBy, KbFix, KnowledgeBase};
 use crate::prompt::{PromptBuilder, PromptOptions};
 use catdb_catalog::CatalogEntry;
-use catdb_llm::{CostLedger, LanguageModel, LlmError, LlmTaskKind};
+use catdb_llm::{CostLedger, LanguageModel, LlmError, LlmTaskKind, Prompt};
 use catdb_ml::TaskKind;
 use catdb_pipeline::{
     execute, parse, ColumnRef, EncodeSpec, Environment, ErrorCategory, Evaluation, ExecutionConfig,
     ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, PipelineError, Program, Step,
 };
+use catdb_sched::{CompletionCache, LlmScheduler, DEFAULT_LLM_CONCURRENCY};
 use catdb_table::{DataType, Table};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Entries held by a session-scoped (non-shared) completion cache. Large
+/// enough that a single generation session never evicts.
+const SESSION_CACHE_CAPACITY: usize = 4096;
 
 /// CatDB generation configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +45,17 @@ pub struct CatDbConfig {
     /// rewritten to avoid them (boosting/tabpfn fall back to preinstalled
     /// algorithms; their `require` lines are dropped).
     pub disallowed_packages: Vec<String>,
+    /// Maximum simultaneously in-flight LLM requests when fanning out
+    /// independent prompts (`--llm-concurrency`). Chunk-ordered assembly
+    /// keeps results byte-identical at any value.
+    pub llm_concurrency: usize,
+    /// JSON-lines file backing the completion cache (`--llm-cache`);
+    /// entries persist across runs and warm starts are zero-billed.
+    pub llm_cache_path: Option<PathBuf>,
+    /// Pre-built cache handle, shared across sessions (e.g. one cache
+    /// spanning a whole config sweep). Takes precedence over
+    /// `llm_cache_path`.
+    pub llm_cache: Option<Arc<CompletionCache>>,
 }
 
 impl Default for CatDbConfig {
@@ -52,7 +70,25 @@ impl Default for CatDbConfig {
             use_llm_fix: true,
             handcraft_fallback: true,
             disallowed_packages: Vec::new(),
+            llm_concurrency: DEFAULT_LLM_CONCURRENCY,
+            llm_cache_path: None,
+            llm_cache: None,
         }
+    }
+}
+
+impl CatDbConfig {
+    /// The completion cache this config asks for: the shared handle if
+    /// one was provided, else a fresh cache (disk-backed when
+    /// `llm_cache_path` is set).
+    pub fn completion_cache(&self) -> Arc<CompletionCache> {
+        if let Some(cache) = &self.llm_cache {
+            return cache.clone();
+        }
+        Arc::new(match &self.llm_cache_path {
+            Some(path) => CompletionCache::persistent(path, SESSION_CACHE_CAPACITY),
+            None => CompletionCache::new(SESSION_CACHE_CAPACITY),
+        })
     }
 }
 
@@ -204,7 +240,10 @@ pub fn handcraft_program(entry: &CatalogEntry) -> Program {
 struct Session<'a> {
     entry: &'a CatalogEntry,
     builder: PromptBuilder<'a>,
-    llm: &'a dyn LanguageModel,
+    /// Every completion goes through the scheduler: cache lookups,
+    /// in-flight coalescing, and bounded fan-out sit between the session
+    /// and the underlying (possibly resilient) model.
+    sched: LlmScheduler<'a>,
     cfg: &'a CatDbConfig,
     env: Environment,
     kb: KnowledgeBase,
@@ -221,7 +260,7 @@ impl Session<'_> {
         });
         self.traces.push(ErrorTrace {
             dataset: self.entry.dataset_name.clone(),
-            llm: self.llm.model_name().to_string(),
+            llm: self.sched.model_name().to_string(),
             kind: error.kind,
             category: error.kind.category(),
             attempt,
@@ -242,7 +281,7 @@ impl Session<'_> {
                     builder.stage_prompt(task, &cols, code)
                 }
             };
-            match self.llm.complete(&prompt) {
+            match self.sched.complete(&prompt) {
                 Ok(c) => {
                     self.ledger.record_generation(c.usage);
                     self.llm_seconds += c.latency_seconds;
@@ -271,17 +310,21 @@ impl Session<'_> {
         self.cfg.prompt.clone()
     }
 
-    /// Submit an error-fix prompt.
-    fn complete_fix(&mut self, source: &str, error: &PipelineError) -> Option<String> {
+    /// Submit an error-fix prompt. A recurring identical (source, error)
+    /// pair renders the identical prompt, so the scheduler's cache
+    /// short-circuits it without an upstream call — the returned flag
+    /// reports that, and the attempt log records it as
+    /// [`FixedBy::CachedLlmFix`].
+    fn complete_fix(&mut self, source: &str, error: &PipelineError) -> Option<(String, bool)> {
         let include_metadata = error.kind.category() == ErrorCategory::Runtime;
         let relevant = referenced_columns(self.entry, &error.message);
         let prompt =
             self.builder.error_prompt(source, &error.render(), include_metadata, &relevant);
-        match self.llm.complete(&prompt) {
-            Ok(c) => {
+        match self.sched.complete_cached(&prompt) {
+            Ok((c, cached)) => {
                 self.ledger.record_error_fix(c.usage);
                 self.llm_seconds += c.latency_seconds;
-                Some(c.text)
+                Some((c.text, cached))
             }
             Err(_) => None,
         }
@@ -314,8 +357,9 @@ impl Session<'_> {
             }
         }
         if self.cfg.use_llm_fix {
-            if let Some(fixed) = self.complete_fix(&source, error) {
-                self.record(error, attempt, FixedBy::LlmResubmission);
+            if let Some((fixed, cached)) = self.complete_fix(&source, error) {
+                let by = if cached { FixedBy::CachedLlmFix } else { FixedBy::LlmResubmission };
+                self.record(error, attempt, by);
                 return Some(fixed);
             }
         }
@@ -338,7 +382,7 @@ pub fn generate_pipeline(
     let mut session = Session {
         entry,
         builder: PromptBuilder::new(entry, cfg.prompt.clone()),
-        llm,
+        sched: scheduler_for(llm, cfg),
         cfg,
         env: Environment::default(),
         kb: KnowledgeBase,
@@ -466,51 +510,129 @@ pub fn generate_pipeline(
     }
 }
 
-/// CatDB Chain: per-chunk pre-processing prompts, then per-chunk feature
-/// engineering prompts, then one model-selection prompt — each stage
-/// receiving the accumulated `<CODE>` (Figure 6). Stage outputs are
-/// parse-checked immediately; broken stages get one local cleanup.
+/// Build the per-session scheduler: the configured cache, the configured
+/// fan-out bound, and a decode tag carrying the sampling seed (the
+/// simulator's output is seed-dependent, so a persisted cache entry from
+/// another seed must never be served).
+fn scheduler_for<'a>(llm: &'a dyn LanguageModel, cfg: &CatDbConfig) -> LlmScheduler<'a> {
+    LlmScheduler::new(llm, cfg.completion_cache())
+        .with_concurrency(cfg.llm_concurrency)
+        .with_decode_tag(format!("seed={}", cfg.seed))
+}
+
+/// Merge chain stage outputs into one program in chunk order: keep each
+/// stage's step lines, drop wrappers and `require` declarations (the
+/// model-selection stage recomputes requires over the whole body, exactly
+/// as the simulator does for accumulated `<CODE>`).
+fn merge_chain_code<'a>(stage_outputs: impl IntoIterator<Item = &'a String>) -> String {
+    let mut lines = vec!["pipeline {".to_string()];
+    for text in stage_outputs {
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty()
+                || t == "pipeline {"
+                || t == "}"
+                || t.starts_with('#')
+                || t.starts_with("require ")
+            {
+                continue;
+            }
+            lines.push(format!("  {t}"));
+        }
+    }
+    lines.push("}".to_string());
+    lines.join("\n") + "\n"
+}
+
+/// CatDB Chain (Figure 6 / Algorithm 3): per-chunk pre-processing
+/// prompts, then per-chunk feature-engineering prompts, then one
+/// model-selection prompt over the accumulated `<CODE>`.
+///
+/// The per-chunk prompts within one stage are mutually independent —
+/// each acts on its own catalog partition — so both stages fan out
+/// through the scheduler with at most `llm_concurrency` in flight.
+/// Results are assembled strictly in chunk order, and the simulated
+/// models answer each prompt independently of serving order, so the
+/// final pipeline is byte-identical at any concurrency. Model selection
+/// stays sequential: it consumes the merged code of *every* chunk, so
+/// nothing can overlap with it.
 fn generate_chain(session: &mut Session<'_>) -> Option<String> {
     let builder = PromptBuilder::new(session.entry, session.cfg.prompt.clone());
     let chunks = builder.chain_chunks();
-    let mut code: Option<String> = None;
 
-    let run_stage = |session: &mut Session<'_>,
-                     task: LlmTaskKind,
-                     cols: &[&catdb_profiler::ColumnProfile],
-                     code: &Option<String>|
-     -> Option<String> {
-        let prompt = builder.stage_prompt(task, cols, code.as_deref());
-        let completion = match session.llm.complete(&prompt) {
-            Ok(c) => c,
-            Err(_) => return None,
-        };
-        session.ledger.record_generation(completion.usage);
-        session.llm_seconds += completion.latency_seconds;
-        let mut text = completion.text;
-        // Per-stage syntax verification ("we verify each pipeline step
-        // independently, simplifying error detection").
-        if let Err(e) = parse(&text) {
-            let cleaned = catdb_llm::clean_pipeline_syntax(&text);
-            session.record(&e, 0, FixedBy::LocalSyntaxCleanup);
-            if parse(&cleaned).is_ok() {
-                text = cleaned;
+    // Collect a fanned-out stage: bill every completion in chunk order,
+    // parse-check each chunk ("we verify each pipeline step
+    // independently, simplifying error detection"), local cleanup for
+    // broken ones. Fails the chain if any chunk failed outright.
+    let collect_stage =
+        |session: &mut Session<'_>, results: Vec<Result<catdb_llm::Completion, LlmError>>| {
+            let mut texts = Vec::with_capacity(results.len());
+            let mut failed = false;
+            for result in results {
+                match result {
+                    Ok(c) => {
+                        session.ledger.record_generation(c.usage);
+                        session.llm_seconds += c.latency_seconds;
+                        let mut text = c.text;
+                        if let Err(e) = parse(&text) {
+                            let cleaned = catdb_llm::clean_pipeline_syntax(&text);
+                            session.record(&e, 0, FixedBy::LocalSyntaxCleanup);
+                            if parse(&cleaned).is_ok() {
+                                text = cleaned;
+                            }
+                        }
+                        texts.push(text);
+                    }
+                    Err(_) => failed = true,
+                }
             }
-        }
-        Some(text)
+            if failed {
+                None
+            } else {
+                Some(texts)
+            }
+        };
+
+    let stage_prompts = |task: LlmTaskKind| -> Vec<Prompt> {
+        chunks.iter().map(|chunk| builder.stage_prompt(task, chunk, None)).collect()
     };
 
-    for chunk in &chunks {
-        let text = run_stage(session, LlmTaskKind::Preprocessing, chunk, &code)?;
-        code = Some(text);
-    }
-    for chunk in &chunks {
-        let text = run_stage(session, LlmTaskKind::FeatureEngineering, chunk, &code)?;
-        code = Some(text);
-    }
+    let pre_prompts = stage_prompts(LlmTaskKind::Preprocessing);
+    let pre_results = session.sched.complete_many(&pre_prompts);
+    let pre_texts = collect_stage(session, pre_results)?;
+
+    let fe_prompts = stage_prompts(LlmTaskKind::FeatureEngineering);
+    let fe_results = session.sched.complete_many(&fe_prompts);
+    let fe_texts = collect_stage(session, fe_results)?;
+
+    let merged = merge_chain_code(pre_texts.iter().chain(fe_texts.iter()));
     let all: Vec<&catdb_profiler::ColumnProfile> = builder.select_columns();
-    let text = run_stage(session, LlmTaskKind::ModelSelection, &all, &code)?;
-    Some(text)
+    let prompt = builder.stage_prompt(LlmTaskKind::ModelSelection, &all, Some(&merged));
+    let results = session.sched.complete_many(std::slice::from_ref(&prompt));
+    let mut texts = collect_stage(session, results)?;
+    texts.pop()
+}
+
+/// Chain generation alone — no validation, no error-management loop.
+/// Exposes the fan-out path directly so benches can measure pure chain
+/// wall-clock against the scheduler without local execution diluting it.
+pub fn generate_chain_source(
+    entry: &CatalogEntry,
+    llm: &dyn LanguageModel,
+    cfg: &CatDbConfig,
+) -> Option<String> {
+    let mut session = Session {
+        entry,
+        builder: PromptBuilder::new(entry, cfg.prompt.clone()),
+        sched: scheduler_for(llm, cfg),
+        cfg,
+        env: Environment::default(),
+        kb: KnowledgeBase,
+        ledger: CostLedger::default(),
+        traces: Vec::new(),
+        llm_seconds: 0.0,
+    };
+    generate_chain(&mut session)
 }
 
 #[cfg(test)]
@@ -663,6 +785,84 @@ mod tests {
         );
         let program = parse(&out).expect("rewritten program parses");
         assert!(program.model().unwrap().algo == catdb_pipeline::ModelAlgo::RandomForest);
+    }
+
+    #[test]
+    fn chain_is_byte_identical_at_any_concurrency() {
+        let (entry, _, _) = dataset();
+        let mut sources = Vec::new();
+        for concurrency in [1usize, 2, 8] {
+            let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 11);
+            let cfg = CatDbConfig {
+                prompt: PromptOptions { beta: 2, ..Default::default() },
+                llm_concurrency: concurrency,
+                ..Default::default()
+            };
+            sources.push(generate_chain_source(&entry, &llm, &cfg).expect("chain succeeds"));
+        }
+        assert_eq!(sources[0], sources[1], "concurrency 1 vs 2");
+        assert_eq!(sources[0], sources[2], "concurrency 1 vs 8");
+        assert!(sources[0].contains("model "), "{}", sources[0]);
+    }
+
+    #[test]
+    fn shared_cache_makes_second_run_free_and_identical() {
+        let (entry, _, _) = dataset();
+        let cache = Arc::new(CompletionCache::new(256));
+        let cfg = CatDbConfig {
+            prompt: PromptOptions { beta: 2, ..Default::default() },
+            llm_cache: Some(cache.clone()),
+            ..Default::default()
+        };
+        let run = |seed_llm: &SimLlm| {
+            let sink = Arc::new(catdb_trace::TraceSink::new());
+            let guard = catdb_trace::install(sink.clone());
+            let source = generate_chain_source(&entry, seed_llm, &cfg).expect("chain succeeds");
+            drop(guard);
+            (source, sink.snapshot())
+        };
+        // One SimLlm across both runs: the second run must not consult it
+        // at all (its per-prompt repeat counters would otherwise shift).
+        let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 11);
+        let (cold, cold_trace) = run(&llm);
+        let calls_after_cold = llm.call_count();
+        let (warm, warm_trace) = run(&llm);
+        assert_eq!(cold, warm, "warm cache must replay byte-identically");
+        assert_eq!(llm.call_count(), calls_after_cold, "warm run is fully served from cache");
+        assert_eq!(cold_trace.cache_hit_count(), 0);
+        assert!(warm_trace.cache_hit_count() > 0, "warm run records cache.hit events");
+        // Zero additional measured cost: hits emit no LlmCall.
+        assert_eq!(warm_trace.llm_call_count(), 0);
+        assert_eq!(warm_trace.total_llm_cost(), 0.0);
+        assert!(warm_trace.counters["cache.hit"] > 0.0);
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn recurring_fix_prompts_short_circuit_through_the_cache() {
+        let (entry, train, test) = dataset();
+        // Fixes always fail to change anything meaningful at quality 0:
+        // the same (source, error) pair recurs until attempts run out.
+        let profile = ModelProfile {
+            semantic_fault_rate: 1.0,
+            syntax_fault_rate: 0.0,
+            env_fault_rate: 0.0,
+            fix_skill: 0.0,
+            ..ModelProfile::llama3_1_70b()
+        };
+        let llm = SimLlm::new(profile, 23);
+        let cfg = CatDbConfig { use_knowledge_base: false, ..Default::default() };
+        let outcome = generate_pipeline(&entry, &train, &test, &llm, &cfg);
+        let cached_fixes =
+            outcome.traces.iter().filter(|t| t.fixed_by == FixedBy::CachedLlmFix).count();
+        let llm_fixes =
+            outcome.traces.iter().filter(|t| t.fixed_by == FixedBy::LlmResubmission).count();
+        assert!(
+            cached_fixes > 0,
+            "identical (source, error) re-prompts must be served from cache; traces: {:?}",
+            outcome.traces
+        );
+        assert!(llm_fixes > 0, "the first occurrence still goes upstream");
     }
 
     #[test]

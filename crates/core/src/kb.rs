@@ -18,6 +18,9 @@ pub enum FixedBy {
     KnowledgeBase,
     LocalSyntaxCleanup,
     LlmResubmission,
+    /// An identical (source, error) pair recurred within one session and
+    /// the fix was replayed from the completion cache — no upstream call.
+    CachedLlmFix,
     Handcrafted,
     Unfixed,
 }

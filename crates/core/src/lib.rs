@@ -39,7 +39,9 @@ pub mod rules;
 
 pub use api::{catdb_collect, catdb_pipgen, CollectOptions, PipgenResult};
 pub use cost::{measured_cost, reprice, MeasuredCost};
-pub use generate::{generate_pipeline, handcraft_program, CatDbConfig, GenerationOutcome};
+pub use generate::{
+    generate_chain_source, generate_pipeline, handcraft_program, CatDbConfig, GenerationOutcome,
+};
 pub use kb::{ErrorTrace, ErrorTraceDb, FixedBy, KbFix, KnowledgeBase};
 pub use prompt::{PromptBuilder, PromptOptions};
 pub use rules::{derive_rules, labels_imbalanced, schema_line, MetadataConfig};

@@ -4,18 +4,18 @@
 //! surface of a real LLM API under heavy traffic: timeouts, transient
 //! 5xx-style outages, rate limiting, and responses that arrive damaged
 //! (truncated or garbled). Faults are drawn deterministically from
-//! `(seed, prompt hash, call counter)` — exactly the [`crate::SimLlm`]
+//! `(seed, prompt hash, repeat index)` — exactly the [`crate::SimLlm`]
 //! recipe — so an injected failure pattern replays identically for a
-//! fixed seed, which is what lets the resilience tests and the
+//! fixed seed (and independently of what other prompts were served
+//! first), which is what lets the resilience tests and the
 //! `fig14_robustness` fault sweep assert exact behaviour.
 
 use crate::client::{Completion, LanguageModel, LlmError};
 use crate::prompt::Prompt;
+use crate::sim::{prompt_hash, CallCounters};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
 /// Per-call fault probabilities. At most one fault fires per call (a
 /// single uniform draw is compared against the cumulative thresholds in
@@ -110,12 +110,12 @@ pub struct FaultInjectingLlm<L> {
     inner: L,
     spec: FaultSpec,
     seed: u64,
-    calls: Mutex<u64>,
+    calls: Mutex<CallCounters>,
 }
 
 impl<L: LanguageModel> FaultInjectingLlm<L> {
     pub fn new(inner: L, spec: FaultSpec, seed: u64) -> FaultInjectingLlm<L> {
-        FaultInjectingLlm { inner, spec, seed, calls: Mutex::new(0) }
+        FaultInjectingLlm { inner, spec, seed, calls: Mutex::new(CallCounters::default()) }
     }
 
     pub fn spec(&self) -> &FaultSpec {
@@ -124,18 +124,15 @@ impl<L: LanguageModel> FaultInjectingLlm<L> {
 
     /// Calls served (or faulted) so far.
     pub fn call_count(&self) -> u64 {
-        *self.calls.lock()
+        self.calls.lock().total()
     }
 
-    fn rng_for(&self, prompt: &Prompt, call: u64) -> StdRng {
-        let mut h = DefaultHasher::new();
-        prompt.user.hash(&mut h);
-        prompt.system.hash(&mut h);
+    fn rng_for(&self, prompt: &Prompt, repeat: u64) -> StdRng {
         let seed = self
             .seed
             .wrapping_mul(0xA076_1D64_78BD_642F)
-            .wrapping_add(h.finish())
-            .wrapping_add(call.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+            .wrapping_add(prompt_hash(prompt))
+            .wrapping_add(repeat.wrapping_mul(0xE703_7ED1_A0B4_28DB));
         StdRng::seed_from_u64(seed)
     }
 }
@@ -177,13 +174,8 @@ impl<L: LanguageModel> LanguageModel for FaultInjectingLlm<L> {
     }
 
     fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
-        let call = {
-            let mut guard = self.calls.lock();
-            let c = *guard;
-            *guard += 1;
-            c
-        };
-        let mut rng = self.rng_for(prompt, call);
+        let repeat = self.calls.lock().next_repeat(prompt_hash(prompt));
+        let mut rng = self.rng_for(prompt, repeat);
         match self.spec.draw(&mut rng) {
             Some(Fault::Timeout) => {
                 // The request hung; report how long it ran before abandonment.

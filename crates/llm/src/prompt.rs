@@ -11,21 +11,37 @@
 
 use crate::tokens::estimate_tokens;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A rendered prompt (system + user messages).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The token estimate is memoized on first use: retries, fault-injected
+/// replays, and cache fingerprinting all re-ask for the same count, and
+/// large catalog prompts should be scanned once, not once per attempt.
+/// The messages are immutable after construction (every call site goes
+/// through [`Prompt::new`]), so the memo can never go stale.
+#[derive(Debug, Clone)]
 pub struct Prompt {
     pub system: String,
     pub user: String,
+    token_len: OnceLock<usize>,
 }
 
 impl Prompt {
     pub fn new(system: impl Into<String>, user: impl Into<String>) -> Prompt {
-        Prompt { system: system.into(), user: user.into() }
+        Prompt { system: system.into(), user: user.into(), token_len: OnceLock::new() }
     }
 
     pub fn token_len(&self) -> usize {
-        estimate_tokens(&self.system) + estimate_tokens(&self.user)
+        *self.token_len.get_or_init(|| estimate_tokens(&self.system) + estimate_tokens(&self.user))
+    }
+}
+
+impl PartialEq for Prompt {
+    /// Equality is over the rendered messages only — whether the token
+    /// estimate has been materialized yet is not observable.
+    fn eq(&self, other: &Prompt) -> bool {
+        self.system == other.system && self.user == other.user
     }
 }
 

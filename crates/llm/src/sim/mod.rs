@@ -6,9 +6,14 @@
 //! fixing, feature-type inference, or categorical-value refinement.
 //!
 //! Determinism: every call derives its RNG from `(seed, prompt hash,
-//! call counter)` — the same session replays identically, while repeated
-//! calls with the same prompt differ (the paper observes variation across
-//! iterations "even with LLM temperature set to zero").
+//! repeat index)`, where the repeat index counts prior completions of the
+//! *same* prompt — the same session replays identically, repeated calls
+//! with the same prompt differ (the paper observes variation across
+//! iterations "even with LLM temperature set to zero"), and the response
+//! to a given prompt does not depend on what *other* prompts were served
+//! before it. That last property makes the simulator order-independent:
+//! a concurrent scheduler may interleave distinct prompts in any order
+//! and every caller still receives byte-identical text.
 
 pub mod codegen;
 pub mod dedup;
@@ -23,19 +28,53 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+
+/// Per-prompt completion counters: total calls served plus how many
+/// times each distinct prompt (by hash) has been completed.
+#[derive(Default)]
+pub(crate) struct CallCounters {
+    total: u64,
+    per_prompt: HashMap<u64, u64>,
+}
+
+impl CallCounters {
+    /// Record one completion of `prompt_hash`, returning its 0-based
+    /// repeat index.
+    pub(crate) fn next_repeat(&mut self, prompt_hash: u64) -> u64 {
+        self.total += 1;
+        let slot = self.per_prompt.entry(prompt_hash).or_insert(0);
+        let repeat = *slot;
+        *slot += 1;
+        repeat
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Hash of the rendered prompt text, shared by the simulator and the
+/// fault injector so both index their repeat streams the same way.
+pub(crate) fn prompt_hash(prompt: &Prompt) -> u64 {
+    let mut h = DefaultHasher::new();
+    prompt.user.hash(&mut h);
+    prompt.system.hash(&mut h);
+    h.finish()
+}
 
 /// A simulated LLM with a fixed capability profile.
 pub struct SimLlm {
     profile: ModelProfile,
     temperature: f64,
     seed: u64,
-    calls: Mutex<u64>,
+    calls: Mutex<CallCounters>,
 }
 
 impl SimLlm {
     pub fn new(profile: ModelProfile, seed: u64) -> SimLlm {
-        SimLlm { profile, temperature: 0.0, seed, calls: Mutex::new(0) }
+        SimLlm { profile, temperature: 0.0, seed, calls: Mutex::new(CallCounters::default()) }
     }
 
     pub fn with_temperature(mut self, temperature: f64) -> SimLlm {
@@ -49,18 +88,15 @@ impl SimLlm {
 
     /// Number of completions served so far.
     pub fn call_count(&self) -> u64 {
-        *self.calls.lock()
+        self.calls.lock().total()
     }
 
-    fn rng_for(&self, prompt: &Prompt, call: u64) -> StdRng {
-        let mut h = DefaultHasher::new();
-        prompt.user.hash(&mut h);
-        prompt.system.hash(&mut h);
+    fn rng_for(&self, prompt: &Prompt, repeat: u64) -> StdRng {
         let seed = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(h.finish())
-            .wrapping_add(call.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            .wrapping_add(prompt_hash(prompt))
+            .wrapping_add(repeat.wrapping_mul(0x2545_F491_4F6C_DD1D));
         StdRng::seed_from_u64(seed)
     }
 }
@@ -82,13 +118,8 @@ impl LanguageModel for SimLlm {
                 window: self.profile.context_window,
             });
         }
-        let call = {
-            let mut guard = self.calls.lock();
-            let c = *guard;
-            *guard += 1;
-            c
-        };
-        let mut rng = self.rng_for(prompt, call);
+        let repeat = self.calls.lock().next_repeat(prompt_hash(prompt));
+        let mut rng = self.rng_for(prompt, repeat);
         let spec = PromptSpec::parse(prompt, self.profile.context_window);
 
         let text = match spec.task {
@@ -208,13 +239,28 @@ rule model model_selection
         let second_a = llm_a.complete(&prompt).unwrap().text;
         let llm_b = SimLlm::new(ModelProfile::gemini_1_5_pro(), 9);
         let first_b = llm_b.complete(&prompt).unwrap().text;
-        // Same session position → identical output; the call counter moves
-        // the stream between calls.
+        // Same repeat index → identical output; the repeat counter moves
+        // the stream between identical calls.
         assert_eq!(first_a, first_b);
         // (first and second may or may not differ, but the counter ensures
         // the streams are decoupled; just check both are valid programs.)
         assert!(second_a.contains("model "));
         assert_eq!(llm_a.call_count(), 2);
+    }
+
+    #[test]
+    fn responses_do_not_depend_on_other_prompts_served_before() {
+        let pipeline = pipeline_prompt();
+        let other = Prompt::new("You are a data science assistant.", "hello there");
+        // Session 1 serves (other, pipeline); session 2 serves (pipeline)
+        // directly. Per-prompt repeat streams make both pipelines equal —
+        // the property a concurrent scheduler relies on.
+        let llm_a = SimLlm::new(ModelProfile::gemini_1_5_pro(), 9);
+        llm_a.complete(&other).unwrap();
+        let interleaved = llm_a.complete(&pipeline).unwrap().text;
+        let llm_b = SimLlm::new(ModelProfile::gemini_1_5_pro(), 9);
+        let direct = llm_b.complete(&pipeline).unwrap().text;
+        assert_eq!(interleaved, direct);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   ranges of `0..total` and collect the per-chunk results in range
 //!   order. Chunk boundaries depend only on `total` and `chunk_size`,
 //!   never on the thread count, so flattened outputs are stable.
+//! - [`parallel_map_io`]: `parallel_map` for latency-bound work (LLM
+//!   round trips) on dedicated scoped threads, so fan-out width is not
+//!   capped by the CPU-sized pool.
 //!
 //! # Determinism
 //!
@@ -286,6 +289,63 @@ where
     out.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`parallel_map`], but for latency-bound tasks — network round
+/// trips, simulated or real LLM calls — whose threads spend their time
+/// blocked, not computing. These run on dedicated scoped threads instead
+/// of the CPU-sized worker pool, so the fan-out width is `min(limit,
+/// len)` even on a single-core host where the pool has one worker (a
+/// width-4 LLM fan-out overlaps four round-trips regardless of core
+/// count). Results come back in input order; `limit <= 1` runs entirely
+/// inline on the calling thread; an installed trace sink propagates to
+/// every worker thread.
+pub fn parallel_map_io<T, R, F>(limit: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let sink = catdb_trace::current();
+    if limit <= 1 || len == 1 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let Some(s) = &sink {
+            s.add_counter(COUNTER_TASKS, len as f64);
+        }
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..limit.min(len) {
+            scope.spawn(|| {
+                let _guard = sink.as_ref().map(|s| catdb_trace::install(s.clone()));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                if !local.is_empty() {
+                    if let Some(s) = &sink {
+                        s.add_counter(COUNTER_TASKS, local.len() as f64);
+                    }
+                    out.lock().unwrap().append(&mut local);
+                }
+            });
+        }
+    });
+    let mut out = out.into_inner().unwrap();
+    out.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(out.len(), len);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Apply `f` to contiguous `chunk_size`-wide ranges covering `0..total`
 /// and return the per-chunk results in range order. Boundaries depend
 /// only on `total` and `chunk_size`, so flattening the result yields the
@@ -331,6 +391,52 @@ mod tests {
         let none: Vec<u8> = vec![];
         assert!(parallel_map(4, &none, |_, &x| x).is_empty());
         assert_eq!(parallel_map(4, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn io_map_is_ordered_and_identical_across_limits() {
+        let items: Vec<u64> = (0..97).collect();
+        let run = |limit| parallel_map_io(limit, &items, |i, &x| x.wrapping_mul(i as u64 ^ 0x9e37));
+        let base = run(1);
+        for limit in [2, 4, 16] {
+            assert_eq!(run(limit), base, "limit {limit} diverged");
+        }
+        let none: Vec<u8> = vec![];
+        assert!(parallel_map_io(4, &none, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn io_map_width_exceeds_the_cpu_pool() {
+        // Eight sleepers at width 8 must overlap: even on a single-core
+        // host the wall-clock is one sleep, not eight, because the I/O
+        // variant spawns its own scoped threads rather than queueing on
+        // the CPU-sized pool.
+        let items: Vec<u8> = (0..8).collect();
+        let started = std::time::Instant::now();
+        let out = parallel_map_io(8, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            x
+        });
+        assert_eq!(out, items);
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(8 * 40),
+            "sleeps did not overlap: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn io_map_propagates_the_trace_sink() {
+        let sink = Arc::new(catdb_trace::TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        let items: Vec<u8> = (0..12).collect();
+        parallel_map_io(4, &items, |_, &x| {
+            catdb_trace::add_counter("io.test", 1.0);
+            x
+        });
+        let trace = sink.snapshot();
+        assert_eq!(trace.counters["io.test"], 12.0);
+        assert_eq!(trace.counters[COUNTER_TASKS], 12.0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Content-addressed request fingerprints.
+//!
+//! A completion is fully determined by `(model name, rendered prompt
+//! text, decoding-relevant options)` — the cache key must therefore be a
+//! pure function of those strings and *stable across processes and
+//! builds*, because entries persist to disk (`--llm-cache FILE`) and are
+//! reloaded by later runs. `std`'s `DefaultHasher` makes no such
+//! stability promise, so the fingerprint is built from two independent
+//! 64-bit FNV-1a lanes (distinct offset bases, length-prefixed fields,
+//! xor-shift finalizers) concatenated into 128 bits.
+
+use catdb_llm::Prompt;
+use std::fmt;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Standard FNV-1a offset basis (low lane).
+const OFFSET_LO: u64 = 0xCBF2_9CE4_8422_2325;
+/// Byte-rotated offset basis (high lane) — decorrelates the two lanes so
+/// a single-lane collision does not collide the 128-bit key.
+const OFFSET_HI: u64 = 0x8422_2325_CBF2_9CE4;
+
+/// One FNV-1a lane with a final avalanche mix.
+#[derive(Clone, Copy)]
+struct Lane(u64);
+
+impl Lane {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Length-prefixed field write: `("ab", "c")` and `("a", "bc")` must
+    /// not hash alike.
+    fn field(&mut self, text: &str) {
+        self.write(&(text.len() as u64).to_le_bytes());
+        self.write(text.as_bytes());
+    }
+
+    /// xor-shift finalizer (splitmix64 tail) — FNV alone diffuses the
+    /// last bytes poorly.
+    fn finish(self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// 128-bit content fingerprint of one LLM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Fingerprint a request. `decode` carries the decoding-relevant
+    /// options (temperature, sampling mode, …) rendered as text; changing
+    /// any of the three components invalidates the cache entry.
+    pub fn of(model: &str, prompt: &Prompt, decode: &str) -> Fingerprint {
+        let mut lo = Lane(OFFSET_LO);
+        let mut hi = Lane(OFFSET_HI);
+        for lane in [&mut lo, &mut hi] {
+            lane.field(model);
+            lane.field(&prompt.system);
+            lane.field(&prompt.user);
+            lane.field(decode);
+        }
+        Fingerprint((u128::from(hi.finish()) << 64) | u128::from(lo.finish()))
+    }
+
+    /// Parse the 32-hex-digit form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(system: &str, user: &str) -> Prompt {
+        Prompt::new(system, user)
+    }
+
+    #[test]
+    fn pinned_values_are_build_stable() {
+        // Golden values: these must never change, or persisted disk
+        // caches written by earlier builds would silently miss.
+        let fp = Fingerprint::of("gpt-4o", &p("sys", "user"), "greedy");
+        assert_eq!(fp.to_string(), "dd57c80ad89b91e8375bffebc7ead02e");
+        let fp2 = Fingerprint::of("", &p("", ""), "");
+        assert_eq!(fp2.to_string(), "6ea341c61532afa2d991e919042832c6");
+    }
+
+    #[test]
+    fn every_component_matters() {
+        let base = Fingerprint::of("m", &p("s", "u"), "d");
+        assert_ne!(base, Fingerprint::of("m2", &p("s", "u"), "d"));
+        assert_ne!(base, Fingerprint::of("m", &p("s2", "u"), "d"));
+        assert_ne!(base, Fingerprint::of("m", &p("s", "u2"), "d"));
+        assert_ne!(base, Fingerprint::of("m", &p("s", "u"), "d2"));
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        // Moving bytes across the system/user boundary must change the key.
+        assert_ne!(
+            Fingerprint::of("m", &p("ab", "c"), ""),
+            Fingerprint::of("m", &p("a", "bc"), "")
+        );
+        assert_ne!(Fingerprint::of("ab", &p("c", ""), ""), Fingerprint::of("a", &p("bc", ""), ""));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = Fingerprint::of("gemini-1.5-pro", &p("sys", "a longer user prompt"), "t=0");
+        assert_eq!(Fingerprint::from_hex(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # catdb-sched — concurrent LLM request scheduling, caching, coalescing
+//!
+//! CatDB Chain (Algorithm 3) issues one Preprocessing and one
+//! FeatureEngineering prompt per catalog chunk, and the error-management
+//! loop (Algorithm 4) re-prompts on every failure. The per-chunk prompts
+//! within one stage are mutually independent, and repeated runs, retries,
+//! and top-k configuration sweeps resend near-identical prompts — so this
+//! crate turns the LLM layer into a scheduled, cached, coalescing
+//! service that sits between callers and any [`catdb_llm::LanguageModel`]
+//! (including a `ResilientClient` stack, whose retry/circuit-breaker
+//! accounting passes through unchanged):
+//!
+//! * [`Fingerprint`] — a build-stable 128-bit content address of
+//!   `(model, rendered prompt, decoding options)`.
+//! * [`CompletionCache`] — in-memory LRU keyed by fingerprint, with
+//!   optional JSON-lines disk persistence (`--llm-cache FILE`); hits are
+//!   zero-billed.
+//! * [`LlmScheduler`] — drop-in `LanguageModel` adding cache lookups,
+//!   in-flight coalescing of concurrent identical prompts, and bounded
+//!   concurrent batch fan-out (`--llm-concurrency N`) on
+//!   `catdb-runtime`'s work-stealing pool with input-ordered results.
+//!
+//! Determinism: with the workspace's simulated models, whose output is a
+//! pure function of `(seed, prompt, repeat index)`, the scheduler
+//! produces byte-identical pipelines at every concurrency level — the
+//! cache guarantees each distinct request consumes exactly one upstream
+//! completion regardless of whether duplicates arrive sequentially
+//! (cache hit) or concurrently (coalesced).
+
+pub mod cache;
+pub mod fingerprint;
+pub mod scheduler;
+
+pub use cache::{CacheStats, CachedCompletion, CompletionCache};
+pub use fingerprint::Fingerprint;
+pub use scheduler::{LlmScheduler, Served, DEFAULT_LLM_CONCURRENCY};

@@ -74,6 +74,12 @@ pub enum TraceEvent {
     /// The resilience ladder degraded from one rung to the next (or to
     /// the handcrafted fallback when every LLM rung is exhausted).
     Degraded { from: String, to: String, reason: String },
+    /// A completion was served from the content-addressed cache (or an
+    /// in-flight coalesced call) instead of the upstream model. The
+    /// token/cost fields record what the hit *saved* — the hit itself is
+    /// billed at zero, so no `LlmCall` accompanies it and
+    /// `total_llm_cost()` / `measured_cost()` are unaffected.
+    CacheHit { model: String, saved_tokens: usize, saved_cost: f64, coalesced: bool },
 }
 
 impl TraceEvent {
@@ -89,6 +95,7 @@ impl TraceEvent {
             TraceEvent::LlmRetry { .. } => "llm_retry",
             TraceEvent::CircuitOpen { .. } => "circuit_open",
             TraceEvent::Degraded { .. } => "degraded",
+            TraceEvent::CacheHit { .. } => "cache_hit",
         }
     }
 }
@@ -399,6 +406,33 @@ impl Trace {
         self.events.iter().filter(|r| matches!(r.event, TraceEvent::ErrorIteration { .. })).count()
     }
 
+    /// Number of completions served from the cache / coalesced in-flight.
+    pub fn cache_hit_count(&self) -> usize {
+        self.events.iter().filter(|r| matches!(r.event, TraceEvent::CacheHit { .. })).count()
+    }
+
+    /// Total tokens the cache hits avoided re-spending upstream.
+    pub fn cache_saved_tokens(&self) -> usize {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::CacheHit { saved_tokens, .. } => Some(*saved_tokens),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total dollar cost the cache hits avoided re-spending upstream.
+    pub fn cache_saved_cost(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::CacheHit { saved_cost, .. } => Some(*saved_cost),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// `(prompt, completion)` tokens per prompt task, attributing each
     /// LLM call to the most recent [`TraceEvent::PromptBuilt`] before it
     /// in the stream (prompt construction immediately precedes
@@ -685,6 +719,34 @@ mod tests {
         assert_eq!(back.events[2].event.kind(), "circuit_open");
         assert_eq!(back.events[3].event.kind(), "degraded");
         assert_eq!(back.events[0].event.kind(), "llm_retry");
+    }
+
+    #[test]
+    fn cache_hits_aggregate_without_touching_billed_totals() {
+        let sink = TraceSink::new();
+        sink.emit(llm_event(1));
+        sink.emit(TraceEvent::CacheHit {
+            model: "gpt-4o".into(),
+            saved_tokens: 110,
+            saved_cost: 0.001,
+            coalesced: false,
+        });
+        sink.emit(TraceEvent::CacheHit {
+            model: "gpt-4o".into(),
+            saved_tokens: 110,
+            saved_cost: 0.001,
+            coalesced: true,
+        });
+        let t = sink.snapshot();
+        assert_eq!(t.cache_hit_count(), 2);
+        assert_eq!(t.cache_saved_tokens(), 220);
+        assert!((t.cache_saved_cost() - 0.002).abs() < 1e-12);
+        // Hits are zero-billed: only the one real LlmCall counts.
+        assert_eq!(t.llm_call_count(), 1);
+        assert_eq!(t.total_llm_tokens(), (100, 10));
+        let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.events[1].event.kind(), "cache_hit");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Quick perf snapshot: run the criterion micro benches with a reduced
-# per-bench budget and record the profiling / training hot-path numbers in
-# results/BENCH_perf.json, alongside the pre-runtime baselines measured on
-# the same container class. Intended as a non-blocking CI step — failures
-# here report a regression but never break the build.
+# per-bench budget and record the profiling / training / chain-scheduler
+# hot-path numbers in results/BENCH_perf.json, alongside the pre-runtime
+# baselines measured on the same container class. Also runs the chain
+# cache smoke (cold + warm CLI run sharing one --llm-cache file) and
+# folds its hit/zero-billing figures into the snapshot. Intended as a
+# non-blocking CI step — failures here report a regression but never
+# break the build.
 #
 # Usage: scripts/bench_quick.sh [budget_ms]   (default 120)
 set -euo pipefail
@@ -17,13 +20,20 @@ trap 'rm -f "$RAW"' EXIT
 echo "== cargo bench -p catdb-bench --bench micro (budget ${BUDGET_MS} ms/bench) =="
 CATDB_BENCH_BUDGET_MS="$BUDGET_MS" cargo bench -p catdb-bench --bench micro | tee "$RAW"
 
+echo "== chain cache smoke (cold + warm run sharing one cache file) =="
+SMOKE_LINE="$(scripts/chain_cache_smoke.sh | tail -1)"
+echo "$SMOKE_LINE"
+SMOKE_HITS="${SMOKE_LINE#*hits=}"; SMOKE_HITS="${SMOKE_HITS%% *}"
+SMOKE_WARM_TOKENS="${SMOKE_LINE#*warm_tokens=}"; SMOKE_WARM_TOKENS="${SMOKE_WARM_TOKENS%% *}"
+
 # Pre-PR baselines (300 ms budget, same machine class): mean ms/iter before
 # the shared runtime, profile memo, and incremental tree-split scan landed.
 BASE_PROFILING_MS=240.818
 BASE_FOREST_MS=29.803
 
 awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
-    -v base_prof="$BASE_PROFILING_MS" -v base_forest="$BASE_FOREST_MS" '
+    -v base_prof="$BASE_PROFILING_MS" -v base_forest="$BASE_FOREST_MS" \
+    -v smoke_hits="$SMOKE_HITS" -v smoke_warm_tokens="$SMOKE_WARM_TOKENS" '
   # Convert a criterion duration token ("4.508ms", "127.3µs", "1.2s") to ms.
   function to_ms(s,  v) {
     v = s; gsub(/[^0-9.]/, "", v); v += 0
@@ -34,8 +44,13 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
   }
   $1 == "gas-drift_2000rows" { prof_ms = to_ms($2) }
   $1 == "random_forest_20trees_1000x20" { forest_ms = to_ms($2) }
+  $1 == "chain_gen_beta4_seq" { chain_seq_ms = to_ms($2) }
+  $1 == "chain_gen_beta4_conc4" { chain_conc_ms = to_ms($2) }
+  $1 == "cache_cold_miss" { cache_cold_ms = to_ms($2) }
+  $1 == "cache_warm_hit" { cache_warm_ms = to_ms($2) }
   END {
-    if (prof_ms == 0 || forest_ms == 0) {
+    if (prof_ms == 0 || forest_ms == 0 || chain_seq_ms == 0 || chain_conc_ms == 0 ||
+        cache_cold_ms == 0 || cache_warm_ms == 0) {
       print "bench_quick: missing bench lines in output" > "/dev/stderr"
       exit 1
     }
@@ -55,11 +70,28 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "      \"rows_per_sec\": %.0f,\n", forest_rows_s >> out
     printf "      \"baseline_ms\": %.3f,\n", base_forest >> out
     printf "      \"speedup\": %.2f\n", base_forest / forest_ms >> out
+    printf "    },\n" >> out
+    printf "    \"chain/generate_beta4_3ms_latency\": {\n" >> out
+    printf "      \"sequential_ms\": %.3f,\n", chain_seq_ms >> out
+    printf "      \"concurrency4_ms\": %.3f,\n", chain_conc_ms >> out
+    printf "      \"speedup\": %.2f\n", chain_seq_ms / chain_conc_ms >> out
+    printf "    },\n" >> out
+    printf "    \"cache/completion_lookup\": {\n" >> out
+    printf "      \"cold_miss_ms\": %.4f,\n", cache_cold_ms >> out
+    printf "      \"warm_hit_ms\": %.4f,\n", cache_warm_ms >> out
+    printf "      \"speedup\": %.2f\n", cache_cold_ms / cache_warm_ms >> out
+    printf "    },\n" >> out
+    printf "    \"cache/chain_smoke_warm_run\": {\n" >> out
+    printf "      \"cache_hits\": %d,\n", smoke_hits >> out
+    printf "      \"billed_tokens\": %d,\n", smoke_warm_tokens >> out
+    printf "      \"identical_output\": true\n" >> out
     printf "    }\n" >> out
     printf "  }\n" >> out
     printf "}\n" >> out
     printf "profiling : %.3f ms/iter (baseline %.3f, %.2fx)\n", prof_ms, base_prof, base_prof / prof_ms
     printf "forest    : %.3f ms/iter (baseline %.3f, %.2fx)\n", forest_ms, base_forest, base_forest / forest_ms
+    printf "chain     : %.3f ms seq vs %.3f ms conc4 (%.2fx)\n", chain_seq_ms, chain_conc_ms, chain_seq_ms / chain_conc_ms
+    printf "cache     : %.4f ms miss vs %.4f ms hit (%.2fx); warm smoke %d hit(s), %d billed token(s)\n", cache_cold_ms, cache_warm_ms, cache_cold_ms / cache_warm_ms, smoke_hits, smoke_warm_tokens
   }
 ' "$RAW"
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Chain smoke with a shared persistent completion cache: run the same
+# `catdb run --beta 3` invocation twice against one --llm-cache file and
+# assert that the warm run (a) produces byte-identical stdout, (b)
+# records >0 cache hits, and (c) bills zero tokens. Prints one summary
+# line consumed by scripts/bench_quick.sh; also used directly as a CI
+# gate (any violated assertion exits nonzero).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Deterministic toy CSV — no checked-in data needed.
+{
+  echo "age,income,segment,label"
+  for i in $(seq 0 239); do
+    echo "$((20 + i % 47)),$((1000 + (i * 37) % 900)).$((i % 10)),s$((i % 5)),$((i % 2))"
+  done
+} > "$TMP/smoke.csv"
+
+run() {
+  cargo run -q -p catdb-core --bin catdb -- run \
+    --csv "$TMP/smoke.csv" --target label --task binary \
+    --beta 3 --seed 7 --llm-concurrency 4 --llm-cache "$TMP/cache.jsonl" \
+    > "$1" 2> "$2"
+}
+
+run "$TMP/out1.txt" "$TMP/err1.txt"
+run "$TMP/out2.txt" "$TMP/err2.txt"
+
+if ! diff "$TMP/out1.txt" "$TMP/out2.txt" > /dev/null; then
+  echo "chain_cache_smoke: warm run diverged from cold run" >&2
+  diff "$TMP/out1.txt" "$TMP/out2.txt" >&2 || true
+  exit 1
+fi
+
+hits="$(sed -n 's/.*\[llm cache: \([0-9][0-9]*\) hit(s).*/\1/p' "$TMP/err2.txt")"
+warm_tokens="$(sed -n 's/^tokens: \([0-9][0-9]*\) |.*/\1/p' "$TMP/err2.txt")"
+
+if [ -z "${hits:-}" ] || [ "$hits" -eq 0 ]; then
+  echo "chain_cache_smoke: warm run recorded no cache hits" >&2
+  cat "$TMP/err2.txt" >&2
+  exit 1
+fi
+if [ -z "${warm_tokens:-}" ] || [ "$warm_tokens" -ne 0 ]; then
+  echo "chain_cache_smoke: warm run billed ${warm_tokens:-?} token(s), expected 0" >&2
+  cat "$TMP/err2.txt" >&2
+  exit 1
+fi
+
+echo "chain_cache_smoke hits=$hits warm_tokens=$warm_tokens identical=1"

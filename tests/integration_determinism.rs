@@ -1,15 +1,22 @@
-//! Thread-count invariance: the shared work-stealing runtime must never
-//! leak scheduling order into results. Profiling the same table and
-//! training the same model with the same seed must produce byte-identical
-//! output for every `n_threads` value.
+//! Thread-count invariance: the shared work-stealing runtime and the
+//! concurrent LLM scheduler must never leak scheduling order into
+//! results. Profiling the same table, training the same model, and
+//! generating the same chain pipeline with the same seed must produce
+//! byte-identical output for every thread/concurrency value — with or
+//! without a warm completion cache.
 
+use catdb_catalog::CatalogEntry;
+use catdb_core::{generate_chain_source, CatDbConfig, PromptOptions};
+use catdb_llm::{ModelProfile, SimLlm};
 use catdb_ml::{Classifier, ForestConfig, Matrix, RandomForestClassifier};
 use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_sched::CompletionCache;
 use catdb_table::{Column, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -65,4 +72,76 @@ proptest! {
         prop_assert_eq!(&probas[0], &probas[1], "1 vs 2 threads");
         prop_assert_eq!(&probas[0], &probas[2], "1 vs 8 threads");
     }
+}
+
+/// A catalog entry for the chain-generation determinism tests.
+fn chain_entry() -> CatalogEntry {
+    let g =
+        catdb_data::generate("cmc", &catdb_data::GenOptions { max_rows: 400, scale: 1.0, seed: 5 })
+            .expect("known dataset");
+    let flat = g.dataset.materialize().expect("materialize");
+    let profile = profile_table("cmc", &flat, &ProfileOptions::default());
+    CatalogEntry::new("cmc", g.target.clone(), g.task, profile)
+}
+
+fn chain_cfg(concurrency: usize) -> CatDbConfig {
+    CatDbConfig {
+        prompt: PromptOptions { beta: 3, ..Default::default() },
+        llm_concurrency: concurrency,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chain_output_identical_across_llm_concurrency() {
+    let entry = chain_entry();
+    let mut sources = Vec::new();
+    for concurrency in [1usize, 2, 8] {
+        let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 11);
+        sources.push(generate_chain_source(&entry, &llm, &chain_cfg(concurrency)).expect("chain"));
+    }
+    assert_eq!(sources[0], sources[1], "concurrency 1 vs 2");
+    assert_eq!(sources[0], sources[2], "concurrency 1 vs 8");
+}
+
+#[test]
+fn chain_output_identical_with_shared_warm_cache() {
+    let entry = chain_entry();
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 11);
+    let cache = Arc::new(CompletionCache::new(1024));
+    let run = |concurrency: usize| {
+        let cfg = CatDbConfig { llm_cache: Some(cache.clone()), ..chain_cfg(concurrency) };
+        generate_chain_source(&entry, &llm, &cfg).expect("chain")
+    };
+    let cold = run(2);
+    let cold_calls = llm.call_count();
+    assert!(cold_calls > 0);
+    for concurrency in [1usize, 2, 8] {
+        assert_eq!(run(concurrency), cold, "warm run at concurrency {concurrency}");
+    }
+    assert_eq!(llm.call_count(), cold_calls, "warm runs must not reach upstream");
+}
+
+#[test]
+fn chain_output_identical_with_warm_disk_cache() {
+    let entry = chain_entry();
+    let path =
+        std::env::temp_dir().join(format!("catdb-determinism-cache-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let llm = SimLlm::new(ModelProfile::gemini_1_5_pro(), 11);
+    let run = |concurrency: usize| {
+        // A fresh CompletionCache instance per run: every warm run
+        // exercises the JSON-lines load path, exactly like a second CLI
+        // invocation sharing the same --llm-cache file.
+        let cfg = CatDbConfig { llm_cache_path: Some(path.clone()), ..chain_cfg(concurrency) };
+        generate_chain_source(&entry, &llm, &cfg).expect("chain")
+    };
+    let cold = run(2);
+    let cold_calls = llm.call_count();
+    assert!(cold_calls > 0);
+    for concurrency in [1usize, 2, 8] {
+        assert_eq!(run(concurrency), cold, "warm run at concurrency {concurrency}");
+    }
+    assert_eq!(llm.call_count(), cold_calls, "warm runs must not reach upstream");
+    let _ = std::fs::remove_file(&path);
 }
