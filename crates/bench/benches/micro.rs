@@ -12,7 +12,9 @@ use catdb_ml::{Classifier, ForestConfig, LogisticRegression, Matrix, RandomFores
 use catdb_pipeline::{execute, parse, Environment, ExecutionConfig};
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_sched::{CompletionCache, LlmScheduler};
+use catdb_table::{read_csv_str, write_csv, CsvOptions};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -230,8 +232,237 @@ fn bench_completion_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// A 50k-row mixed-type CSV (int, float-with-nulls, float, bool,
+/// quoted-comma categorical, free text with escaped quotes) for the
+/// ingestion benches. Seeded LCG, no RNG dependency; deliberately free of
+/// embedded newlines so the frozen seed reader below parses the same file
+/// and the baseline comparison stays apples-to-apples.
+fn synth_csv(rows: usize) -> String {
+    let mut out = String::with_capacity(rows * 64);
+    out.push_str("id,score,ratio,active,city,note\n");
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    const CITIES: [&str; 5] =
+        ["Berlin", "\"San Jose, CA\"", "Montreal", "\"Porto, PT\"", "Karlsruhe"];
+    for i in 0..rows {
+        let r = next();
+        let score = if r % 50 == 0 { "NA".to_string() } else { format!("{}.{}", r % 100, r % 10) };
+        let note = if r % 11 == 0 {
+            format!("\"said \"\"{}\"\" loudly\"", r % 1000)
+        } else {
+            format!("note {} for row {i}", r % 7919)
+        };
+        writeln!(
+            out,
+            "{i},{score},{}.{:03},{},{},{note}",
+            r % 7,
+            r % 1000,
+            if r % 3 == 0 { "true" } else { "false" },
+            CITIES[(r % 5) as usize],
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The seed CSV reader, frozen as the ingestion baseline: per-line Strings
+// via `BufRead::lines`, char-by-char record splitting, a `Vec<Vec<String>>`
+// of owned cells, and a full column re-parse on type degradation. Kept
+// verbatim (minus dead branches) so `csv/ingest` speedups in
+// results/BENCH_perf.json are measured against the real predecessor on the
+// same machine, not a recorded number.
+// ---------------------------------------------------------------------------
+
+fn seed_split_record(line: &str, delim: u8) -> Result<Vec<String>, String> {
+    let delim = delim as char;
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            if field.is_empty() {
+                in_quotes = true;
+            } else {
+                return Err("quote inside unquoted field".to_string());
+            }
+        } else if c == delim {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn seed_parse_cell(
+    raw: &str,
+    dtype: catdb_table::DataType,
+    null_markers: &[String],
+) -> catdb_table::Value {
+    use catdb_table::{DataType, Value};
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || null_markers.iter().any(|m| m == trimmed) {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Int => trimmed.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => trimmed.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+            "true" | "t" | "yes" | "1" => Value::Bool(true),
+            "false" | "f" | "no" | "0" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        DataType::Str => Value::Str(raw.to_string()),
+    }
+}
+
+fn seed_infer_type(samples: &[&str], null_markers: &[String]) -> catdb_table::DataType {
+    use catdb_table::DataType;
+    let mut could_bool = true;
+    let mut could_int = true;
+    let mut could_float = true;
+    let mut saw_value = false;
+    for &raw in samples {
+        let t = raw.trim();
+        if t.is_empty() || null_markers.iter().any(|m| m == t) {
+            continue;
+        }
+        saw_value = true;
+        let lower = t.to_ascii_lowercase();
+        if !matches!(lower.as_str(), "true" | "false" | "t" | "f" | "yes" | "no") {
+            could_bool = false;
+        }
+        if t.parse::<i64>().is_err() {
+            could_int = false;
+        }
+        if t.parse::<f64>().is_err() {
+            could_float = false;
+        }
+        if !could_bool && !could_int && !could_float {
+            return DataType::Str;
+        }
+    }
+    if !saw_value {
+        return DataType::Str;
+    }
+    if could_bool {
+        DataType::Bool
+    } else if could_int {
+        DataType::Int
+    } else if could_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+fn seed_read_csv_str(text: &str, opts: &CsvOptions) -> catdb_table::Table {
+    use catdb_table::{Column, DataType, Table};
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(text.as_bytes());
+    let mut records: Vec<Vec<String>> = Vec::new();
+    for line in reader.lines() {
+        let line = line.expect("in-memory read");
+        if line.is_empty() && records.is_empty() {
+            continue;
+        }
+        records.push(seed_split_record(&line, opts.delimiter).expect("bench CSV is well-formed"));
+    }
+    let header: Vec<String> = records.remove(0);
+    let n_cols = header.len();
+    let sample_n = records.len().min(opts.inference_rows);
+    let mut dtypes = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let samples: Vec<&str> = records[..sample_n].iter().map(|r| r[c].as_str()).collect();
+        dtypes.push(seed_infer_type(&samples, &opts.null_markers));
+    }
+    let mut cols: Vec<Column> =
+        dtypes.iter().map(|&dt| Column::with_capacity(dt, records.len())).collect();
+    for c in 0..n_cols {
+        let mut degraded = false;
+        for rec in &records {
+            let v = seed_parse_cell(&rec[c], dtypes[c], &opts.null_markers);
+            let raw_is_null = {
+                let t = rec[c].trim();
+                t.is_empty() || opts.null_markers.iter().any(|m| m == t)
+            };
+            if v.is_null() && !raw_is_null && dtypes[c] != DataType::Str {
+                degraded = true;
+                break;
+            }
+            cols[c].push(v).expect("parse_cell yields matching type");
+        }
+        if degraded {
+            let mut s = Column::with_capacity(DataType::Str, records.len());
+            for rec in &records {
+                s.push(seed_parse_cell(&rec[c], DataType::Str, &opts.null_markers))
+                    .expect("string column accepts strings");
+            }
+            cols[c] = s;
+        }
+    }
+    Table::from_columns(header.into_iter().zip(cols).collect()).expect("bench CSV is rectangular")
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let csv = synth_csv(50_000);
+    let opts = CsvOptions::default();
+    let table = read_csv_str(&csv, &opts).unwrap();
+    assert_eq!(table.n_rows(), 50_000);
+    let mut group = c.benchmark_group("csv");
+    group.sample_size(10);
+    group.bench_function("ingest_50k_mixed", |b| {
+        b.iter_with_large_drop(|| read_csv_str(black_box(&csv), &opts).unwrap())
+    });
+    let seq_opts = CsvOptions { n_threads: 1, ..CsvOptions::default() };
+    group.bench_function("ingest_seq_50k_mixed", |b| {
+        b.iter_with_large_drop(|| read_csv_str(black_box(&csv), &seq_opts).unwrap())
+    });
+    group.bench_function("seed_ingest_50k_mixed", |b| {
+        b.iter_with_large_drop(|| seed_read_csv_str(black_box(&csv), &opts))
+    });
+    group.bench_function("write_50k_mixed", |b| {
+        b.iter(|| {
+            let mut out: Vec<u8> = Vec::with_capacity(csv.len());
+            write_csv(black_box(&table), &mut out, b',').unwrap();
+            out
+        })
+    });
+    group.bench_function("write_roundtrip_50k_mixed", |b| {
+        b.iter_with_large_drop(|| {
+            let mut out: Vec<u8> = Vec::with_capacity(csv.len());
+            write_csv(black_box(&table), &mut out, b',').unwrap();
+            let back = read_csv_str(std::str::from_utf8(&out).unwrap(), &opts).unwrap();
+            assert_eq!(back.n_rows(), 50_000);
+            back
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_csv,
     bench_profiling,
     bench_refinement,
     bench_prompt_construction,

@@ -149,8 +149,18 @@ fn load_table(args: &Args) -> Result<(String, catdb_table::Table), ExitCode> {
         eprintln!("--csv is required");
         return Err(usage());
     };
+    let started = std::time::Instant::now();
     match read_csv_path(path, &CsvOptions::default()) {
         Ok(t) => {
+            let secs = started.elapsed().as_secs_f64();
+            let rows_per_sec = if secs > 0.0 { t.n_rows() as f64 / secs } else { 0.0 };
+            eprintln!(
+                "[loaded {} row(s) × {} col(s) in {:.1} ms, {:.0} rows/sec]",
+                t.n_rows(),
+                t.n_cols(),
+                secs * 1e3,
+                rows_per_sec,
+            );
             let name = std::path::Path::new(path)
                 .file_stem()
                 .and_then(|s| s.to_str())
@@ -189,6 +199,14 @@ fn cmd_profile(args: &Args) -> ExitCode {
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
+    // The whole run records into a trace sink — installed before the CSV
+    // load so the `csv_ingest` span and csv.* counters land in the trace.
+    // Cache hit/miss counters are read from it for the `[llm cache: ...]`
+    // summary, and with --trace-out its JSON snapshot is written at exit
+    // (re-importable via catdb_trace::Trace::from_json_str).
+    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+    let _trace_guard = catdb_trace::install(sink.clone());
+
     let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
     let Some(target) = &args.target else {
         eprintln!("--target is required");
@@ -220,13 +238,6 @@ fn cmd_run(args: &Args) -> ExitCode {
         },
         args.seed,
     );
-
-    // The whole run records into a trace sink: cache hit/miss counters
-    // are read from it for the `[llm cache: ...]` summary, and with
-    // --trace-out its JSON snapshot is written at exit (re-importable via
-    // catdb_trace::Trace::from_json_str).
-    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
-    let _trace_guard = catdb_trace::install(sink.clone());
 
     // A persistent completion cache shared by generation and error fixing;
     // warm entries replay for free on later runs with the same seed.

@@ -1,6 +1,6 @@
 //! Offline shim for the subset of `criterion` this workspace's benches
 //! use. Runs each benchmark for a short fixed wall-clock budget and
-//! prints mean iteration time — no statistics, plots, or baselines.
+//! prints median iteration time — no plots or baselines.
 
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,25 @@ impl Bencher {
         }
     }
 
+    /// Time a routine whose output is expensive to drop (criterion's
+    /// `iter_with_large_drop`): the clock stops before the output is
+    /// dropped, so deallocation cost is excluded from the measurement.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let budget = budget();
+        let started = Instant::now();
+        while started.elapsed() < budget || self.samples.len() < 5 {
+            let t = Instant::now();
+            let out = std::hint::black_box(routine());
+            let elapsed = t.elapsed();
+            drop(out);
+            self.samples.push(elapsed);
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+
     /// Time a routine over freshly set-up inputs.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
@@ -73,9 +92,15 @@ impl Bencher {
             println!("{name:<40} (no samples)");
             return;
         }
-        let total: Duration = self.samples.iter().sum();
-        let mean = total / self.samples.len() as u32;
-        println!("{name:<40} {:>12.3?} /iter  ({} samples)", mean, self.samples.len());
+        // Median, not mean: on shared machines the sample distribution has
+        // a long right tail from preemption; the median tracks the true
+        // cost of an iteration far more stably.
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let mid = sorted.len() / 2;
+        let median =
+            if sorted.len() % 2 == 0 { (sorted[mid - 1] + sorted[mid]) / 2 } else { sorted[mid] };
+        println!("{name:<40} {:>12.3?} /iter  ({} samples)", median, self.samples.len());
     }
 }
 

@@ -158,6 +158,28 @@ impl Column {
         }
     }
 
+    /// Move every row of `other` onto the end of `self`, leaving `other`
+    /// empty; errors if the types differ. Unlike [`Column::extend_from`]
+    /// this never clones cell payloads, which is what lets the parallel
+    /// CSV reader stitch chunk-local columns together without copying
+    /// every string a second time.
+    pub fn append(&mut self, other: &mut Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.append(b),
+            (Column::Float(a), Column::Float(b)) => a.append(b),
+            (Column::Str(a), Column::Str(b)) => a.append(b),
+            (Column::Bool(a), Column::Bool(b)) => a.append(b),
+            (a, b) => {
+                return Err(TableError::TypeMismatch {
+                    column: String::new(),
+                    expected: a.dtype().name(),
+                    actual: b.dtype().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Append all rows of `other`; errors if the types differ.
     pub fn extend_from(&mut self, other: &Column) -> Result<()> {
         match (self, other) {

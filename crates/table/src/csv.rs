@@ -1,16 +1,75 @@
-//! Minimal CSV reader/writer with RFC-4180 quoting and type inference.
+//! Zero-copy, parallel CSV reader and buffered writer with RFC-4180
+//! quoting and type inference.
 //!
 //! The CatDB prompt encodes the file format and delimiter of the input
 //! dataset so the generated pipeline can read it (paper Section 4.1); this
 //! module provides the corresponding substrate: parse a delimited file into
 //! a typed [`Table`] and write a table back out.
+//!
+//! # Ingestion pipeline
+//!
+//! The reader makes one pass over a single in-memory byte buffer:
+//!
+//! 1. **Fused record/field scan** — a single quote-aware byte walk emits
+//!    every record's [`FieldRef`] slices (borrowing the buffer, no
+//!    intermediate row-of-`String`s) into one row-major allocation. It
+//!    marks record boundaries (`\n` outside quotes), strips `\r` of CRLF
+//!    line endings, skips fully blank records, enforces rectangularity,
+//!    and tracks the physical start line of every record so errors point
+//!    at the right place even when quoted fields span lines (RFC-4180
+//!    embedded newlines).
+//! 2. **Type inference** — the first [`CsvOptions::inference_rows`]
+//!    records' slices are scanned and the narrowest type that fits every
+//!    non-null cell is chosen per column (bool ⊂ int ⊂ float ⊂ string).
+//! 3. **Parallel materialization** — record slices are fanned out over
+//!    fixed 4096-record chunks via [`catdb_runtime::parallel_chunks`];
+//!    each chunk feeds typed column builders directly from the borrowed
+//!    slices. Chunks are assembled in input order, so the resulting table
+//!    is identical for every [`CsvOptions::n_threads`] and
+//!    `CATDB_THREADS` value.
+//! 4. **Degradation re-render** — a cell that contradicts the inferred
+//!    type (and is not a null marker) degrades its column to string; the
+//!    retained field slices are re-rendered in place of re-reading or
+//!    re-splitting the file.
+//!
+//! Null markers are matched byte-for-byte against the trimmed cell, with
+//! no per-cell `trim().to_string()` / lowercase allocations. **Quoted
+//! fields are never null**: quoting protects content, so a written
+//! `"NA"` or `""` round-trips as the literal string while the unquoted
+//! forms stay missing values. The writer mirrors this by quoting cells
+//! that would otherwise read back as null (null-marker lookalikes,
+//! empty/whitespace-only strings) in addition to cells containing the
+//! delimiter, quotes, `\n`, or `\r`.
+//!
+//! Ingestion runs under a `csv_ingest` trace span and reports
+//! `csv.rows` / `csv.bytes` / `csv.degraded_columns` counters.
 
 use crate::column::Column;
 use crate::error::{Result, TableError};
 use crate::table::Table;
 use crate::value::{DataType, Value};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::borrow::Cow;
+use std::io::{Read, Write};
 use std::path::Path;
+
+/// Trace span covering one CSV parse (see [`catdb_trace::span`]).
+pub const SPAN_CSV_INGEST: &str = "csv_ingest";
+/// Counter: data records materialized by the reader.
+pub const COUNTER_CSV_ROWS: &str = "csv.rows";
+/// Counter: input bytes scanned by the reader.
+pub const COUNTER_CSV_BYTES: &str = "csv.bytes";
+/// Counter: columns degraded to string by late type contradictions.
+pub const COUNTER_CSV_DEGRADED: &str = "csv.degraded_columns";
+
+/// Cell contents treated as missing by default. The writer quotes string
+/// cells matching these so a write → read round trip with default options
+/// preserves cells that merely *look* null.
+pub const DEFAULT_NULL_MARKERS: [&str; 5] = ["NA", "N/A", "null", "NULL", "?"];
+
+/// Records per parallel materialization chunk. Fixed (never derived from
+/// the thread count) so chunk boundaries — and therefore any
+/// order-sensitive observation — depend only on the input.
+const CHUNK_RECORDS: usize = 4096;
 
 /// Options controlling CSV parsing.
 #[derive(Debug, Clone)]
@@ -18,10 +77,14 @@ pub struct CsvOptions {
     pub delimiter: u8,
     pub has_header: bool,
     /// Strings treated as missing values in addition to the empty cell.
+    /// Only unquoted cells are matched; quoting makes content literal.
     pub null_markers: Vec<String>,
     /// Rows to scan for type inference (the full file is always parsed with
     /// the inferred types; mismatching cells degrade the column to string).
     pub inference_rows: usize,
+    /// Upper bound on threads used to materialize columns. The parsed
+    /// table is identical for every value; `<= 1` parses sequentially.
+    pub n_threads: usize,
 }
 
 impl Default for CsvOptions {
@@ -29,217 +92,768 @@ impl Default for CsvOptions {
         CsvOptions {
             delimiter: b',',
             has_header: true,
-            null_markers: vec!["NA".into(), "N/A".into(), "null".into(), "NULL".into(), "?".into()],
+            null_markers: DEFAULT_NULL_MARKERS.iter().map(|m| m.to_string()).collect(),
             inference_rows: 1000,
+            n_threads: catdb_runtime::pool_size(),
         }
     }
 }
 
-/// Split one CSV record into fields, honoring double-quote escaping.
-fn split_record(line: &str, delim: u8) -> std::result::Result<Vec<String>, String> {
-    let delim = delim as char;
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
-    while let Some(c) = chars.next() {
-        if in_quotes {
-            if c == '"' {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
+fn csv_err(line: usize, message: impl Into<String>) -> TableError {
+    TableError::Csv { line, message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR byte search: the scanners below spend most of their time skipping
+// uninteresting bytes, so we test eight at a time with the classic
+// zero-byte trick instead of branching per byte.
+// ---------------------------------------------------------------------------
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Whether any byte of `word` equals the byte broadcast in `needle`.
+#[inline]
+fn swar_contains(word: u64, needle: u64) -> bool {
+    let x = word ^ needle;
+    (x.wrapping_sub(SWAR_LO) & !x & SWAR_HI) != 0
+}
+
+/// Fast trim: if both edge bytes are printable ASCII the token is already
+/// trimmed; otherwise defer to `str::trim` (which also handles Unicode
+/// whitespace, keeping semantics identical).
+#[inline]
+fn trim_token(s: &str) -> &str {
+    let b = s.as_bytes();
+    match (b.first(), b.last()) {
+        (Some(&f), Some(&l)) if f > b' ' && f < 0x80 && l > b' ' && l < 0x80 => s,
+        (None, _) => s,
+        _ => s.trim(),
+    }
+}
+
+/// Position of the first occurrence of `a` or `b` in `bytes[i..]`, or
+/// `bytes.len()` if neither occurs.
+#[inline]
+fn find_first2(bytes: &[u8], mut i: usize, a: u8, b: u8) -> usize {
+    let na = u64::from_ne_bytes([a; 8]);
+    let nb = u64::from_ne_bytes([b; 8]);
+    while i + 8 <= bytes.len() {
+        let w = u64::from_ne_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+        if swar_contains(w, na) || swar_contains(w, nb) {
+            break;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] != a && bytes[i] != b {
+        i += 1;
+    }
+    i
+}
+
+/// Position of the first occurrence of `a`, `b`, or `c` in `bytes[i..]`,
+/// or `bytes.len()` if none occurs.
+#[inline]
+fn find_first3(bytes: &[u8], mut i: usize, a: u8, b: u8, c: u8) -> usize {
+    let na = u64::from_ne_bytes([a; 8]);
+    let nb = u64::from_ne_bytes([b; 8]);
+    let nc = u64::from_ne_bytes([c; 8]);
+    while i + 8 <= bytes.len() {
+        let w = u64::from_ne_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+        if swar_contains(w, na) || swar_contains(w, nb) || swar_contains(w, nc) {
+            break;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] != a && bytes[i] != b && bytes[i] != c {
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Fused record/field scan: borrowed slices, no per-cell allocation.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldKind {
+    /// Unquoted: the slice is the raw cell content.
+    Plain = 0,
+    /// Quoted without escapes: the slice is the interior between quotes.
+    Quoted = 1,
+    /// Quoted with `""` pairs: collapse escapes when materializing.
+    Escaped = 2,
+}
+
+/// A field's location in the input buffer, packed to 8 bytes: the typed
+/// materialization pass walks the field array column-strided, so halving
+/// a field ref's footprint (vs `usize` offsets + a kind byte) directly
+/// cuts the pass's memory traffic. The packing caps inputs at
+/// [`MAX_CSV_BYTES`]; [`read_csv_str`] rejects larger files up front.
+#[derive(Debug, Clone, Copy)]
+struct FieldRef {
+    start: u32,
+    /// `len << 2 | kind`.
+    len_kind: u32,
+}
+
+/// Largest input the packed [`FieldRef`] offsets can address (1 GiB).
+pub const MAX_CSV_BYTES: usize = (u32::MAX >> 2) as usize;
+
+impl FieldRef {
+    #[inline]
+    fn new(start: usize, end: usize, kind: FieldKind) -> FieldRef {
+        FieldRef { start: start as u32, len_kind: (((end - start) as u32) << 2) | kind as u32 }
+    }
+
+    #[inline]
+    fn kind(&self) -> FieldKind {
+        match self.len_kind & 3 {
+            0 => FieldKind::Plain,
+            1 => FieldKind::Quoted,
+            _ => FieldKind::Escaped,
+        }
+    }
+
+    #[inline]
+    fn raw<'a>(&self, text: &'a str) -> &'a str {
+        let start = self.start as usize;
+        &text[start..start + (self.len_kind >> 2) as usize]
+    }
+
+    /// Cell content with quote escapes collapsed; borrows unless escaped.
+    fn content<'a>(&self, text: &'a str) -> Cow<'a, str> {
+        match self.kind() {
+            FieldKind::Plain | FieldKind::Quoted => Cow::Borrowed(self.raw(text)),
+            FieldKind::Escaped => Cow::Owned(self.raw(text).replace("\"\"", "\"")),
+        }
+    }
+
+    /// Whether the cell is missing: empty or a null marker, unquoted only
+    /// (quoting makes content literal). Byte-compares the trimmed slice.
+    fn is_null(&self, text: &str, null_markers: &[String]) -> bool {
+        if self.kind() != FieldKind::Plain {
+            return false;
+        }
+        let t = trim_token(self.raw(text));
+        t.is_empty() || null_markers.iter().any(|m| m == t)
+    }
+}
+
+/// Fused single-pass scanner: walks the buffer once, quote-aware, and
+/// appends the row-major field slices of every record to `out`. `\n`
+/// outside quotes ends a record (a `\r` immediately before it is
+/// stripped); fully blank lines are skipped; quoted fields may contain
+/// delimiters, quotes (escaped as `""`), and line breaks (RFC-4180).
+/// Rectangularity is enforced against the first record's field count, and
+/// errors carry the 1-based physical line their record starts on.
+/// Returns the number of records scanned.
+// The close-record macro's final expansion (end of input) leaves its
+// bookkeeping writes dead; they are live in every loop expansion.
+#[allow(unused_assignments)]
+fn scan_records(text: &str, delim: u8, out: &mut Vec<FieldRef>) -> Result<usize> {
+    let bytes = text.as_bytes();
+    let len = bytes.len();
+    let mut n_records = 0usize;
+    let mut n_cols = 0usize;
+    let mut rec_base = out.len(); // fields emitted before the current record
+    let mut line = 1usize; // current physical line
+    let mut rline = 1usize; // line the current record starts on
+    let mut rstart = 0usize; // byte offset of the current record
+    let mut fstart = 0usize; // byte offset of the current field
+    let mut just_closed = false; // the current field was emitted by the quote arm
+    let mut i = 0usize;
+
+    // Close the record ending at `rend` (exclusive, `\r` already stripped).
+    macro_rules! close_record {
+        ($rend:expr) => {{
+            let rend = $rend;
+            if rend == rstart && out.len() == rec_base && !just_closed {
+                // Fully blank line: skip it entirely.
+            } else {
+                if !std::mem::take(&mut just_closed) {
+                    out.push(FieldRef::new(fstart, rend, FieldKind::Plain));
                 }
-            } else {
-                field.push(c);
+                let n = out.len() - rec_base;
+                if n_records == 0 {
+                    n_cols = n;
+                } else if n != n_cols {
+                    return Err(csv_err(rline, format!("expected {n_cols} fields, found {n}")));
+                }
+                n_records += 1;
+                rec_base = out.len();
             }
-        } else if c == '"' {
-            if field.is_empty() {
-                in_quotes = true;
+        }};
+    }
+
+    while i < len {
+        let j = find_first3(bytes, i, delim, b'"', b'\n');
+        if j >= len {
+            break;
+        }
+        let b = bytes[j];
+        if b == delim {
+            if just_closed {
+                just_closed = false;
             } else {
-                return Err("quote inside unquoted field".to_string());
+                out.push(FieldRef::new(fstart, j, FieldKind::Plain));
             }
-        } else if c == delim {
-            fields.push(std::mem::take(&mut field));
+            fstart = j + 1;
+            i = j + 1;
+        } else if b == b'\n' {
+            line += 1;
+            let mut rend = j;
+            if rend > rstart && bytes[rend - 1] == b'\r' {
+                rend -= 1;
+            }
+            close_record!(rend);
+            rstart = j + 1;
+            fstart = j + 1;
+            rline = line;
+            i = j + 1;
         } else {
-            field.push(c);
+            // A quote may only open a field at its first byte.
+            if j != fstart {
+                return Err(csv_err(rline, "quote inside unquoted field"));
+            }
+            let qstart = j + 1;
+            let mut k = qstart;
+            let mut escaped = false;
+            loop {
+                k = find_first2(bytes, k, b'"', b'\n');
+                if k >= len {
+                    return Err(csv_err(rline, "unterminated quoted field"));
+                }
+                if bytes[k] == b'\n' {
+                    line += 1; // embedded newline: part of the field
+                    k += 1;
+                } else if bytes.get(k + 1) == Some(&b'"') {
+                    escaped = true;
+                    k += 2;
+                } else {
+                    break;
+                }
+            }
+            let kind = if escaped { FieldKind::Escaped } else { FieldKind::Quoted };
+            out.push(FieldRef::new(qstart, k, kind));
+            // The byte after the closing quote must end the field: a
+            // delimiter, a (CR)LF record terminator, or end of input.
+            let nxt = k + 1;
+            let legal = nxt >= len
+                || bytes[nxt] == delim
+                || bytes[nxt] == b'\n'
+                || (bytes[nxt] == b'\r' && (nxt + 1 >= len || bytes[nxt + 1] == b'\n'));
+            if !legal {
+                return Err(csv_err(rline, "unexpected character after closing quote"));
+            }
+            just_closed = true;
+            i = nxt;
         }
     }
-    if in_quotes {
-        return Err("unterminated quoted field".to_string());
+
+    // End of input closes the final record (no trailing newline).
+    let mut rend = len;
+    if rend > rstart && bytes[rend - 1] == b'\r' {
+        rend -= 1;
     }
-    fields.push(field);
-    Ok(fields)
+    close_record!(rend);
+    Ok(n_records)
 }
 
-fn parse_cell(raw: &str, dtype: DataType, null_markers: &[String]) -> Value {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() || null_markers.iter().any(|m| m == trimmed) {
-        return Value::Null;
+// ---------------------------------------------------------------------------
+// Type inference.
+// ---------------------------------------------------------------------------
+
+fn token_is_bool(t: &str) -> bool {
+    parse_bool(t).is_some()
+}
+
+fn parse_bool(t: &str) -> Option<bool> {
+    // Exact-match fast path for the overwhelmingly common spellings; the
+    // case-insensitive chain only runs for "True", "YES", ...
+    match t {
+        "true" => return Some(true),
+        "false" => return Some(false),
+        _ => {}
     }
-    match dtype {
-        DataType::Int => trimmed.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
-        DataType::Float => trimmed.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
-        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
-            "true" | "t" | "yes" | "1" => Value::Bool(true),
-            "false" | "f" | "no" | "0" => Value::Bool(false),
-            _ => Value::Null,
-        },
-        DataType::Str => Value::Str(raw.to_string()),
+    for k in ["true", "t", "yes"] {
+        if t.eq_ignore_ascii_case(k) {
+            return Some(true);
+        }
+    }
+    for k in ["false", "f", "no"] {
+        if t.eq_ignore_ascii_case(k) {
+            return Some(false);
+        }
+    }
+    None
+}
+
+/// Parse an i64 with a hand-rolled digit loop for the common short case;
+/// anything unusual (18+ digits, stray signs) defers to the std parser,
+/// so acceptance is exactly `str::parse::<i64>`.
+#[inline]
+fn parse_i64_fast(t: &str) -> Option<i64> {
+    let b = t.as_bytes();
+    let (neg, start) = match b.first() {
+        Some(b'-') => (true, 1),
+        Some(b'+') => (false, 1),
+        Some(_) => (false, 0),
+        None => return None,
+    };
+    let digits = &b[start..];
+    if digits.is_empty() || digits.len() > 18 {
+        return t.parse::<i64>().ok();
+    }
+    let mut acc: i64 = 0;
+    for &c in digits {
+        let d = c.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        // ≤ 18 digits can't overflow i64.
+        acc = acc * 10 + d as i64;
+    }
+    Some(if neg { -acc } else { acc })
+}
+
+/// Powers of ten exactly representable as f64 (10^22 is the last one; 15
+/// is all the fast path below needs).
+const POW10: [f64; 16] =
+    [1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15];
+
+/// Parse an f64 with the classic Clinger fast path: `[sign] digits
+/// [. digits]` with ≤ 15 digits becomes one exact u64 mantissa divided by
+/// an exact power of ten — a single correctly-rounded operation, so the
+/// result is bit-identical to the (correctly-rounded) std parser. Longer
+/// numbers, exponents, and `inf`/`NaN` defer to std.
+#[inline]
+fn parse_f64_fast(t: &str) -> Option<f64> {
+    let b = t.as_bytes();
+    let (neg, start) = match b.first() {
+        Some(b'-') => (true, 1),
+        Some(b'+') => (false, 1),
+        Some(_) => (false, 0),
+        None => return None,
+    };
+    let mut mant: u64 = 0;
+    let mut n_digits = 0usize;
+    let mut frac = 0usize;
+    let mut seen_dot = false;
+    for &c in &b[start..] {
+        let d = c.wrapping_sub(b'0');
+        if d <= 9 {
+            n_digits += 1;
+            if n_digits > 15 {
+                return t.parse::<f64>().ok();
+            }
+            mant = mant * 10 + d as u64;
+            if seen_dot {
+                frac += 1;
+            }
+        } else if c == b'.' && !seen_dot {
+            seen_dot = true;
+        } else {
+            // Exponents, inf, NaN, underscores, garbage: std decides.
+            return t.parse::<f64>().ok();
+        }
+    }
+    if n_digits == 0 {
+        return t.parse::<f64>().ok();
+    }
+    let v = mant as f64 / POW10[frac];
+    Some(if neg { -v } else { v })
+}
+
+/// Null-marker matcher with a 256-entry first-byte prefilter: almost no
+/// real cell starts with a marker's first byte, so the common case is one
+/// table load instead of a marker-list walk.
+struct NullMatcher<'a> {
+    markers: &'a [String],
+    first: [bool; 256],
+}
+
+impl<'a> NullMatcher<'a> {
+    fn new(markers: &'a [String]) -> NullMatcher<'a> {
+        let mut first = [false; 256];
+        for m in markers {
+            if let Some(&b) = m.as_bytes().first() {
+                first[b as usize] = true;
+            }
+        }
+        NullMatcher { markers, first }
+    }
+
+    /// Whether the (already trimmed, non-empty) token is a null marker.
+    #[inline]
+    fn matches(&self, t: &str) -> bool {
+        self.first[t.as_bytes()[0] as usize] && self.markers.iter().any(|m| m == t)
     }
 }
 
-/// Infer the narrowest type that fits every non-null sample cell:
+/// The trimmed token a typed column parses, or `None` for a missing cell.
+/// Unquoted cells match null markers; quoting makes content literal.
+#[inline]
+fn typed_token<'a>(f: &FieldRef, text: &'a str, null_markers: &[String]) -> Option<Cow<'a, str>> {
+    match f.kind() {
+        FieldKind::Plain => {
+            let t = trim_token(f.raw(text));
+            if t.is_empty() || null_markers.iter().any(|m| m == t) {
+                None
+            } else {
+                Some(Cow::Borrowed(t))
+            }
+        }
+        FieldKind::Quoted => Some(Cow::Borrowed(f.raw(text).trim())),
+        FieldKind::Escaped => {
+            Some(Cow::Owned(f.raw(text).replace("\"\"", "\"").trim().to_string()))
+        }
+    }
+}
+
+/// Fill one typed column from its strided field slices. Returns `true`
+/// (degraded) on the first parse failure, abandoning the column — the
+/// caller re-renders degraded columns from the retained slices.
+#[inline]
+fn push_typed<'a, T>(
+    v: &mut Vec<Option<T>>,
+    fields: impl Iterator<Item = &'a FieldRef>,
+    text: &str,
+    nulls: &NullMatcher<'_>,
+    parse: impl Fn(&str) -> Option<T>,
+) -> bool {
+    for f in fields {
+        let parsed = match f.kind() {
+            FieldKind::Plain => {
+                let t = trim_token(f.raw(text));
+                if t.is_empty() || nulls.matches(t) {
+                    v.push(None);
+                    continue;
+                }
+                parse(t)
+            }
+            FieldKind::Quoted => parse(trim_token(f.raw(text))),
+            FieldKind::Escaped => {
+                let owned = f.raw(text).replace("\"\"", "\"");
+                parse(owned.trim())
+            }
+        };
+        match parsed {
+            Some(x) => v.push(Some(x)),
+            None => return true,
+        }
+    }
+    false
+}
+
+/// Per-column candidate flags, narrowed cell by cell:
 /// bool ⊂ int ⊂ float ⊂ string.
-fn infer_type(samples: &[&str], null_markers: &[String]) -> DataType {
-    let mut could_bool = true;
-    let mut could_int = true;
-    let mut could_float = true;
-    let mut saw_value = false;
-    for &raw in samples {
-        let t = raw.trim();
-        if t.is_empty() || null_markers.iter().any(|m| m == t) {
-            continue;
+struct TypeSketch {
+    could_bool: bool,
+    could_int: bool,
+    could_float: bool,
+    saw_value: bool,
+}
+
+impl TypeSketch {
+    fn new() -> TypeSketch {
+        TypeSketch { could_bool: true, could_int: true, could_float: true, saw_value: false }
+    }
+
+    fn observe(&mut self, t: &str) {
+        self.saw_value = true;
+        if self.could_bool && !token_is_bool(t) {
+            self.could_bool = false;
         }
-        saw_value = true;
-        let lower = t.to_ascii_lowercase();
-        if !matches!(lower.as_str(), "true" | "false" | "t" | "f" | "yes" | "no") {
-            could_bool = false;
+        if self.could_int && parse_i64_fast(t).is_none() {
+            self.could_int = false;
         }
-        if t.parse::<i64>().is_err() {
-            could_int = false;
-        }
-        if t.parse::<f64>().is_err() {
-            could_float = false;
-        }
-        if !could_bool && !could_int && !could_float {
-            return DataType::Str;
+        if self.could_float && parse_f64_fast(t).is_none() {
+            self.could_float = false;
         }
     }
-    if !saw_value {
-        // All-null column: default to string, the least surprising choice.
-        return DataType::Str;
+
+    fn dtype(&self) -> DataType {
+        if !self.saw_value {
+            // All-null column: default to string, the least surprising choice.
+            DataType::Str
+        } else if self.could_bool {
+            DataType::Bool
+        } else if self.could_int {
+            DataType::Int
+        } else if self.could_float {
+            DataType::Float
+        } else {
+            DataType::Str
+        }
     }
-    if could_bool {
-        DataType::Bool
-    } else if could_int {
-        DataType::Int
-    } else if could_float {
-        DataType::Float
-    } else {
-        DataType::Str
+}
+
+/// Infer per-column types over a row-major sample prefix (field counts
+/// were already validated by the scanner).
+fn infer_types(text: &str, sample: &[FieldRef], n_cols: usize, opts: &CsvOptions) -> Vec<DataType> {
+    let mut sketches: Vec<TypeSketch> = (0..n_cols).map(|_| TypeSketch::new()).collect();
+    for row in sample.chunks_exact(n_cols) {
+        for (sketch, f) in sketches.iter_mut().zip(row) {
+            if let Some(t) = typed_token(f, text, &opts.null_markers) {
+                sketch.observe(&t);
+            }
+        }
     }
+    sketches.iter().map(|s| s.dtype()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel materialization.
+// ---------------------------------------------------------------------------
+
+/// Output of one materialization chunk: typed partial columns and
+/// per-column degradation flags.
+struct ChunkOut {
+    cols: Vec<Column>,
+    degrade: Vec<bool>,
+}
+
+/// Materialize one chunk of row-major field slices into typed columns —
+/// pure pass-2 work (the fused scanner already produced the slices), so
+/// the parallel fan-out shares one scan and one allocation.
+fn build_chunk(
+    text: &str,
+    fields: &[FieldRef],
+    dtypes: &[DataType],
+    opts: &CsvOptions,
+) -> ChunkOut {
+    let n_cols = dtypes.len();
+    let n_rows = fields.len() / n_cols;
+    let mut out = ChunkOut {
+        cols: dtypes.iter().map(|&dt| Column::with_capacity(dt, n_rows)).collect(),
+        degrade: vec![false; n_cols],
+    };
+    // One monomorphic strided loop per column. The first parse failure
+    // marks the column degraded and abandons it — degraded columns are
+    // re-rendered from the retained slices afterwards, so their partial
+    // typed data is never observed.
+    let nulls = NullMatcher::new(&opts.null_markers);
+    for (c, col) in out.cols.iter_mut().enumerate() {
+        let col_fields = fields.iter().skip(c).step_by(n_cols);
+        match col {
+            Column::Str(v) => {
+                for f in col_fields {
+                    v.push(match f.kind() {
+                        FieldKind::Plain => {
+                            let raw = f.raw(text);
+                            let t = trim_token(raw);
+                            if t.is_empty() || nulls.matches(t) {
+                                None
+                            } else {
+                                Some(raw.to_string())
+                            }
+                        }
+                        _ => Some(f.content(text).into_owned()),
+                    });
+                }
+            }
+            Column::Int(v) => {
+                out.degrade[c] = push_typed(v, col_fields, text, &nulls, parse_i64_fast);
+            }
+            Column::Float(v) => {
+                out.degrade[c] = push_typed(v, col_fields, text, &nulls, parse_f64_fast);
+            }
+            Column::Bool(v) => {
+                out.degrade[c] = push_typed(v, col_fields, text, &nulls, parse_bool);
+            }
+        }
+    }
+    out
 }
 
 /// Parse CSV text into a table with inferred column types.
 pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Table> {
-    read_csv(text.as_bytes(), opts)
-}
-
-/// Parse CSV from any reader into a table with inferred column types.
-pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Table> {
-    let reader = BufReader::new(reader);
-    let mut records: Vec<Vec<String>> = Vec::new();
-    for (line_no, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.is_empty() && records.is_empty() {
-            continue;
-        }
-        let fields = split_record(&line, opts.delimiter)
-            .map_err(|message| TableError::Csv { line: line_no + 1, message })?;
-        records.push(fields);
+    let _span = catdb_trace::span(SPAN_CSV_INGEST);
+    catdb_trace::add_counter(COUNTER_CSV_BYTES, text.len() as f64);
+    if text.len() > MAX_CSV_BYTES {
+        return Err(csv_err(
+            0,
+            format!("input is {} bytes; the reader supports up to {MAX_CSV_BYTES}", text.len()),
+        ));
     }
-    if records.is_empty() {
+
+    // Fused pass 1: every record's field slices, row-major, in one
+    // allocation (sized by a ~8-bytes-per-field heuristic). This is also
+    // the source for the degradation re-render — the file is never
+    // re-read or re-split.
+    let mut fields: Vec<FieldRef> = Vec::with_capacity(text.len() / 8 + 8);
+    let n_records = scan_records(text, opts.delimiter, &mut fields)?;
+    if n_records == 0 {
         return Ok(Table::empty());
     }
+    let n_cols = fields.len() / n_records;
 
-    let header: Vec<String> = if opts.has_header {
-        records.remove(0)
+    let (header, data): (Vec<String>, &[FieldRef]) = if opts.has_header {
+        (fields[..n_cols].iter().map(|f| f.content(text).into_owned()).collect(), &fields[n_cols..])
     } else {
-        (0..records[0].len()).map(|i| format!("c{i}")).collect()
+        ((0..n_cols).map(|i| format!("c{i}")).collect(), &fields[..])
     };
-    let n_cols = header.len();
-    for (i, rec) in records.iter().enumerate() {
-        if rec.len() != n_cols {
-            return Err(TableError::Csv {
-                line: i + 1 + opts.has_header as usize,
-                message: format!("expected {n_cols} fields, found {}", rec.len()),
-            });
-        }
-    }
+    let n_rows = data.len() / n_cols;
+    catdb_trace::add_counter(COUNTER_CSV_ROWS, n_rows as f64);
 
     // Per-column type inference over a sample prefix.
-    let sample_n = records.len().min(opts.inference_rows);
-    let mut dtypes = Vec::with_capacity(n_cols);
-    for c in 0..n_cols {
-        let samples: Vec<&str> = records[..sample_n].iter().map(|r| r[c].as_str()).collect();
-        dtypes.push(infer_type(&samples, &opts.null_markers));
+    let sample_rows = n_rows.min(opts.inference_rows);
+    let dtypes = infer_types(text, &data[..sample_rows * n_cols], n_cols, opts);
+
+    // Fan the typed materialization out over fixed-size record chunks;
+    // chunk results come back in input order, so assembly below yields
+    // the same table for every thread count.
+    let mut outs: Vec<ChunkOut> =
+        catdb_runtime::parallel_chunks(opts.n_threads.max(1), n_rows, CHUNK_RECORDS, |r| {
+            build_chunk(text, &data[r.start * n_cols..r.end * n_cols], &dtypes, opts)
+        });
+
+    let mut degraded = vec![false; n_cols];
+    for out in &outs {
+        for (d, &chunk_d) in degraded.iter_mut().zip(&out.degrade) {
+            *d |= chunk_d;
+        }
+    }
+    let n_degraded = degraded.iter().filter(|&&d| d).count();
+    if n_degraded > 0 {
+        catdb_trace::add_counter(COUNTER_CSV_DEGRADED, n_degraded as f64);
     }
 
-    // Materialize columns; degrade to string when later rows contradict the
-    // sampled type (a cell fails to parse but is not a null marker).
-    let mut cols: Vec<Column> =
-        dtypes.iter().map(|&dt| Column::with_capacity(dt, records.len())).collect();
+    let mut cols: Vec<Column> = Vec::with_capacity(n_cols);
     for c in 0..n_cols {
-        let mut degraded = false;
-        for rec in &records {
-            let v = parse_cell(&rec[c], dtypes[c], &opts.null_markers);
-            let raw_is_null = {
-                let t = rec[c].trim();
-                t.is_empty() || opts.null_markers.iter().any(|m| m == t)
-            };
-            if v.is_null() && !raw_is_null && dtypes[c] != DataType::Str {
-                degraded = true;
-                break;
+        if degraded[c] {
+            // Promote to string by re-rendering the retained slices — the
+            // file is never re-read or re-split.
+            let v: Vec<Option<String>> = data
+                .iter()
+                .skip(c)
+                .step_by(n_cols)
+                .map(|f| {
+                    if f.is_null(text, &opts.null_markers) {
+                        None
+                    } else {
+                        Some(f.content(text).into_owned())
+                    }
+                })
+                .collect();
+            cols.push(Column::Str(v));
+        } else {
+            let mut col = Column::with_capacity(dtypes[c], n_rows);
+            for out in &mut outs {
+                col.append(&mut out.cols[c]).expect("chunk columns share the inferred type");
             }
-            cols[c].push(v).expect("parse_cell yields matching type");
-        }
-        if degraded {
-            let mut s = Column::with_capacity(DataType::Str, records.len());
-            for rec in &records {
-                s.push(parse_cell(&rec[c], DataType::Str, &opts.null_markers))
-                    .expect("string column accepts strings");
-            }
-            cols[c] = s;
+            cols.push(col);
         }
     }
 
     Table::from_columns(header.into_iter().zip(cols).collect())
 }
 
+/// Parse CSV from any reader into a table with inferred column types.
+pub fn read_csv<R: Read>(mut reader: R, opts: &CsvOptions) -> Result<Table> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    read_csv_buf(&buf, opts)
+}
+
 /// Read a CSV file from disk.
 pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Table> {
-    let file = std::fs::File::open(path)?;
-    read_csv(file, opts)
+    let buf = std::fs::read(path)?;
+    read_csv_buf(&buf, opts)
 }
 
-fn quote_if_needed(cell: &str, delim: u8) -> String {
-    let delim = delim as char;
-    if cell.contains(delim) || cell.contains('"') || cell.contains('\n') {
-        format!("\"{}\"", cell.replace('"', "\"\""))
-    } else {
-        cell.to_string()
+fn read_csv_buf(buf: &[u8], opts: &CsvOptions) -> Result<Table> {
+    let text = std::str::from_utf8(buf)
+        .map_err(|e| csv_err(0, format!("input is not valid UTF-8: {e}")))?;
+    read_csv_str(text, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Buffered write path.
+// ---------------------------------------------------------------------------
+
+/// Whether a string cell must be quoted: structural characters would
+/// break the record, and content that trims to empty or to a default
+/// null marker would read back as null.
+fn needs_quotes(s: &str, delim: u8) -> bool {
+    if s.bytes().any(|b| b == delim || b == b'"' || b == b'\n' || b == b'\r') {
+        return true;
     }
+    let t = s.trim();
+    t.is_empty() || DEFAULT_NULL_MARKERS.contains(&t)
 }
 
-/// Serialize a table as CSV.
-pub fn write_csv<W: Write>(table: &Table, writer: &mut W, delimiter: u8) -> Result<()> {
-    let delim = delimiter as char;
-    let header: Vec<String> =
-        table.schema().names().iter().map(|n| quote_if_needed(n, delimiter)).collect();
-    writeln!(writer, "{}", header.join(&delim.to_string()))?;
-    for r in 0..table.n_rows() {
-        let mut first = true;
-        for c in 0..table.n_cols() {
-            if !first {
-                write!(writer, "{delim}")?;
-            }
-            first = false;
-            write!(writer, "{}", quote_if_needed(&table.column_at(c).get(r).render(), delimiter))?;
+/// Write one string cell, quoting (and escaping quotes) only when needed.
+fn write_str_field<W: Write>(w: &mut W, s: &str, delim: u8) -> std::io::Result<()> {
+    if !needs_quotes(s, delim) {
+        return w.write_all(s.as_bytes());
+    }
+    w.write_all(b"\"")?;
+    let mut first = true;
+    for part in s.split('"') {
+        if !first {
+            w.write_all(b"\"\"")?;
         }
-        writeln!(writer)?;
+        first = false;
+        w.write_all(part.as_bytes())?;
     }
+    w.write_all(b"\"")
+}
+
+/// Serialize a table as CSV through a buffered writer. Numeric and bool
+/// cells stream through the `Display`-to-formatter path (no per-cell
+/// `render()` string); string cells are quoted per [`needs_quotes`].
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W, delimiter: u8) -> Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    // A delimiter that can occur inside a rendered number or bool (never
+    // the case for ',', ';', '\t', '|', ...) forces the slow path.
+    let exotic_delim = delimiter.is_ascii_alphanumeric() || matches!(delimiter, b'+' | b'-' | b'.');
+    for (i, name) in table.schema().names().iter().enumerate() {
+        if i > 0 {
+            w.write_all(&[delimiter])?;
+        }
+        write_str_field(&mut w, name, delimiter)?;
+    }
+    w.write_all(b"\n")?;
+    for r in 0..table.n_rows() {
+        for c in 0..table.n_cols() {
+            if c > 0 {
+                w.write_all(&[delimiter])?;
+            }
+            let col = table.column_at(c);
+            if exotic_delim && col.dtype() != DataType::Str {
+                if !col.is_null_at(r) {
+                    write_str_field(&mut w, &col.get(r).render(), delimiter)?;
+                }
+                continue;
+            }
+            match col {
+                Column::Str(v) => {
+                    if let Some(s) = &v[r] {
+                        write_str_field(&mut w, s, delimiter)?;
+                    }
+                }
+                Column::Int(v) => {
+                    if let Some(x) = v[r] {
+                        write!(w, "{x}")?;
+                    }
+                }
+                Column::Float(v) => {
+                    if let Some(x) = v[r] {
+                        write!(w, "{}", Value::Float(x))?;
+                    }
+                }
+                Column::Bool(v) => {
+                    if let Some(x) = v[r] {
+                        w.write_all(if x { b"true" } else { b"false" })?;
+                    }
+                }
+            }
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
     Ok(())
 }
 
@@ -275,8 +889,70 @@ mod tests {
     }
 
     #[test]
+    fn quoted_fields_with_embedded_newlines() {
+        // RFC-4180 §2.6: quoted fields may contain line breaks. The seed
+        // reader split on every '\n' and failed this file.
+        let csv = "a,b\n\"line one\nline two\",7\nplain,8\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("line one\nline two".into()));
+        assert_eq!(t.value(0, "b").unwrap(), Value::Int(7));
+        assert_eq!(t.value(1, "a").unwrap(), Value::Str("plain".into()));
+    }
+
+    #[test]
+    fn crlf_line_endings_are_stripped() {
+        let csv = "id,name\r\n1,alice\r\n2,bob\r\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("id").unwrap().dtype(), DataType::Int);
+        // The seed reader left "alice\r" in the last field of every record.
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str("alice".into()));
+        assert_eq!(t.value(1, "name").unwrap(), Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn lone_trailing_cr_is_stripped() {
+        let t = read_csv_str("a,b\r\n1,x\r", &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn interior_blank_lines_are_skipped() {
+        // The seed reader parsed a mid-file blank line as a one-field
+        // record and raised "expected 2 fields, found 1".
+        let csv = "a,b\n1,2\n\n3,4\n\r\n5,6\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.value(2, "a").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn quoted_null_markers_and_empties_stay_strings() {
+        let csv = "x,y\n\"NA\",keep\n\"\",keep\nNA,keep\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "x").unwrap(), Value::Str("NA".into()));
+        assert_eq!(t.value(1, "x").unwrap(), Value::Str("".into()));
+        assert_eq!(t.value(2, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
     fn ragged_rows_are_rejected() {
         let csv = "a,b\n1,2\n3\n";
+        assert!(matches!(read_csv_str(csv, &CsvOptions::default()), Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected_with_start_line() {
+        let err = read_csv_str("a,b\n1,\"open\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            TableError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_after_closing_quote_is_rejected() {
+        let csv = "a,b\n\"x\"y,2\n";
         assert!(matches!(read_csv_str(csv, &CsvOptions::default()), Err(TableError::Csv { .. })));
     }
 
@@ -287,6 +963,7 @@ mod tests {
         let csv = "x\n1\n2\nhello\n";
         let t = read_csv_str(csv, &opts).unwrap();
         assert_eq!(t.column("x").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Str("1".into()));
         assert_eq!(t.value(2, "x").unwrap(), Value::Str("hello".into()));
     }
 
@@ -294,6 +971,27 @@ mod tests {
     fn round_trip_preserves_table() {
         let csv = "id,name,score\n1,alice,0.5\n2,\"b,ob\",1.5\n";
         let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        let back = read_csv_str(&to_csv_string(&t), &CsvOptions::default()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_tricky_strings() {
+        let t = Table::from_columns(vec![
+            (
+                "s",
+                Column::Str(vec![
+                    Some("NA".into()),
+                    Some("".into()),
+                    None,
+                    Some("a\r\nb".into()),
+                    Some("  padded  ".into()),
+                    Some("q\"q".into()),
+                ]),
+            ),
+            ("n", Column::Int(vec![Some(1), Some(2), Some(3), None, Some(5), Some(6)])),
+        ])
+        .unwrap();
         let back = read_csv_str(&to_csv_string(&t), &CsvOptions::default()).unwrap();
         assert_eq!(t, back);
     }
@@ -319,5 +1017,141 @@ mod tests {
         // numeric features.
         let t = read_csv_str("x\n0\n1\n0\n", &CsvOptions::default()).unwrap();
         assert_eq!(t.column("x").unwrap().dtype(), DataType::Int);
+    }
+
+    #[test]
+    fn one_zero_outside_inference_window_degrades_bool() {
+        // parse_cell and infer_type share one definition of boolhood:
+        // "1"/"0" are not bool tokens, so a late "1" in a bool column is a
+        // contradiction (degrade), not Bool(true).
+        let opts = CsvOptions { inference_rows: 2, ..Default::default() };
+        let t = read_csv_str("x\ntrue\nfalse\n1\n", &opts).unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.value(2, "x").unwrap(), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn parallel_parse_matches_sequential() {
+        let mut csv = String::from("id,score,flag,name\n");
+        for i in 0..9000 {
+            let name = match i % 7 {
+                0 => "NA".to_string(),
+                1 => format!("\"row,{i}\""),
+                2 => format!("\"multi\nline {i}\""),
+                _ => format!("name{i}"),
+            };
+            csv.push_str(&format!("{i},{}.5,{},{name}\n", i % 100, i % 3 == 0));
+        }
+        let parse = |n_threads: usize| {
+            read_csv_str(&csv, &CsvOptions { n_threads, ..Default::default() }).unwrap()
+        };
+        let base = parse(1);
+        assert_eq!(base.n_rows(), 9000);
+        for threads in [2, 8] {
+            let t = parse(threads);
+            assert_eq!(t, base, "{threads} threads diverged");
+            assert_eq!(to_csv_string(&t), to_csv_string(&base));
+        }
+    }
+
+    #[test]
+    fn parallel_degradation_is_position_independent() {
+        // Contradictions land in different chunks than the inference
+        // window; the whole column must degrade identically at any width.
+        let mut csv = String::from("x,y\n");
+        for i in 0..9000 {
+            if i == 8500 {
+                csv.push_str("oops,1\n");
+            } else {
+                csv.push_str(&format!("{i},1\n"));
+            }
+        }
+        let parse = |n_threads: usize| {
+            read_csv_str(&csv, &CsvOptions { n_threads, ..Default::default() }).unwrap()
+        };
+        let base = parse(1);
+        assert_eq!(base.column("x").unwrap().dtype(), DataType::Str);
+        assert_eq!(base.value(0, "x").unwrap(), Value::Str("0".into()));
+        assert_eq!(base.value(8500, "x").unwrap(), Value::Str("oops".into()));
+        for threads in [2, 8] {
+            assert_eq!(parse(threads), base);
+        }
+    }
+
+    #[test]
+    fn ingest_counters_and_span_are_recorded() {
+        let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+        let guard = catdb_trace::install(sink.clone());
+        let opts = CsvOptions { inference_rows: 1, ..Default::default() };
+        read_csv_str("a,b\n1,x\n2,y\nz,w\n", &opts).unwrap();
+        drop(guard);
+        let trace = sink.snapshot();
+        assert_eq!(trace.counters[COUNTER_CSV_ROWS], 3.0);
+        assert!(trace.counters[COUNTER_CSV_BYTES] > 0.0);
+        assert_eq!(trace.counters[COUNTER_CSV_DEGRADED], 1.0);
+        assert_eq!(trace.spans_named(SPAN_CSV_INGEST).len(), 1);
+    }
+
+    #[test]
+    #[ignore]
+    fn phase_timing() {
+        use std::fmt::Write as _;
+        let rows = 50_000usize;
+        let mut s = String::with_capacity(rows * 70);
+        s.push_str("id,score,ratio,active,city,note\n");
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        const CITIES: [&str; 5] =
+            ["Berlin", "\"San Jose, CA\"", "Montreal", "\"Porto, PT\"", "Karlsruhe"];
+        for i in 0..rows {
+            let r = next();
+            let score =
+                if r % 50 == 0 { "NA".to_string() } else { format!("{}.{}", r % 100, r % 10) };
+            let note = if r % 11 == 0 {
+                format!("\"said \"\"{}\"\" loudly\"", r % 1000)
+            } else {
+                format!("note {} for row {i}", r % 7919)
+            };
+            let _ = writeln!(
+                s,
+                "{i},{score},{}.{:03},{},{},{note}",
+                r % 7,
+                r % 1000,
+                if r % 3 == 0 { "true" } else { "false" },
+                CITIES[(r % 5) as usize],
+            );
+        }
+        let opts = CsvOptions::default();
+        fn best<T>(n: usize, mut f: impl FnMut() -> T) -> (std::time::Duration, T) {
+            let mut out = None;
+            let mut d = std::time::Duration::MAX;
+            for _ in 0..n {
+                let t = std::time::Instant::now();
+                let v = f();
+                d = d.min(t.elapsed());
+                out = Some(v);
+            }
+            (d, out.unwrap())
+        }
+        let (d_scan, fields) = best(8, || {
+            let mut fields = Vec::with_capacity(s.len() / 8 + 8);
+            scan_records(&s, b',', &mut fields).unwrap();
+            fields
+        });
+        let data = &fields[6..];
+        let (d_infer, dtypes) = best(8, || infer_types(&s, &data[..6000], 6, &opts));
+        let (d_chunk, _) = best(8, || build_chunk(&s, data, &dtypes, &opts));
+        let all_str = vec![DataType::Str; 6];
+        let (d_str, _) = best(8, || build_chunk(&s, data, &all_str, &opts));
+        println!("chunk_all_str  {d_str:?}");
+        let (d_total, table) = best(8, || read_csv_str(&s, &opts).unwrap());
+        println!("bytes          {}", s.len());
+        println!("scan_records   {d_scan:?} ({} fields)", fields.len());
+        println!("infer_types    {d_infer:?} ({dtypes:?})");
+        println!("build_chunk    {d_chunk:?}");
+        println!("read_csv_str   {d_total:?} ({} rows)", table.n_rows());
     }
 }

@@ -28,7 +28,10 @@ mod table;
 mod value;
 
 pub use column::Column;
-pub use csv::{read_csv, read_csv_path, read_csv_str, to_csv_string, write_csv, CsvOptions};
+pub use csv::{
+    read_csv, read_csv_path, read_csv_str, to_csv_string, write_csv, CsvOptions, COUNTER_CSV_BYTES,
+    COUNTER_CSV_DEGRADED, COUNTER_CSV_ROWS, DEFAULT_NULL_MARKERS, MAX_CSV_BYTES, SPAN_CSV_INGEST,
+};
 pub use dict::{column_dict, ValueDict, COUNTER_DICT_HITS, COUNTER_DICT_MISSES, NULL_CODE};
 pub use error::{Result, TableError};
 pub use fingerprint::{column_fingerprint, table_fingerprint};

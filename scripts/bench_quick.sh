@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Quick perf snapshot: run the criterion micro benches with a reduced
-# per-bench budget and record the profiling / training / chain-scheduler
-# hot-path numbers in results/BENCH_perf.json, alongside the pre-runtime
-# baselines measured on the same container class. Also runs the chain
+# per-bench budget and record the profiling / training / chain-scheduler /
+# CSV-ingest hot-path numbers in results/BENCH_perf.json, alongside the
+# pre-runtime baselines measured on the same container class. The CSV
+# entry compares against the frozen seed reader benched live in the same
+# run, so its speedup is an apples-to-apples same-machine figure. Also runs the chain
 # cache smoke (cold + warm CLI run sharing one --llm-cache file) and
 # folds its hit/zero-billing figures into the snapshot. Intended as a
 # non-blocking CI step — failures here report a regression but never
@@ -48,9 +50,13 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
   $1 == "chain_gen_beta4_conc4" { chain_conc_ms = to_ms($2) }
   $1 == "cache_cold_miss" { cache_cold_ms = to_ms($2) }
   $1 == "cache_warm_hit" { cache_warm_ms = to_ms($2) }
+  $1 == "ingest_50k_mixed" { csv_ingest_ms = to_ms($2) }
+  $1 == "seed_ingest_50k_mixed" { csv_seed_ms = to_ms($2) }
+  $1 == "write_roundtrip_50k_mixed" { csv_rt_ms = to_ms($2) }
   END {
     if (prof_ms == 0 || forest_ms == 0 || chain_seq_ms == 0 || chain_conc_ms == 0 ||
-        cache_cold_ms == 0 || cache_warm_ms == 0) {
+        cache_cold_ms == 0 || cache_warm_ms == 0 ||
+        csv_ingest_ms == 0 || csv_seed_ms == 0 || csv_rt_ms == 0) {
       print "bench_quick: missing bench lines in output" > "/dev/stderr"
       exit 1
     }
@@ -85,6 +91,15 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "      \"cache_hits\": %d,\n", smoke_hits >> out
     printf "      \"billed_tokens\": %d,\n", smoke_warm_tokens >> out
     printf "      \"identical_output\": true\n" >> out
+    printf "    },\n" >> out
+    printf "    \"csv/ingest_50k_mixed\": {\n" >> out
+    printf "      \"median_ms\": %.3f,\n", csv_ingest_ms >> out
+    printf "      \"rows_per_sec\": %.0f,\n", 50000 / (csv_ingest_ms / 1000) >> out
+    printf "      \"seed_reader_ms\": %.3f,\n", csv_seed_ms >> out
+    printf "      \"speedup\": %.2f\n", csv_seed_ms / csv_ingest_ms >> out
+    printf "    },\n" >> out
+    printf "    \"csv/write_roundtrip_50k_mixed\": {\n" >> out
+    printf "      \"median_ms\": %.3f\n", csv_rt_ms >> out
     printf "    }\n" >> out
     printf "  }\n" >> out
     printf "}\n" >> out
@@ -92,6 +107,7 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "forest    : %.3f ms/iter (baseline %.3f, %.2fx)\n", forest_ms, base_forest, base_forest / forest_ms
     printf "chain     : %.3f ms seq vs %.3f ms conc4 (%.2fx)\n", chain_seq_ms, chain_conc_ms, chain_seq_ms / chain_conc_ms
     printf "cache     : %.4f ms miss vs %.4f ms hit (%.2fx); warm smoke %d hit(s), %d billed token(s)\n", cache_cold_ms, cache_warm_ms, cache_cold_ms / cache_warm_ms, smoke_hits, smoke_warm_tokens
+    printf "csv       : %.3f ms ingest vs %.3f ms seed reader (%.2fx); %.3f ms write+read roundtrip\n", csv_ingest_ms, csv_seed_ms, csv_seed_ms / csv_ingest_ms, csv_rt_ms
   }
 ' "$RAW"
 

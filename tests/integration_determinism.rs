@@ -11,7 +11,7 @@ use catdb_llm::{ModelProfile, SimLlm};
 use catdb_ml::{Classifier, ForestConfig, Matrix, RandomForestClassifier};
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_sched::CompletionCache;
-use catdb_table::{Column, Table};
+use catdb_table::{read_csv_str, to_csv_string, Column, CsvOptions, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -71,6 +71,37 @@ proptest! {
         // Exact float equality: same trees, same order, same arithmetic.
         prop_assert_eq!(&probas[0], &probas[1], "1 vs 2 threads");
         prop_assert_eq!(&probas[0], &probas[2], "1 vs 8 threads");
+    }
+}
+
+#[test]
+fn csv_parse_identical_across_thread_counts() {
+    // Enough rows to span several 4096-record materialization chunks,
+    // seasoned with everything that could leak scheduling order: quoted
+    // embedded newlines, CRLF endings, blank lines, null markers, and a
+    // late type contradiction that degrades a column discovered in one
+    // chunk but re-rendered globally.
+    let mut csv = String::from("id,score,city,note\r\n");
+    for i in 0..10_000 {
+        let id = if i == 9_500 { "oops".to_string() } else { i.to_string() };
+        let score = if i % 50 == 0 { "NA".to_string() } else { format!("{}.{}", i % 100, i % 10) };
+        let city = if i % 5 == 0 { "\"San Jose, CA\"" } else { "Berlin" };
+        let note =
+            if i % 97 == 0 { format!("\"line one\nline {i}\"") } else { format!("note {i}") };
+        csv.push_str(&format!("{id},{score},{city},{note}\r\n"));
+        if i % 211 == 0 {
+            csv.push('\n'); // interior blank line, skipped by the scanner
+        }
+    }
+    let parse = |n_threads: usize| {
+        read_csv_str(&csv, &CsvOptions { n_threads, ..Default::default() }).expect("valid csv")
+    };
+    let base = parse(1);
+    assert_eq!(base.n_rows(), 10_000);
+    for threads in [2usize, 8] {
+        let t = parse(threads);
+        assert_eq!(t, base, "{threads} threads diverged");
+        assert_eq!(to_csv_string(&t), to_csv_string(&base), "{threads} threads render diverged");
     }
 }
 

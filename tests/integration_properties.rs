@@ -26,6 +26,27 @@ fn arb_column_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}"
 }
 
+/// Cells that stress the writer's quoting rules: null-marker lookalikes,
+/// whitespace-only content, embedded delimiters/quotes/CR/LF, and plain
+/// printable ASCII.
+fn arb_tricky_cell() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("NA".to_string())),
+        Just(Some(" NA ".to_string())),
+        Just(Some("?".to_string())),
+        Just(Some("   ".to_string())),
+        Just(Some("a,b".to_string())),
+        Just(Some("he said \"hi\"".to_string())),
+        Just(Some("line1\nline2".to_string())),
+        Just(Some("cr\rhere".to_string())),
+        Just(Some("\"".to_string())),
+        Just(Some(" padded ".to_string())),
+        "[ -~]{1,12}".prop_map(Some),
+        "[0-9]{1,6}".prop_map(Some),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -59,6 +80,29 @@ proptest! {
                 prop_assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn csv_round_trips_tricky_cells_exactly(
+        rows in prop::collection::vec(prop::collection::vec(arb_tricky_cell(), 3), 0..16)
+    ) {
+        // A write → read round trip with *default* options must reproduce
+        // the table cell-for-cell: the writer quotes anything that would
+        // otherwise read back as null (markers, whitespace-only cells) or
+        // break the record (delimiters, quotes, CR/LF). The first row pins
+        // every column to string so numeric-looking cells survive
+        // inference untouched.
+        let cols: Vec<(String, Column)> = (0..3)
+            .map(|c| {
+                let mut v: Vec<Option<String>> = vec![Some("sentinel value".to_string())];
+                v.extend(rows.iter().map(|r| r[c].clone()));
+                (format!("c{c}"), Column::Str(v))
+            })
+            .collect();
+        let table = Table::from_columns(cols).unwrap();
+        let csv = to_csv_string(&table);
+        let back = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back, table);
     }
 
     #[test]
