@@ -1,0 +1,635 @@
+//! `catdb` — command-line front end for the CatDB reproduction.
+//!
+//! ```text
+//! catdb run --csv data.csv --target label --task binary [--model gpt-4o]
+//!           [--beta N] [--alpha K] [--no-refine] [--seed N]
+//! catdb profile --csv data.csv
+//! catdb serve --port 7317 [--max-inflight N] [--budget-tokens F] ...
+//! catdb client --port 7317 --dataset wifi [--clients N] [--out-dir DIR]
+//! ```
+//!
+//! `run` profiles the CSV, refines the catalog with the simulated LLM,
+//! generates + validates a pipeline, and prints the program with its
+//! evaluation. `profile` prints the data profile only. `serve` starts
+//! the multi-tenant daemon; `client` submits one request — or, with
+//! `--clients N`, drives N concurrent connections — against it.
+
+use catdb_catalog::MultiTableDataset;
+use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
+use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
+use catdb_ml::TaskKind;
+use catdb_profiler::{profile_table, ProfileOptions};
+use catdb_serve::{
+    drive_concurrent, shutdown, submit, AdmissionOptions, BudgetPolicy, DatasetSpec,
+    GenerateRequest, Outcome, ServeOptions, Server,
+};
+use catdb_table::{read_csv_path, CsvOptions};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--seed N] [--beta N] [--alpha K] [--no-refine]\n            [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    csv: Option<String>,
+    target: Option<String>,
+    task: Option<String>,
+    model: String,
+    beta: usize,
+    alpha: Option<usize>,
+    refine: bool,
+    seed: u64,
+    trace_out: Option<String>,
+    /// Injected LLM transport fault rate (0 disables injection).
+    fault_rate: f64,
+    /// Transport retries per model rung after the first attempt.
+    max_retries: usize,
+    /// Per-call deadline on simulated LLM latency, seconds.
+    llm_timeout: Option<f64>,
+    /// Concurrent in-flight LLM requests for the chain's fan-out stages.
+    llm_concurrency: usize,
+    /// JSON-lines file persisting the completion cache across runs.
+    llm_cache: Option<String>,
+    // serve / client knobs
+    host: String,
+    port: Option<u16>,
+    max_inflight: usize,
+    max_queued: usize,
+    budget_tokens: Option<f64>,
+    budget_refill: f64,
+    shutdown_token: Option<String>,
+    /// Builtin dataset name for `client` (alternative to --csv).
+    dataset: Option<String>,
+    /// Row cap for builtin datasets.
+    rows: usize,
+    tenant: String,
+    /// Number of concurrent driver connections for `client`.
+    clients: usize,
+    /// Directory receiving one pipeline file per driver client.
+    out_dir: Option<String>,
+    /// Stream trace events from the daemon to stderr.
+    stream: bool,
+    /// `client --shutdown TOKEN`: ask the daemon to stop.
+    shutdown: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().collect();
+    let command = argv.get(1)?.clone();
+    let mut args = Args {
+        command,
+        csv: None,
+        target: None,
+        task: None,
+        model: "gpt-4o".into(),
+        beta: 1,
+        alpha: None,
+        refine: true,
+        seed: 42,
+        trace_out: None,
+        fault_rate: 0.0,
+        max_retries: 3,
+        llm_timeout: None,
+        llm_concurrency: catdb_sched::DEFAULT_LLM_CONCURRENCY,
+        llm_cache: None,
+        host: "127.0.0.1".into(),
+        port: None,
+        max_inflight: AdmissionOptions::default().max_inflight,
+        max_queued: AdmissionOptions::default().max_queued,
+        budget_tokens: None,
+        budget_refill: 0.0,
+        shutdown_token: None,
+        dataset: None,
+        rows: 500,
+        tenant: "cli".into(),
+        clients: 1,
+        out_dir: None,
+        stream: false,
+        shutdown: None,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => args.csv = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--target" => args.target = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--task" => args.task = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--model" => {
+                if let Some(m) = argv.get(i + 1) {
+                    args.model = m.clone();
+                    i += 1;
+                }
+            }
+            "--beta" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.beta = v;
+                    i += 1;
+                }
+            }
+            "--alpha" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.alpha = Some(v);
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.seed = v;
+                    i += 1;
+                }
+            }
+            "--trace-out" => args.trace_out = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--fault-rate" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.fault_rate = v;
+                    i += 1;
+                }
+            }
+            "--max-retries" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.max_retries = v;
+                    i += 1;
+                }
+            }
+            "--llm-timeout" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.llm_timeout = Some(v);
+                    i += 1;
+                }
+            }
+            "--llm-concurrency" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.llm_concurrency = v;
+                    i += 1;
+                }
+            }
+            "--llm-cache" => args.llm_cache = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--no-refine" => args.refine = false,
+            "--host" => {
+                if let Some(h) = argv.get(i + 1) {
+                    args.host = h.clone();
+                    i += 1;
+                }
+            }
+            "--port" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.port = Some(v);
+                    i += 1;
+                }
+            }
+            "--max-inflight" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.max_inflight = v;
+                    i += 1;
+                }
+            }
+            "--max-queued" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.max_queued = v;
+                    i += 1;
+                }
+            }
+            "--budget-tokens" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.budget_tokens = Some(v);
+                    i += 1;
+                }
+            }
+            "--budget-refill" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.budget_refill = v;
+                    i += 1;
+                }
+            }
+            "--shutdown-token" => {
+                args.shutdown_token = argv.get(i + 1).cloned().inspect(|_| i += 1)
+            }
+            "--dataset" => args.dataset = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--rows" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.rows = v;
+                    i += 1;
+                }
+            }
+            "--tenant" => {
+                if let Some(t) = argv.get(i + 1) {
+                    args.tenant = t.clone();
+                    i += 1;
+                }
+            }
+            "--clients" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.clients = v;
+                    i += 1;
+                }
+            }
+            "--out-dir" => args.out_dir = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--stream" => args.stream = true,
+            "--shutdown" => args.shutdown = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return None;
+            }
+        }
+        i += 1;
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    match args.command.as_str() {
+        "profile" => cmd_profile(&args),
+        "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
+        _ => usage(),
+    }
+}
+
+fn load_table(args: &Args) -> Result<(String, catdb_table::Table), ExitCode> {
+    let Some(path) = &args.csv else {
+        eprintln!("--csv is required");
+        return Err(usage());
+    };
+    let started = std::time::Instant::now();
+    match read_csv_path(path, &CsvOptions::default()) {
+        Ok(t) => {
+            let secs = started.elapsed().as_secs_f64();
+            let rows_per_sec = if secs > 0.0 { t.n_rows() as f64 / secs } else { 0.0 };
+            eprintln!(
+                "[loaded {} row(s) × {} col(s) in {:.1} ms, {:.0} rows/sec]",
+                t.n_rows(),
+                t.n_cols(),
+                secs * 1e3,
+                rows_per_sec,
+            );
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("dataset")
+                .to_string();
+            Ok((name, t))
+        }
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_profile(args: &Args) -> ExitCode {
+    let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
+    let profile = profile_table(&name, &table, &ProfileOptions::default());
+    println!("dataset: {name} ({} rows × {} cols)", table.n_rows(), table.n_cols());
+    println!(
+        "{:<20} {:<8} {:<12} {:>8} {:>9} {:>9}",
+        "column", "type", "feature", "distinct", "missing%", "top%"
+    );
+    for col in &profile.columns {
+        println!(
+            "{:<20} {:<8} {:<12} {:>8} {:>8.1}% {:>8.1}%",
+            col.name,
+            col.data_type.name(),
+            col.feature_type.label(),
+            col.distinct_count,
+            col.missing_percentage * 100.0,
+            col.top_value_ratio * 100.0,
+        );
+    }
+    println!("profiled in {:.3}s", profile.elapsed_seconds);
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    // The whole run records into a trace sink — installed before the CSV
+    // load so the `csv_ingest` span and csv.* counters land in the trace.
+    // Cache hit/miss counters are read from it for the `[llm cache: ...]`
+    // summary, and with --trace-out its JSON snapshot is written at exit
+    // (re-importable via catdb_trace::Trace::from_json_str).
+    let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+    let _trace_guard = catdb_trace::install(sink.clone());
+
+    let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
+    let Some(target) = &args.target else {
+        eprintln!("--target is required");
+        return usage();
+    };
+    let task = match args.task.as_deref() {
+        Some("binary") => TaskKind::BinaryClassification,
+        Some("multiclass") => TaskKind::MulticlassClassification,
+        Some("regression") => TaskKind::Regression,
+        _ => {
+            eprintln!("--task must be binary, multiclass, or regression");
+            return usage();
+        }
+    };
+    let Some(profile) = ModelProfile::by_name(&args.model) else {
+        eprintln!("unknown model '{}'; use gpt-4o, gemini-1.5-pro, or llama3.1-70b", args.model);
+        return ExitCode::FAILURE;
+    };
+    // The full resilient transport stack: fault injection (off at rate 0)
+    // under retry/backoff/circuit-breaking/degradation. At the default
+    // knobs with no faults this behaves exactly like a bare SimLlm.
+    let llm = ResilientClient::simulated(
+        profile,
+        FaultSpec::from_rate(args.fault_rate),
+        RetryPolicy {
+            max_retries: args.max_retries,
+            call_timeout_seconds: args.llm_timeout,
+            ..Default::default()
+        },
+        args.seed,
+    );
+
+    // A persistent completion cache shared by generation and error fixing;
+    // warm entries replay for free on later runs with the same seed.
+    let cache = args
+        .llm_cache
+        .as_ref()
+        .map(|path| std::sync::Arc::new(catdb_sched::CompletionCache::persistent(path, 4096)));
+
+    let dataset = MultiTableDataset::single(name, table);
+    let opts = CollectOptions { refine: args.refine, ..Default::default() };
+    let (entry, prepared, report) = match catdb_collect(&dataset, target, task, &llm, &opts) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report) = &report {
+        eprintln!(
+            "[catalog refined: {} column change(s), {} LLM call(s)]",
+            report.refinements.len(),
+            report.llm_calls
+        );
+    }
+    let cfg = CatDbConfig {
+        prompt: PromptOptions { beta: args.beta, alpha: args.alpha, ..Default::default() },
+        seed: args.seed,
+        llm_concurrency: args.llm_concurrency,
+        llm_cache: cache.clone(),
+        ..Default::default()
+    };
+    let result = match catdb_pipgen(&entry, &prepared, &llm, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", result.code);
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        eprintln!(
+            "[llm cache: {} hit(s), {} miss(es), {} insertion(s), {} entr(ies) resident]",
+            stats.hits,
+            stats.misses,
+            stats.insertions,
+            cache.len(),
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = sink.snapshot();
+        if trace.llm_retry_count() > 0 || trace.degraded_count() > 0 {
+            eprintln!(
+                "[resilience: {} retried attempt(s), {} circuit opening(s), {} degradation(s), {} wasted token(s)]",
+                trace.llm_retry_count(),
+                trace.circuit_open_count(),
+                trace.degraded_count(),
+                trace.retry_tokens(),
+            );
+        }
+        match std::fs::write(path, trace.to_json_string()) {
+            Ok(()) => eprintln!(
+                "[trace: {} span(s), {} event(s) written to {path}]",
+                trace.spans.len(),
+                trace.events.len()
+            ),
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+    match &result.results.evaluation {
+        Some(eval) => {
+            eprintln!("train: {:?}", eval.train);
+            eprintln!("test:  {:?}", eval.test);
+            eprintln!(
+                "tokens: {} | llm calls: {} | attempts: {} | errors handled: {}",
+                result.results.ledger.total().total(),
+                result.results.ledger.n_calls,
+                result.results.attempts,
+                result.results.traces.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("no executable pipeline found; errors:");
+            for t in &result.results.traces {
+                eprintln!("  attempt {}: {}", t.attempt, t.kind.code());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let Some(port) = args.port else {
+        eprintln!("--port is required for serve");
+        return usage();
+    };
+    let opts = ServeOptions {
+        admission: AdmissionOptions {
+            max_inflight: args.max_inflight,
+            max_queued: args.max_queued,
+            budget: args.budget_tokens.map(|capacity| BudgetPolicy {
+                capacity_tokens: capacity,
+                refill_tokens_per_second: args.budget_refill,
+            }),
+            ..Default::default()
+        },
+        cache_path: args.llm_cache.as_ref().map(std::path::PathBuf::from),
+        llm_concurrency: args.llm_concurrency,
+        fault_rate: args.fault_rate,
+        max_retries: args.max_retries,
+        llm_timeout: args.llm_timeout,
+        shutdown_token: args.shutdown_token.clone(),
+        ..Default::default()
+    };
+    let addr = format!("{}:{}", args.host, port);
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[catdb serve: listening on {addr}, max-inflight {}, max-queued {}]",
+        args.max_inflight, args.max_queued
+    );
+    let server = Server::new(opts);
+    match server.serve_tcp(listener) {
+        Ok(()) => {
+            let stats = server.cache().stats();
+            eprintln!(
+                "[catdb serve: drained; cache {} hit(s), {} miss(es), {} insertion(s)]",
+                stats.hits, stats.misses, stats.insertions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Build a request from CLI flags. Builtin datasets travel by name; CSV
+/// files are read client-side and shipped inline so the daemon never
+/// depends on sharing a filesystem with its clients.
+fn client_request(args: &Args) -> Result<GenerateRequest, String> {
+    let dataset = match (&args.dataset, &args.csv) {
+        (Some(name), None) => {
+            DatasetSpec::Builtin { name: name.clone(), rows: args.rows, seed: args.seed }
+        }
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("dataset")
+                .to_string();
+            DatasetSpec::CsvInline { name, text }
+        }
+        _ => return Err("exactly one of --dataset or --csv is required".into()),
+    };
+    let mut req = GenerateRequest::new(args.tenant.clone(), dataset);
+    req.target = args.target.clone();
+    req.task = args.task.clone();
+    req.model = args.model.clone();
+    req.seed = args.seed;
+    req.beta = args.beta;
+    req.alpha = args.alpha;
+    req.refine = args.refine;
+    req.stream = args.stream;
+    Ok(req)
+}
+
+fn cmd_client(args: &Args) -> ExitCode {
+    let Some(port) = args.port else {
+        eprintln!("--port is required for client");
+        return usage();
+    };
+    let addr = format!("{}:{}", args.host, port);
+    let connect = || match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(token) = &args.shutdown {
+        let mut stream = connect();
+        return match shutdown(&mut stream, token) {
+            Ok(true) => {
+                eprintln!("[daemon acknowledged shutdown]");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                eprintln!("daemon refused shutdown (bad or missing token)");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let req = match client_request(args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return usage();
+        }
+    };
+
+    if args.clients <= 1 {
+        let mut stream = connect();
+        let outcome = match submit(&mut stream, &req, |seq, record| {
+            eprintln!("[event {seq}] {:?}", record.event)
+        }) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return report_outcome(0, &outcome, args.out_dir.as_deref());
+    }
+
+    // Deterministic N-client driver: one connection per request, results
+    // reported in client-index order regardless of completion order.
+    let requests: Vec<GenerateRequest> = (0..args.clients).map(|_| req.clone()).collect();
+    let outcomes = drive_concurrent(connect, &requests);
+    let mut exit = ExitCode::SUCCESS;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let code = match outcome {
+            Ok(o) => report_outcome(i, o, args.out_dir.as_deref()),
+            Err(e) => {
+                eprintln!("client {i}: transport error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+        if code != ExitCode::SUCCESS {
+            exit = ExitCode::FAILURE;
+        }
+    }
+    exit
+}
+
+/// Print one client's outcome; with `--out-dir` the pipeline also lands
+/// in `DIR/pipeline_{i}.py` so runs can be diffed file-by-file.
+fn report_outcome(i: usize, outcome: &Outcome, out_dir: Option<&str>) -> ExitCode {
+    match outcome {
+        Outcome::Done(resp) => {
+            eprintln!(
+                "client {i}: ok | billed {} token(s) | {} llm call(s) | {} cache hit(s) | tenant total {}",
+                resp.billed_tokens, resp.llm_calls, resp.cache_hits, resp.tenant_charged_tokens
+            );
+            match out_dir {
+                Some(dir) => {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("failed to create {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let path = format!("{dir}/pipeline_{i}.py");
+                    if let Err(e) = std::fs::write(&path, &resp.pipeline) {
+                        eprintln!("failed to write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => println!("{}", resp.pipeline),
+            }
+            ExitCode::SUCCESS
+        }
+        Outcome::Rejected(shed) => {
+            eprintln!(
+                "client {i}: shed ({}) — retry after {:.1}s",
+                shed.reason, shed.retry_after_seconds
+            );
+            ExitCode::FAILURE
+        }
+        Outcome::Error(message) => {
+            eprintln!("client {i}: server error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Serve-daemon round-trip microbench: drives concurrent clients over
+//! the in-process transport against one shared-cache server and reports
+//! cold-pass vs warm-pass latency and warm throughput.
+//!
+//! The final stdout line is machine-parseable and consumed by
+//! `scripts/bench_quick.sh`:
+//!
+//! ```text
+//! serve_roundtrip clients=8 cold_batch_ms=... warm_batch_ms=... warm_rps=...
+//! ```
+
+use catdb_serve::{drive_concurrent, DatasetSpec, GenerateRequest, Outcome, ServeOptions, Server};
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const WARM_BATCHES: usize = 5;
+
+fn batch(server: &Server, requests: &[GenerateRequest]) -> f64 {
+    let started = Instant::now();
+    let outcomes = drive_concurrent(|| server.connect_in_proc(), requests);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("transport ok") {
+            Outcome::Done(_) => {}
+            other => panic!("client {i} did not complete: {other:?}"),
+        }
+    }
+    elapsed_ms
+}
+
+fn main() {
+    let server = Server::new(ServeOptions::default());
+    let requests: Vec<GenerateRequest> = (0..CLIENTS)
+        .map(|i| {
+            GenerateRequest::new(
+                format!("bench{i}"),
+                DatasetSpec::Builtin { name: "wifi".into(), rows: 120, seed: 7 },
+            )
+        })
+        .collect();
+
+    // Cold pass: every completion is generated and inserted once.
+    let cold_ms = batch(&server, &requests);
+    let stats = server.cache().stats();
+    eprintln!(
+        "cold: {cold_ms:.1} ms for {CLIENTS} client(s); cache {} insertion(s), {} hit(s)",
+        stats.insertions, stats.hits
+    );
+
+    // Warm passes: the shared cache serves everything; average the batches.
+    let mut warm_total_ms = 0.0;
+    for _ in 0..WARM_BATCHES {
+        warm_total_ms += batch(&server, &requests);
+    }
+    let warm_ms = warm_total_ms / WARM_BATCHES as f64;
+    let warm_rps = CLIENTS as f64 / (warm_ms / 1e3);
+    eprintln!("warm: {warm_ms:.1} ms/batch over {WARM_BATCHES} batch(es), {warm_rps:.0} req/sec");
+
+    println!(
+        "serve_roundtrip clients={CLIENTS} cold_batch_ms={cold_ms:.3} \
+         warm_batch_ms={warm_ms:.3} warm_rps={warm_rps:.1}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Client-side helpers for the serve protocol: single-request submit,
+//! shutdown, and a deterministic N-client concurrency driver.
+
+use crate::protocol::{
+    read_frame, write_frame, ClientFrame, GenerateRequest, GenerateResponse, RetryAfter,
+    ServerFrame, WireError,
+};
+use catdb_trace::EventRecord;
+use std::io::{Read, Write};
+
+/// Everything a single request exchange can end in.
+#[derive(Debug)]
+pub enum Outcome {
+    Done(GenerateResponse),
+    Rejected(RetryAfter),
+    Error(String),
+}
+
+impl Outcome {
+    pub fn response(&self) -> Option<&GenerateResponse> {
+        match self {
+            Outcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn rejected(&self) -> Option<&RetryAfter> {
+        match self {
+            Outcome::Rejected(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Submit one request over `stream` and drive the exchange to its
+/// terminal frame. Progress frames (if the request streams) are handed
+/// to `on_progress` in arrival order.
+pub fn submit<S: Read + Write>(
+    stream: &mut S,
+    req: &GenerateRequest,
+    mut on_progress: impl FnMut(u64, &EventRecord),
+) -> Result<Outcome, WireError> {
+    write_frame(stream, &ClientFrame::Submit(req.clone()))?;
+    loop {
+        let frame: ServerFrame = read_frame(stream)?;
+        match frame {
+            ServerFrame::Progress { seq, event } => {
+                let record = EventRecord { seq, span: None, at_micros: 0, event };
+                on_progress(seq, &record);
+            }
+            ServerFrame::Done(resp) => return Ok(Outcome::Done(resp)),
+            ServerFrame::Rejected(shed) => return Ok(Outcome::Rejected(shed)),
+            ServerFrame::Error { message } => return Ok(Outcome::Error(message)),
+            ServerFrame::ShutdownAck => {
+                return Ok(Outcome::Error("unexpected shutdown ack".into()))
+            }
+        }
+    }
+}
+
+/// Ask the daemon to stop. Returns true when the daemon acknowledged.
+pub fn shutdown<S: Read + Write>(stream: &mut S, token: &str) -> Result<bool, WireError> {
+    write_frame(stream, &ClientFrame::Shutdown { token: token.to_string() })?;
+    let frame: ServerFrame = read_frame(stream)?;
+    Ok(matches!(frame, ServerFrame::ShutdownAck))
+}
+
+/// Drive `requests.len()` concurrent clients against a server, one
+/// connection each, and return the outcomes **ordered by client index**
+/// (not completion order) so results are deterministic to compare.
+///
+/// `connect` must hand each call a fresh connected stream — a TCP dial
+/// in production, [`Server::connect_in_proc`](crate::Server::connect_in_proc)
+/// in tests.
+pub fn drive_concurrent<S, F>(
+    connect: F,
+    requests: &[GenerateRequest],
+) -> Vec<Result<Outcome, WireError>>
+where
+    S: Read + Write + Send,
+    F: Fn() -> S + Sync,
+{
+    let mut slots: Vec<Option<Result<Outcome, WireError>>> = Vec::new();
+    slots.resize_with(requests.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, req) in slots.iter_mut().zip(requests) {
+            let connect = &connect;
+            scope.spawn(move || {
+                let mut stream = connect();
+                *slot = Some(submit(&mut stream, req, |_, _| {}));
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("scope joined every client")).collect()
+}

@@ -1,0 +1,360 @@
+//! Wire protocol of the `catdb serve` daemon: length-prefixed JSON
+//! frames over any byte stream.
+//!
+//! A frame is a little-endian `u32` payload length followed by exactly
+//! that many bytes of JSON — the externally tagged serde rendering of
+//! [`ClientFrame`] or [`ServerFrame`]. The framing layer never panics on
+//! hostile input: oversized lengths, truncated streams, invalid UTF-8,
+//! malformed JSON, and schema mismatches all surface as structured
+//! [`WireError`]s (pinned by the protocol property tests).
+//!
+//! One connection carries one exchange: the client sends a single
+//! [`ClientFrame`], then reads zero or more [`ServerFrame::Progress`]
+//! frames followed by exactly one terminal frame ([`ServerFrame::Done`],
+//! [`ServerFrame::Rejected`], [`ServerFrame::Error`], or
+//! [`ServerFrame::ShutdownAck`]).
+//!
+//! Integers travel as JSON numbers, so values round-trip exactly only up
+//! to 2^53 — the standard JSON/f64 interop floor (JavaScript clients
+//! share it). Seeds and row counts beyond that are not supported on the
+//! wire.
+
+use catdb_trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Bumped on every incompatible frame-schema change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload; larger advertised lengths are
+/// rejected before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Where the rows of a generation request come from. The daemon is the
+/// side with the data: requests name a dataset rather than shipping it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// One of `catdb-data`'s deterministic paper datasets, materialized
+    /// server-side from `(name, rows, seed)`.
+    Builtin { name: String, rows: usize, seed: u64 },
+    /// A CSV file readable by the server process.
+    CsvPath { path: String },
+    /// CSV text carried inline in the request (tests, small demos).
+    CsvInline { name: String, text: String },
+}
+
+/// One pipeline-generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Admission-control identity: budgets and fair-share accounting are
+    /// kept per tenant.
+    pub tenant: String,
+    pub dataset: DatasetSpec,
+    /// Target column; `None` uses the builtin dataset's default.
+    pub target: Option<String>,
+    /// `binary` | `multiclass` | `regression`; `None` uses the builtin
+    /// dataset's default.
+    pub task: Option<String>,
+    pub model: String,
+    pub seed: u64,
+    /// Chain chunks (1 = single prompt).
+    pub beta: usize,
+    /// Top-K column selection.
+    pub alpha: Option<usize>,
+    /// Run LLM-assisted catalog refinement before generation.
+    pub refine: bool,
+    /// Stream `catdb-trace` events back as [`ServerFrame::Progress`].
+    pub stream: bool,
+}
+
+impl GenerateRequest {
+    /// A request with every knob at the CLI's defaults.
+    pub fn new(tenant: impl Into<String>, dataset: DatasetSpec) -> GenerateRequest {
+        GenerateRequest {
+            tenant: tenant.into(),
+            dataset,
+            target: None,
+            task: None,
+            model: "gpt-4o".into(),
+            seed: 42,
+            beta: 1,
+            alpha: None,
+            refine: true,
+            stream: false,
+        }
+    }
+}
+
+/// Frames a client may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    Submit(GenerateRequest),
+    /// Graceful daemon shutdown; honored only when the token matches the
+    /// server's configured `--shutdown-token`.
+    Shutdown {
+        token: String,
+    },
+}
+
+/// Terminal success payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerateResponse {
+    /// The generated pipeline source — the bytes `catdb run` would print.
+    pub pipeline: String,
+    pub success: bool,
+    pub handcrafted: bool,
+    pub attempts: usize,
+    /// `Debug` rendering of the train/test evaluations, when present.
+    pub train_metric: Option<String>,
+    pub test_metric: Option<String>,
+    /// Billed tokens for this request (cache hits bill zero).
+    pub billed_tokens: usize,
+    pub llm_calls: usize,
+    pub cache_hits: usize,
+    pub cache_saved_tokens: usize,
+    /// Tenant's cumulative charged tokens after this request.
+    pub tenant_charged_tokens: u64,
+}
+
+/// Structured load-shed: the request was not admitted and the client
+/// should retry no sooner than `retry_after_seconds`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryAfter {
+    /// `over_capacity` | `over_budget`.
+    pub reason: String,
+    pub retry_after_seconds: f64,
+    pub tenant: String,
+}
+
+/// Frames a server may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// One `catdb-trace` event, streamed as it occurred. `seq` is the
+    /// event's position in the request's trace stream.
+    Progress {
+        seq: u64,
+        event: TraceEvent,
+    },
+    Done(GenerateResponse),
+    Rejected(RetryAfter),
+    Error {
+        message: String,
+    },
+    ShutdownAck,
+}
+
+impl ServerFrame {
+    /// Whether this frame ends the exchange.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, ServerFrame::Progress { .. })
+    }
+}
+
+/// Everything that can go wrong at the framing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The peer closed the stream cleanly before a frame started.
+    Closed,
+    /// The stream ended mid-frame.
+    Truncated { expected: usize, got: usize },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge { len: usize, max: usize },
+    /// The payload is not valid UTF-8/JSON or does not match the schema.
+    BadFrame(String),
+    /// Underlying transport failure.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "stream truncated: expected {expected} byte(s), got {got}")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} byte(s) exceeds the {max}-byte limit")
+            }
+            WireError::BadFrame(msg) => write!(f, "malformed frame: {msg}"),
+            WireError::Io(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Read exactly `buf.len()` bytes, mapping EOF to a structured error.
+/// `at_boundary` distinguishes a clean close (before any frame byte)
+/// from a mid-frame truncation.
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if at_boundary && got == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Truncated { expected: buf.len(), got })
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame: length prefix + JSON payload.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, frame: &T) -> Result<(), WireError> {
+    let payload =
+        serde_json::to_string(frame).map_err(|e| WireError::BadFrame(e.to_string()))?.into_bytes();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { len: payload.len(), max: MAX_FRAME_BYTES });
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len).map_err(|e| WireError::Io(e.to_string()))?;
+    w.write_all(&payload).map_err(|e| WireError::Io(e.to_string()))?;
+    w.flush().map_err(|e| WireError::Io(e.to_string()))?;
+    Ok(())
+}
+
+/// Read one frame of type `T`. Never panics: any malformed input yields
+/// a structured [`WireError`].
+pub fn read_frame<T: serde::Deserialize>(r: &mut impl Read) -> Result<T, WireError> {
+    let mut len_bytes = [0u8; 4];
+    read_full(r, &mut len_bytes, true)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, false)?;
+    let text =
+        String::from_utf8(payload).map_err(|e| WireError::BadFrame(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| WireError::BadFrame(e.to_string()))
+}
+
+/// Encode a frame to its exact wire bytes (prefix + payload).
+pub fn encode_frame<T: Serialize>(frame: &T) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    write_frame(&mut out, frame)?;
+    Ok(out)
+}
+
+/// Decode one frame from a byte buffer (must contain exactly one frame).
+pub fn decode_frame<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut cursor = bytes;
+    read_frame(&mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> GenerateRequest {
+        GenerateRequest {
+            tenant: "team-a".into(),
+            dataset: DatasetSpec::Builtin { name: "diabetes".into(), rows: 200, seed: 7 },
+            target: Some("label".into()),
+            task: Some("binary".into()),
+            model: "gemini-1.5-pro".into(),
+            seed: 9,
+            beta: 3,
+            alpha: Some(12),
+            refine: false,
+            stream: true,
+        }
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        for frame in
+            [ClientFrame::Submit(request()), ClientFrame::Shutdown { token: "secret".into() }]
+        {
+            let bytes = encode_frame(&frame).unwrap();
+            let back: ClientFrame = decode_frame(&bytes).unwrap();
+            assert_eq!(frame, back);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = vec![
+            ServerFrame::Progress {
+                seq: 3,
+                event: TraceEvent::PromptBuilt { task: "pipeline_generation".into(), tokens: 42 },
+            },
+            ServerFrame::Done(GenerateResponse {
+                pipeline: "pipeline {\n}".into(),
+                success: true,
+                handcrafted: false,
+                attempts: 1,
+                train_metric: Some("auc=0.9".into()),
+                test_metric: None,
+                billed_tokens: 1234,
+                llm_calls: 3,
+                cache_hits: 0,
+                cache_saved_tokens: 0,
+                tenant_charged_tokens: 1234,
+            }),
+            ServerFrame::Rejected(RetryAfter {
+                reason: "over_capacity".into(),
+                retry_after_seconds: 1.5,
+                tenant: "team-a".into(),
+            }),
+            ServerFrame::Error { message: "unknown model".into() },
+            ServerFrame::ShutdownAck,
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame).unwrap();
+            let back: ServerFrame = decode_frame(&bytes).unwrap();
+            assert_eq!(frame, back);
+            assert_eq!(frame.is_terminal(), !matches!(frame, ServerFrame::Progress { .. }));
+        }
+    }
+
+    #[test]
+    fn clean_close_and_truncation_are_distinguished() {
+        let empty: &[u8] = &[];
+        let mut r = empty;
+        assert_eq!(read_frame::<ClientFrame>(&mut r).unwrap_err(), WireError::Closed);
+
+        let bytes = encode_frame(&ClientFrame::Shutdown { token: "t".into() }).unwrap();
+        for cut in 1..bytes.len() {
+            let mut r = &bytes[..cut];
+            match read_frame::<ClientFrame>(&mut r) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        let mut r = bytes.as_slice();
+        assert_eq!(
+            read_frame::<ClientFrame>(&mut r).unwrap_err(),
+            WireError::FrameTooLarge { len: u32::MAX as usize, max: MAX_FRAME_BYTES }
+        );
+    }
+
+    #[test]
+    fn non_json_and_schema_mismatch_yield_bad_frame() {
+        // Valid length prefix, invalid UTF-8 payload.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = bytes.as_slice();
+        assert!(matches!(read_frame::<ClientFrame>(&mut r), Err(WireError::BadFrame(_))));
+
+        // Valid JSON that is not a ClientFrame.
+        let payload = br#"{"NotAVariant":1}"#;
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(payload);
+        let mut r = bytes.as_slice();
+        assert!(matches!(read_frame::<ClientFrame>(&mut r), Err(WireError::BadFrame(_))));
+    }
+}

@@ -1,0 +1,468 @@
+//! The `catdb serve` daemon: a long-running, multi-tenant pipeline-
+//! generation server.
+//!
+//! One [`Server`] owns the process-wide shared state every request
+//! multiplexes over:
+//!
+//! * one [`CompletionCache`] (optionally disk-backed) consumed by a
+//!   per-request [`LlmScheduler`] — identical prompts across tenants,
+//!   requests, and passes are served zero-billed;
+//! * the `catdb-runtime` worker pool and the `profile_table` /
+//!   `ValueDict` memos (process-global by construction, so concurrent
+//!   requests share them for free);
+//! * one [`AdmissionController`] enforcing per-tenant token budgets and
+//!   the bounded in-flight limit.
+//!
+//! Each connection carries one request. The handler admits it (or
+//! answers with a structured [`RetryAfter`]), replays the exact one-shot
+//! `catdb run` pipeline — collect → refine → generate → validate — over
+//! the shared stack, streams `catdb-trace` events back as
+//! [`ServerFrame::Progress`] when asked to, charges the tenant with the
+//! request's *measured* token usage, and answers with a terminal
+//! [`ServerFrame`].
+//!
+//! Shutdown ordering: the accept loop stops first, in-flight requests
+//! drain (their permits release), and only then does `serve_tcp` return;
+//! the completion cache needs no flush (insertions are write-through).
+
+use crate::admission::{AdmissionController, AdmissionOptions, Clock, WallClock};
+use crate::protocol::{
+    read_frame, write_frame, ClientFrame, DatasetSpec, GenerateRequest, GenerateResponse,
+    RetryAfter, ServerFrame, WireError,
+};
+use crate::transport::{duplex, DuplexStream};
+use catdb_catalog::MultiTableDataset;
+use catdb_core::{
+    catdb_collect, catdb_pipgen, measured_cost, CatDbConfig, CollectOptions, PromptOptions,
+};
+use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
+use catdb_ml::TaskKind;
+use catdb_sched::{CompletionCache, LlmScheduler};
+use catdb_table::{read_csv_path, read_csv_str, CsvOptions};
+use catdb_trace::TraceSink;
+use parking_lot::{Condvar, Mutex};
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A reusable open/closed latch. Test hook: when [`ServeOptions::gate`]
+/// is set, every admitted request parks here before doing any work, so
+/// tests can hold slots occupied deterministically.
+pub struct Gate {
+    open: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Gate {
+    pub fn closed() -> Arc<Gate> {
+        Arc::new(Gate { open: Mutex::new(false), opened: Condvar::new() })
+    }
+
+    pub fn open(&self) {
+        *self.open.lock() = true;
+        self.opened.notify_all();
+    }
+
+    pub fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.opened.wait(&mut open);
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct ServeOptions {
+    pub admission: AdmissionOptions,
+    /// Completion-cache entries held resident.
+    pub cache_capacity: usize,
+    /// JSON-lines file backing the completion cache across restarts.
+    pub cache_path: Option<PathBuf>,
+    /// In-flight LLM fan-out per request (`--llm-concurrency`).
+    pub llm_concurrency: usize,
+    /// Injected transport fault rate for request LLM stacks.
+    pub fault_rate: f64,
+    pub max_retries: usize,
+    pub llm_timeout: Option<f64>,
+    /// When set, a [`ClientFrame::Shutdown`] with this token stops the
+    /// daemon; without it remote shutdown is refused.
+    pub shutdown_token: Option<String>,
+    /// Test hook: admitted requests wait on this gate before working.
+    pub gate: Option<Arc<Gate>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            admission: AdmissionOptions::default(),
+            cache_capacity: 4096,
+            cache_path: None,
+            llm_concurrency: catdb_sched::DEFAULT_LLM_CONCURRENCY,
+            fault_rate: 0.0,
+            max_retries: 3,
+            llm_timeout: None,
+            shutdown_token: None,
+            gate: None,
+        }
+    }
+}
+
+struct ServerInner {
+    opts: ServeOptions,
+    cache: Arc<CompletionCache>,
+    admission: AdmissionController,
+    stop: AtomicBool,
+}
+
+/// The daemon. Cheap to clone; all clones share one cache, admission
+/// controller, and stop flag.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    pub fn new(opts: ServeOptions) -> Server {
+        Server::with_clock(opts, Arc::new(WallClock::default()))
+    }
+
+    /// Build with an injected clock (deterministic budget tests).
+    pub fn with_clock(opts: ServeOptions, clock: Arc<dyn Clock>) -> Server {
+        let cache = Arc::new(match &opts.cache_path {
+            Some(path) => CompletionCache::persistent(path, opts.cache_capacity),
+            None => CompletionCache::new(opts.cache_capacity),
+        });
+        let admission = AdmissionController::new(opts.admission.clone(), clock);
+        Server {
+            inner: Arc::new(ServerInner { opts, cache, admission, stop: AtomicBool::new(false) }),
+        }
+    }
+
+    pub fn cache(&self) -> &Arc<CompletionCache> {
+        &self.inner.cache
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.inner.admission
+    }
+
+    /// Ask the accept loop to stop (idempotent).
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Serve one connection carrying one exchange. Generic over the
+    /// byte stream: `TcpStream` in production, [`DuplexStream`] in
+    /// tests and benches — the identical code path either way.
+    pub fn handle_connection<S: Read + Write + Send + 'static>(
+        &self,
+        stream: S,
+    ) -> Result<(), WireError> {
+        let stream = Arc::new(Mutex::new(stream));
+        let frame: ClientFrame = {
+            let mut s = stream.lock();
+            read_frame(&mut *s)?
+        };
+        let reply = |frame: &ServerFrame| -> Result<(), WireError> {
+            let mut s = stream.lock();
+            write_frame(&mut *s, frame)
+        };
+        match frame {
+            ClientFrame::Shutdown { token } => {
+                let authorized = self.inner.opts.shutdown_token.as_deref() == Some(token.as_str())
+                    && self.inner.opts.shutdown_token.is_some();
+                if authorized {
+                    self.stop();
+                    reply(&ServerFrame::ShutdownAck)
+                } else {
+                    reply(&ServerFrame::Error { message: "shutdown refused: bad token".into() })
+                }
+            }
+            ClientFrame::Submit(req) => {
+                let permit = match self.inner.admission.admit(&req.tenant) {
+                    Ok(permit) => permit,
+                    Err(shed) => {
+                        return reply(&ServerFrame::Rejected(RetryAfter {
+                            reason: shed.reason.code().to_string(),
+                            retry_after_seconds: shed.retry_after_seconds,
+                            tenant: req.tenant.clone(),
+                        }));
+                    }
+                };
+                if let Some(gate) = &self.inner.opts.gate {
+                    gate.wait();
+                }
+                // Per-request trace sink; with streaming on, an observer
+                // forwards each event to the client as it is recorded.
+                let sink = if req.stream {
+                    let writer = stream.clone();
+                    Arc::new(TraceSink::with_observer(move |record| {
+                        let frame =
+                            ServerFrame::Progress { seq: record.seq, event: record.event.clone() };
+                        // Streaming is best effort: a slow or gone client
+                        // must not fail the request itself.
+                        let mut s = writer.lock();
+                        let _ = write_frame(&mut *s, &frame);
+                    }))
+                } else {
+                    Arc::new(TraceSink::new())
+                };
+                let outcome = self.run_request(&req, &sink);
+                let terminal = match outcome {
+                    Ok(mut response) => {
+                        permit.charge(response.billed_tokens as f64);
+                        response.tenant_charged_tokens =
+                            self.inner.admission.charged_total(&req.tenant) as u64;
+                        ServerFrame::Done(response)
+                    }
+                    Err(message) => ServerFrame::Error { message },
+                };
+                drop(permit);
+                reply(&terminal)
+            }
+        }
+    }
+
+    /// Spawn-per-connection in-process client: returns the client end of
+    /// a duplex pipe whose other end this server is handling.
+    pub fn connect_in_proc(&self) -> DuplexStream {
+        let (client, server_end) = duplex();
+        let server = self.clone();
+        std::thread::spawn(move || {
+            let _ = server.handle_connection(server_end);
+        });
+        client
+    }
+
+    /// Accept TCP connections until [`stop`](Self::stop) (e.g. via an
+    /// authorized Shutdown frame), then drain in-flight requests.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if self.stopping() {
+                break;
+            }
+            match listener.accept() {
+                Ok((socket, _peer)) => {
+                    socket.set_nonblocking(false)?;
+                    let server = self.clone();
+                    std::thread::spawn(move || {
+                        let _ = server.handle_connection(socket);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Shutdown ordering: no new connections above, now drain.
+        while self.inner.admission.inflight() > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+
+    /// Resolve the request's dataset into `(dataset, target, task)`.
+    fn resolve_dataset(
+        req: &GenerateRequest,
+    ) -> Result<(MultiTableDataset, String, TaskKind), String> {
+        let parse_task = |name: &str| match name {
+            "binary" => Ok(TaskKind::BinaryClassification),
+            "multiclass" => Ok(TaskKind::MulticlassClassification),
+            "regression" => Ok(TaskKind::Regression),
+            other => Err(format!("unknown task '{other}'")),
+        };
+        match &req.dataset {
+            DatasetSpec::Builtin { name, rows, seed } => {
+                let g = catdb_data::generate(
+                    name,
+                    &catdb_data::GenOptions { max_rows: (*rows).max(1), scale: 1.0, seed: *seed },
+                )
+                .ok_or_else(|| format!("unknown builtin dataset '{name}'"))?;
+                let target = req.target.clone().unwrap_or(g.target);
+                let task = match &req.task {
+                    Some(t) => parse_task(t)?,
+                    None => g.task,
+                };
+                Ok((g.dataset, target, task))
+            }
+            DatasetSpec::CsvPath { path } => {
+                let table = read_csv_path(path, &CsvOptions::default())
+                    .map_err(|e| format!("failed to read {path}: {e}"))?;
+                let name = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("dataset")
+                    .to_string();
+                let target = req.target.clone().ok_or("csv datasets require an explicit target")?;
+                let task = parse_task(req.task.as_deref().ok_or("csv datasets require a task")?)?;
+                Ok((MultiTableDataset::single(name, table), target, task))
+            }
+            DatasetSpec::CsvInline { name, text } => {
+                let table = read_csv_str(text, &CsvOptions::default())
+                    .map_err(|e| format!("failed to parse inline csv: {e}"))?;
+                let target = req.target.clone().ok_or("csv datasets require an explicit target")?;
+                let task = parse_task(req.task.as_deref().ok_or("csv datasets require a task")?)?;
+                Ok((MultiTableDataset::single(name.clone(), table), target, task))
+            }
+        }
+    }
+
+    /// Execute one admitted request over the shared stack. Mirrors the
+    /// one-shot `catdb run` path exactly, with the daemon's shared cache
+    /// underneath every LLM call (collection/refinement included).
+    fn run_request(
+        &self,
+        req: &GenerateRequest,
+        sink: &Arc<TraceSink>,
+    ) -> Result<GenerateResponse, String> {
+        let _guard = catdb_trace::install(sink.clone());
+        let _span = catdb_trace::span("serve_request");
+        let (dataset, target, task) = Self::resolve_dataset(req)?;
+        let profile = ModelProfile::by_name(&req.model)
+            .ok_or_else(|| format!("unknown model '{}'", req.model))?;
+        let opts = &self.inner.opts;
+        let llm = ResilientClient::simulated(
+            profile,
+            FaultSpec::from_rate(opts.fault_rate),
+            RetryPolicy {
+                max_retries: opts.max_retries,
+                call_timeout_seconds: opts.llm_timeout,
+                ..Default::default()
+            },
+            req.seed,
+        );
+        let sched = LlmScheduler::new(&llm, self.inner.cache.clone())
+            .with_concurrency(opts.llm_concurrency)
+            .with_decode_tag(format!("seed={}", req.seed));
+
+        let collect = CollectOptions { refine: req.refine, ..Default::default() };
+        let (entry, prepared, _report) = catdb_collect(&dataset, &target, task, &sched, &collect)
+            .map_err(|e| format!("collection failed: {e}"))?;
+
+        let cfg = CatDbConfig {
+            prompt: PromptOptions { beta: req.beta.max(1), alpha: req.alpha, ..Default::default() },
+            seed: req.seed,
+            llm_concurrency: opts.llm_concurrency,
+            llm_cache: Some(self.inner.cache.clone()),
+            ..Default::default()
+        };
+        let result = catdb_pipgen(&entry, &prepared, &sched, &cfg)
+            .map_err(|e| format!("generation failed: {e}"))?;
+
+        let measured = measured_cost(&sink.snapshot());
+        let outcome = &result.results;
+        Ok(GenerateResponse {
+            pipeline: result.code.clone(),
+            success: outcome.success,
+            handcrafted: outcome.handcrafted,
+            attempts: outcome.attempts,
+            train_metric: outcome.evaluation.as_ref().map(|e| format!("{:?}", e.train)),
+            test_metric: outcome.evaluation.as_ref().map(|e| format!("{:?}", e.test)),
+            billed_tokens: measured.total_tokens(),
+            llm_calls: measured.llm_calls,
+            cache_hits: measured.cache_hits,
+            cache_saved_tokens: measured.cache_saved_tokens,
+            tenant_charged_tokens: 0, // stamped by the handler post-charge
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{shutdown, submit};
+    use crate::protocol::GenerateRequest;
+
+    fn wifi_request(tenant: &str) -> GenerateRequest {
+        GenerateRequest::new(
+            tenant,
+            DatasetSpec::Builtin { name: "wifi".into(), rows: 120, seed: 7 },
+        )
+    }
+
+    #[test]
+    fn in_proc_round_trip_generates_a_pipeline_and_bills_the_tenant() {
+        let server = Server::new(ServeOptions::default());
+        let mut stream = server.connect_in_proc();
+        let outcome = submit(&mut stream, &wifi_request("acme"), |_, _| {}).unwrap();
+        let resp = outcome.response().expect("request served");
+        assert!(!resp.pipeline.is_empty());
+        assert!(resp.billed_tokens > 0);
+        assert_eq!(resp.tenant_charged_tokens, resp.billed_tokens as u64);
+        assert!(server.admission().charged_total("acme") > 0.0);
+    }
+
+    #[test]
+    fn streamed_requests_deliver_progress_frames_before_the_terminal() {
+        let server = Server::new(ServeOptions::default());
+        let mut stream = server.connect_in_proc();
+        let mut req = wifi_request("acme");
+        req.stream = true;
+        let mut seen = 0usize;
+        let outcome = submit(&mut stream, &req, |_, _| seen += 1).unwrap();
+        assert!(outcome.response().is_some());
+        assert!(seen > 0, "streaming request produced no progress frames");
+    }
+
+    #[test]
+    fn warm_cache_pass_is_zero_billed() {
+        let server = Server::new(ServeOptions::default());
+        let cold = {
+            let mut s = server.connect_in_proc();
+            submit(&mut s, &wifi_request("a"), |_, _| {}).unwrap()
+        };
+        let warm = {
+            let mut s = server.connect_in_proc();
+            submit(&mut s, &wifi_request("b"), |_, _| {}).unwrap()
+        };
+        let (cold, warm) = (cold.response().unwrap(), warm.response().unwrap());
+        assert_eq!(cold.pipeline, warm.pipeline, "shared cache changed the pipeline");
+        assert!(cold.billed_tokens > 0);
+        assert_eq!(warm.billed_tokens, 0, "warm pass billed tokens: {}", warm.billed_tokens);
+        assert!(warm.cache_hits >= cold.llm_calls);
+    }
+
+    #[test]
+    fn unknown_model_yields_a_structured_error_frame() {
+        let server = Server::new(ServeOptions::default());
+        let mut stream = server.connect_in_proc();
+        let mut req = wifi_request("acme");
+        req.model = "gpt-nonexistent".into();
+        let outcome = submit(&mut stream, &req, |_, _| {}).unwrap();
+        match outcome {
+            crate::client::Outcome::Error(message) => assert!(message.contains("unknown model")),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_requires_the_configured_token() {
+        let opts =
+            ServeOptions { shutdown_token: Some("sesame".into()), ..ServeOptions::default() };
+        let server = Server::new(opts);
+        let mut stream = server.connect_in_proc();
+        assert!(!shutdown(&mut stream, "wrong").unwrap());
+        assert!(!server.stopping());
+        let mut stream = server.connect_in_proc();
+        assert!(shutdown(&mut stream, "sesame").unwrap());
+        assert!(server.stopping());
+    }
+
+    #[test]
+    fn shutdown_is_refused_when_no_token_is_configured() {
+        let server = Server::new(ServeOptions::default());
+        let mut stream = server.connect_in_proc();
+        assert!(!shutdown(&mut stream, "").unwrap());
+        assert!(!server.stopping());
+    }
+}

@@ -1,0 +1,163 @@
+//! Byte-stream transports for the serve protocol.
+//!
+//! The daemon speaks length-prefixed JSON over anything that implements
+//! `Read + Write`. Production uses `std::net::TcpStream`; tests and
+//! benches use [`duplex`], an in-process bidirectional pipe with the
+//! same blocking semantics (reads park until bytes or EOF arrive), so
+//! the whole protocol stack is exercised without sockets — and without
+//! network flakiness — through the exact code path TCP takes.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// One direction of a duplex pipe: an unbounded byte queue plus a
+/// closed flag, with blocking reads.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState { buf: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write(&self, bytes: &[u8]) -> io::Result<usize> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        s.buf.extend(bytes);
+        drop(s);
+        self.readable.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock();
+        while s.buf.is_empty() {
+            if s.closed {
+                return Ok(0); // EOF
+            }
+            self.readable.wait(&mut s);
+        }
+        let n = out.len().min(s.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = s.buf.pop_front().expect("n bounded by buffer length");
+        }
+        Ok(n)
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-process bidirectional byte stream. Dropping an end
+/// closes both directions, so the peer's blocked reads observe EOF
+/// instead of hanging forever.
+pub struct DuplexStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// A connected pair of in-process streams: bytes written to one end are
+/// read from the other, in order, with blocking reads and EOF on drop.
+pub fn duplex() -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    (
+        DuplexStream { rx: b_to_a.clone(), tx: a_to_b.clone() },
+        DuplexStream { rx: a_to_b, tx: b_to_a },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"hello ").unwrap();
+        a.write_all(b"world").unwrap();
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        b.write_all(b"ack").unwrap();
+        let mut buf = [0u8; 3];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ack");
+    }
+
+    #[test]
+    fn dropping_one_end_gives_the_peer_eof() {
+        let (mut a, b) = duplex();
+        drop(b);
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf).unwrap(), 0);
+        assert!(a.write_all(b"late").is_err());
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_write_from_another_thread() {
+        let (mut a, mut b) = duplex();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        a.write_all(b"burst").unwrap();
+        assert_eq!(&reader.join().unwrap(), b"burst");
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_peer_drop() {
+        let (a, mut b) = duplex();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            b.read(&mut buf).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(a);
+        assert_eq!(reader.join().unwrap(), 0);
+    }
+}

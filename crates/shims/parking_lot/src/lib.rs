@@ -1,13 +1,38 @@
 //! Offline shim for the subset of `parking_lot` this workspace uses:
-//! `Mutex` and `RwLock` with the non-poisoning API. Backed by `std::sync`;
-//! a poisoned std lock (a panic while held) is transparently recovered,
-//! matching parking_lot's "no poisoning" semantics.
+//! `Mutex`, `RwLock`, and `Condvar` with the non-poisoning API. Backed
+//! by `std::sync`; a poisoned std lock (a panic while held) is
+//! transparently recovered, matching parking_lot's "no poisoning"
+//! semantics.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
     inner: sync::Mutex<T>,
+}
+
+/// Guard newtype over `std::sync::MutexGuard`. The indirection exists so
+/// [`Condvar::wait`] can take `&mut MutexGuard` (parking_lot's signature)
+/// while std's `Condvar::wait` consumes the guard by value: the inner
+/// guard is held in an `Option` that `wait` briefly takes from.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside Condvar::wait")
+    }
 }
 
 impl<T> Mutex<T> {
@@ -22,11 +47,38 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Block until notified, releasing the guard's lock while parked and
+    /// reacquiring it before returning. Spurious wakeups are possible,
+    /// as with std and parking_lot — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present outside Condvar::wait");
+        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 

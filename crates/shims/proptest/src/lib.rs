@@ -185,6 +185,78 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+    for (A, B, C, D, E, F)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+            self.5.sample(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy, G: Strategy>
+    Strategy for (A, B, C, D, E, F, G)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value, G::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+            self.5.sample(rng),
+            self.6.sample(rng),
+        )
+    }
+}
+
+impl<
+        A: Strategy,
+        B: Strategy,
+        C: Strategy,
+        D: Strategy,
+        E: Strategy,
+        F: Strategy,
+        G: Strategy,
+        H: Strategy,
+    > Strategy for (A, B, C, D, E, F, G, H)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value, G::Value, H::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+            self.5.sample(rng),
+            self.6.sample(rng),
+            self.7.sample(rng),
+        )
+    }
+}
+
 // ---------------------------------------------------------------------------
 // String strategies from regex-subset patterns.
 // ---------------------------------------------------------------------------

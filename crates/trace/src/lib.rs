@@ -146,11 +146,19 @@ struct SinkState {
     counters: BTreeMap<String, f64>,
 }
 
+/// Callback invoked once per recorded event, after it has been appended
+/// to the sink's stream (and with the sink's internal lock released, so
+/// an observer may itself emit, snapshot, or block on I/O).
+pub type EventObserver = Box<dyn Fn(&EventRecord) + Send + Sync>;
+
 /// Thread-safe recorder. Cheap to share (`Arc<TraceSink>`); all mutation
 /// goes through one short-lived `parking_lot` lock.
 pub struct TraceSink {
     epoch: Instant,
     state: Mutex<SinkState>,
+    /// Live-streaming hook: the serve daemon forwards each event to the
+    /// requesting client as it occurs instead of waiting for a snapshot.
+    observer: Option<EventObserver>,
 }
 
 impl Default for TraceSink {
@@ -170,7 +178,14 @@ impl TraceSink {
                 events: Vec::new(),
                 counters: BTreeMap::new(),
             }),
+            observer: None,
         }
+    }
+
+    /// A sink that additionally calls `observer` for every recorded
+    /// event, in recording order, outside the sink's internal lock.
+    pub fn with_observer(observer: impl Fn(&EventRecord) + Send + Sync + 'static) -> TraceSink {
+        TraceSink { observer: Some(Box::new(observer)), ..TraceSink::new() }
     }
 
     fn now_micros(&self) -> u64 {
@@ -183,7 +198,12 @@ impl TraceSink {
         let mut s = self.state.lock();
         let seq = s.events.len() as u64;
         let span = s.stack.last().copied();
-        s.events.push(EventRecord { seq, span, at_micros: at, event });
+        let record = EventRecord { seq, span, at_micros: at, event };
+        s.events.push(record.clone());
+        drop(s);
+        if let Some(observer) = &self.observer {
+            observer(&record);
+        }
     }
 
     /// Open a span as a child of the innermost open span. Returns its id.
@@ -777,6 +797,46 @@ mod tests {
         assert_eq!(t.spans_named("execute_pipeline").len(), 2);
         let last = t.last_span_seconds("execute_pipeline").unwrap();
         assert!(last >= t.spans[0].duration_micros().unwrap() as f64 / 1e6);
+    }
+
+    #[test]
+    fn observer_sees_each_event_in_order_and_may_reenter() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = seen.clone();
+            Arc::new(TraceSink::with_observer(move |record| {
+                seen.lock().push((record.seq, record.event.kind()));
+            }))
+        };
+        let span = sink.begin_span("session");
+        sink.emit(llm_event(1));
+        sink.emit(TraceEvent::PromptBuilt { task: "pipeline_generation".into(), tokens: 10 });
+        sink.end_span(span);
+        let order = seen.lock().clone();
+        assert_eq!(order, vec![(0, "llm_call"), (1, "prompt_built")]);
+        // The recorded stream is unaffected by observation.
+        let t = sink.snapshot();
+        assert_eq!(t.events.len(), 2);
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn observer_reentrancy_does_not_deadlock() {
+        // An observer that snapshots the *same* sink would deadlock if the
+        // state lock were still held during the callback; pin the release.
+        let slot: Arc<Mutex<Option<Arc<TraceSink>>>> = Arc::new(Mutex::new(None));
+        let sink = {
+            let slot = slot.clone();
+            Arc::new(TraceSink::with_observer(move |_| {
+                if let Some(sink) = slot.lock().clone() {
+                    let _ = sink.snapshot();
+                }
+            }))
+        };
+        *slot.lock() = Some(sink.clone());
+        sink.emit(llm_event(1));
+        assert_eq!(sink.snapshot().events.len(), 1);
+        *slot.lock() = None;
     }
 
     #[test]

@@ -16,6 +16,7 @@ cd "$(dirname "$0")/.."
 
 BUDGET_MS="${1:-120}"
 OUT="results/BENCH_perf.json"
+mkdir -p results
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -28,6 +29,14 @@ echo "$SMOKE_LINE"
 SMOKE_HITS="${SMOKE_LINE#*hits=}"; SMOKE_HITS="${SMOKE_HITS%% *}"
 SMOKE_WARM_TOKENS="${SMOKE_LINE#*warm_tokens=}"; SMOKE_WARM_TOKENS="${SMOKE_WARM_TOKENS%% *}"
 
+echo "== serve roundtrip (in-process transport, cold vs warm cache) =="
+SERVE_LINE="$(cargo run -q -p catdb-serve --bin serve_roundtrip | tail -1)"
+echo "$SERVE_LINE"
+SERVE_CLIENTS="${SERVE_LINE#*clients=}"; SERVE_CLIENTS="${SERVE_CLIENTS%% *}"
+SERVE_COLD_MS="${SERVE_LINE#*cold_batch_ms=}"; SERVE_COLD_MS="${SERVE_COLD_MS%% *}"
+SERVE_WARM_MS="${SERVE_LINE#*warm_batch_ms=}"; SERVE_WARM_MS="${SERVE_WARM_MS%% *}"
+SERVE_WARM_RPS="${SERVE_LINE#*warm_rps=}"; SERVE_WARM_RPS="${SERVE_WARM_RPS%% *}"
+
 # Pre-PR baselines (300 ms budget, same machine class): mean ms/iter before
 # the shared runtime, profile memo, and incremental tree-split scan landed.
 BASE_PROFILING_MS=240.818
@@ -35,7 +44,9 @@ BASE_FOREST_MS=29.803
 
 awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     -v base_prof="$BASE_PROFILING_MS" -v base_forest="$BASE_FOREST_MS" \
-    -v smoke_hits="$SMOKE_HITS" -v smoke_warm_tokens="$SMOKE_WARM_TOKENS" '
+    -v smoke_hits="$SMOKE_HITS" -v smoke_warm_tokens="$SMOKE_WARM_TOKENS" \
+    -v serve_clients="$SERVE_CLIENTS" -v serve_cold_ms="$SERVE_COLD_MS" \
+    -v serve_warm_ms="$SERVE_WARM_MS" -v serve_warm_rps="$SERVE_WARM_RPS" '
   # Convert a criterion duration token ("4.508ms", "127.3µs", "1.2s") to ms.
   function to_ms(s,  v) {
     v = s; gsub(/[^0-9.]/, "", v); v += 0
@@ -100,6 +111,13 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "    },\n" >> out
     printf "    \"csv/write_roundtrip_50k_mixed\": {\n" >> out
     printf "      \"median_ms\": %.3f\n", csv_rt_ms >> out
+    printf "    },\n" >> out
+    printf "    \"serve/roundtrip_in_proc\": {\n" >> out
+    printf "      \"clients\": %d,\n", serve_clients >> out
+    printf "      \"cold_batch_ms\": %.3f,\n", serve_cold_ms >> out
+    printf "      \"warm_batch_ms\": %.3f,\n", serve_warm_ms >> out
+    printf "      \"warm_req_per_sec\": %.1f,\n", serve_warm_rps >> out
+    printf "      \"speedup\": %.2f\n", serve_cold_ms / serve_warm_ms >> out
     printf "    }\n" >> out
     printf "  }\n" >> out
     printf "}\n" >> out
@@ -108,6 +126,7 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "chain     : %.3f ms seq vs %.3f ms conc4 (%.2fx)\n", chain_seq_ms, chain_conc_ms, chain_seq_ms / chain_conc_ms
     printf "cache     : %.4f ms miss vs %.4f ms hit (%.2fx); warm smoke %d hit(s), %d billed token(s)\n", cache_cold_ms, cache_warm_ms, cache_cold_ms / cache_warm_ms, smoke_hits, smoke_warm_tokens
     printf "csv       : %.3f ms ingest vs %.3f ms seed reader (%.2fx); %.3f ms write+read roundtrip\n", csv_ingest_ms, csv_seed_ms, csv_seed_ms / csv_ingest_ms, csv_rt_ms
+    printf "serve     : %d clients, %.1f ms cold vs %.1f ms warm batch (%.1f req/sec warm)\n", serve_clients, serve_cold_ms, serve_warm_ms, serve_warm_rps
   }
 ' "$RAW"
 

@@ -20,7 +20,7 @@ trap 'rm -rf "$TMP"' EXIT
 } > "$TMP/smoke.csv"
 
 run() {
-  cargo run -q -p catdb-core --bin catdb -- run \
+  cargo run -q -p catdb-serve --bin catdb -- run \
     --csv "$TMP/smoke.csv" --target label --task binary \
     --beta 3 --seed 7 --llm-concurrency 4 --llm-cache "$TMP/cache.jsonl" \
     > "$1" 2> "$2"

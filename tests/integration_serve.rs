@@ -1,0 +1,332 @@
+//! Serve-daemon integration tests: N concurrent clients against one
+//! shared-state server must reproduce the sequential one-shot path
+//! byte-for-byte, warm passes must ride the shared completion cache for
+//! free, admission control must shed deterministically under a seeded
+//! storm, and the wire protocol must reject arbitrary garbage with
+//! structured errors — never a panic.
+
+use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
+use catdb_data::GenOptions;
+use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
+use catdb_serve::protocol::{decode_frame, encode_frame, read_frame, MAX_FRAME_BYTES};
+use catdb_serve::server::Gate;
+use catdb_serve::{
+    drive_concurrent, submit, AdmissionOptions, BudgetPolicy, ClientFrame, DatasetSpec,
+    GenerateRequest, ManualClock, Outcome, ServeOptions, Server, ServerFrame, WireError,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const DATA_SEED: u64 = 7;
+const LLM_SEED: u64 = 42;
+
+fn request(tenant: &str) -> GenerateRequest {
+    let mut req = GenerateRequest::new(
+        tenant,
+        DatasetSpec::Builtin { name: "wifi".into(), rows: 120, seed: DATA_SEED },
+    );
+    req.seed = LLM_SEED;
+    req
+}
+
+/// The sequential one-shot reference: the exact `catdb run` library path
+/// with a bare resilient client and no shared cache.
+fn reference_pipeline() -> String {
+    let g =
+        catdb_data::generate("wifi", &GenOptions { max_rows: 120, scale: 1.0, seed: DATA_SEED })
+            .expect("builtin dataset");
+    let llm = ResilientClient::simulated(
+        ModelProfile::by_name("gpt-4o").unwrap(),
+        FaultSpec::from_rate(0.0),
+        RetryPolicy::default(),
+        LLM_SEED,
+    );
+    let opts = CollectOptions { refine: true, ..Default::default() };
+    let (entry, prepared, _) =
+        catdb_collect(&g.dataset, &g.target, g.task, &llm, &opts).expect("collect");
+    let cfg = CatDbConfig {
+        prompt: PromptOptions { beta: 1, alpha: None, ..Default::default() },
+        seed: LLM_SEED,
+        ..Default::default()
+    };
+    catdb_pipgen(&entry, &prepared, &llm, &cfg).expect("pipgen").code
+}
+
+fn pipelines(outcomes: Vec<Result<Outcome, WireError>>) -> Vec<String> {
+    outcomes
+        .into_iter()
+        .map(|o| match o.expect("transport ok") {
+            Outcome::Done(resp) => resp.pipeline,
+            other => panic!("expected Done, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_are_byte_identical_to_the_sequential_reference() {
+    let reference = reference_pipeline();
+    for n in [1usize, 4, 8] {
+        // Fresh server per fan-out width: every width starts cold.
+        let server = Server::new(ServeOptions::default());
+        let requests: Vec<GenerateRequest> =
+            (0..n).map(|i| request(&format!("tenant{i}"))).collect();
+        let out = drive_concurrent(|| server.connect_in_proc(), &requests);
+        for (i, pipeline) in pipelines(out).iter().enumerate() {
+            assert_eq!(
+                pipeline, &reference,
+                "client {i} of {n} diverged from the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_pass_hits_the_shared_cache_and_bills_zero() {
+    let server = Server::new(ServeOptions::default());
+    let requests: Vec<GenerateRequest> = (0..4).map(|_| request("acme")).collect();
+
+    let cold = drive_concurrent(|| server.connect_in_proc(), &requests);
+    let cold: Vec<_> = cold
+        .into_iter()
+        .map(|o| match o.unwrap() {
+            Outcome::Done(resp) => resp,
+            other => panic!("cold pass failed: {other:?}"),
+        })
+        .collect();
+    let stats_cold = server.cache().stats();
+    assert!(stats_cold.insertions > 0, "cold pass populated no cache entries");
+
+    let warm = drive_concurrent(|| server.connect_in_proc(), &requests);
+    let warm: Vec<_> = warm
+        .into_iter()
+        .map(|o| match o.unwrap() {
+            Outcome::Done(resp) => resp,
+            other => panic!("warm pass failed: {other:?}"),
+        })
+        .collect();
+
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(c.pipeline, w.pipeline, "client {i}: warm pipeline diverged");
+        assert_eq!(w.billed_tokens, 0, "client {i}: warm pass billed tokens");
+        assert_eq!(w.llm_calls, 0, "client {i}: warm pass hit the LLM");
+        assert!(w.cache_hits > 0, "client {i}: warm pass recorded no cache hits");
+    }
+    let stats_warm = server.cache().stats();
+    assert!(
+        stats_warm.hits > stats_cold.hits,
+        "warm pass did not increase shared-cache hits ({} -> {})",
+        stats_cold.hits,
+        stats_warm.hits
+    );
+    assert_eq!(
+        stats_warm.insertions, stats_cold.insertions,
+        "warm pass inserted new cache entries"
+    );
+}
+
+#[test]
+fn seeded_storm_sheds_exactly_the_over_capacity_clients() {
+    // Two slots, no queue, and a closed gate: admitted handlers park
+    // without finishing, so of 8 clients exactly 2 hold slots and
+    // exactly 6 are shed — independent of thread scheduling.
+    let gate = Gate::closed();
+    let server = Server::new(ServeOptions {
+        admission: AdmissionOptions { max_inflight: 2, max_queued: 0, ..Default::default() },
+        gate: Some(gate.clone()),
+        ..Default::default()
+    });
+
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let server = server.clone();
+                let rejected = rejected.clone();
+                let gate = gate.clone();
+                scope.spawn(move || {
+                    let mut stream = server.connect_in_proc();
+                    let outcome =
+                        submit(&mut stream, &request(&format!("t{i}")), |_, _| {}).unwrap();
+                    if matches!(outcome, Outcome::Rejected(_)) {
+                        // The last shed client releases the survivors.
+                        if rejected.fetch_add(1, Ordering::SeqCst) + 1 == 6 {
+                            gate.open();
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+
+    let done: Vec<_> = outcomes.iter().filter_map(|o| o.response()).collect();
+    let shed: Vec<_> = outcomes.iter().filter_map(|o| o.rejected()).collect();
+    assert_eq!(done.len(), 2, "exactly the slot-holders finish");
+    assert_eq!(shed.len(), 6, "exactly the over-capacity clients are shed");
+    let reference = reference_pipeline();
+    for resp in &done {
+        assert_eq!(resp.pipeline, reference, "survivor pipeline diverged under storm");
+    }
+    for s in &shed {
+        assert_eq!(s.reason, "over_capacity");
+        assert!(
+            s.retry_after_seconds >= 1.0 && s.retry_after_seconds.is_finite(),
+            "retry-after must be a finite positive hint, got {}",
+            s.retry_after_seconds
+        );
+    }
+}
+
+#[test]
+fn over_budget_tenant_gets_retry_after_while_others_proceed() {
+    let clock = Arc::new(ManualClock::default());
+    let server = Server::with_clock(
+        ServeOptions {
+            admission: AdmissionOptions {
+                budget: Some(BudgetPolicy {
+                    capacity_tokens: 500.0,
+                    refill_tokens_per_second: 100.0,
+                }),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        clock.clone(),
+    );
+
+    // First request bills well past the 500-token budget.
+    let mut stream = server.connect_in_proc();
+    let first = submit(&mut stream, &request("greedy"), |_, _| {}).unwrap();
+    let first = first.response().expect("fresh tenant served");
+    assert!(first.billed_tokens > 500, "test premise: run exceeds budget");
+
+    // Same tenant again: shed with a refill-derived structured hint.
+    let mut stream = server.connect_in_proc();
+    let again = submit(&mut stream, &request("greedy"), |_, _| {}).unwrap();
+    let shed = again.rejected().expect("over-budget tenant shed");
+    assert_eq!(shed.reason, "over_budget");
+    assert_eq!(shed.tenant, "greedy");
+    assert!(shed.retry_after_seconds > 0.0 && shed.retry_after_seconds.is_finite());
+
+    // An unrelated tenant is untouched by greedy's debt (and free: the
+    // greedy run already warmed the shared cache).
+    let mut stream = server.connect_in_proc();
+    let other = submit(&mut stream, &request("modest"), |_, _| {}).unwrap();
+    assert!(other.response().is_some(), "other tenants must proceed");
+
+    // After the debt decays, greedy is admitted again.
+    clock.advance(shed.retry_after_seconds + 1.0);
+    let mut stream = server.connect_in_proc();
+    let recovered = submit(&mut stream, &request("greedy"), |_, _| {}).unwrap();
+    assert!(recovered.response().is_some(), "tenant must recover after refill");
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol properties
+// ---------------------------------------------------------------------------
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    prop_oneof![Just(false), Just(true)]
+}
+
+/// Wire integers live in JSON numbers, so exact round-trips hold up to
+/// 2^53 (the f64 / JavaScript interop floor — see `protocol` docs).
+const MAX_WIRE_INT: u64 = 1 << 53;
+
+fn arb_dataset() -> impl Strategy<Value = DatasetSpec> {
+    prop_oneof![
+        ("[a-z]{1,12}", 1usize..10_000, 0u64..MAX_WIRE_INT)
+            .prop_map(|(name, rows, seed)| DatasetSpec::Builtin { name, rows, seed }),
+        "[ -~]{0,40}".prop_map(|path| DatasetSpec::CsvPath { path }),
+        ("[a-z]{1,8}", "[ -~\n]{0,200}")
+            .prop_map(|(name, text)| DatasetSpec::CsvInline { name, text }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = GenerateRequest> {
+    (
+        "[a-z0-9_-]{1,16}",
+        arb_dataset(),
+        prop_oneof![Just(None), "[a-z_]{1,10}".prop_map(Some)],
+        0u64..MAX_WIRE_INT,
+        1usize..8,
+        prop_oneof![Just(None), (1usize..30).prop_map(Some)],
+        arb_bool(),
+        arb_bool(),
+    )
+        .prop_map(|(tenant, dataset, target, seed, beta, alpha, refine, stream)| {
+            let mut req = GenerateRequest::new(tenant, dataset);
+            req.target = target;
+            req.seed = seed;
+            req.beta = beta;
+            req.alpha = alpha;
+            req.refine = refine;
+            req.stream = stream;
+            req
+        })
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        arb_request().prop_map(ClientFrame::Submit),
+        "[ -~]{0,24}".prop_map(|token| ClientFrame::Shutdown { token }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn client_frames_survive_encode_decode(frame in arb_client_frame()) {
+        let bytes = encode_frame(&frame).unwrap();
+        let back: ClientFrame = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn truncated_frames_yield_structured_errors(
+        frame in arb_client_frame(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&frame).unwrap();
+        let cut = (((bytes.len() as f64) * cut_fraction) as usize).min(bytes.len() - 1);
+        let mut reader = &bytes[..cut];
+        let err = read_frame::<ClientFrame>(&mut reader).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::Closed | WireError::Truncated { .. }),
+            "truncation at {cut}/{} must read as closed or truncated, got {err:?}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn garbled_frames_never_panic(
+        frame in arb_client_frame(),
+        flip_at in 0usize..4096,
+        flip_with in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&frame).unwrap();
+        let at = 4 + flip_at % (bytes.len() - 4); // corrupt payload, not length
+        bytes[at] ^= flip_with;
+        // Any result is allowed except a panic; a decoded frame can only
+        // come from a still-valid JSON payload.
+        let _ = decode_frame::<ClientFrame>(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        let mut reader = &bytes[..];
+        let _ = read_frame::<ServerFrame>(&mut reader);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_up_front(extra in 1u64..u32::MAX as u64) {
+        let len = (MAX_FRAME_BYTES as u64).saturating_add(extra).min(u32::MAX as u64) as u32;
+        let bytes = len.to_le_bytes().to_vec();
+        let mut reader = &bytes[..];
+        let err = read_frame::<ClientFrame>(&mut reader).unwrap_err();
+        prop_assert!(matches!(err, WireError::FrameTooLarge { .. }), "got {err:?}");
+    }
+}
