@@ -74,6 +74,12 @@ fn main() {
                 ("aide", Acc::default()),
                 ("autogen", Acc::default()),
             ];
+            // With `--route` an extra row runs CatDB through the per-role
+            // routed transport, so routed vs uniform cost reads off one
+            // table.
+            if args.route.is_some() {
+                accs.push(("catdb_routed", Acc::default()));
+            }
             for i in 0..iterations {
                 let seed = args.seed + 31 * i as u64;
                 let llm = llm_for(llm_name, seed);
@@ -120,6 +126,10 @@ fn main() {
                     )
                 });
                 accs[4].1.add(&t, b.llm_seconds, b.elapsed_seconds);
+                if let Some(llm) = args.routed_llm(llm_name, seed) {
+                    let (o, t) = traced(|| run_catdb(&p, &llm, 1, seed));
+                    accs[5].1.add(&t, o.llm_seconds, o.elapsed_seconds);
+                }
             }
             for (system, acc) in &accs {
                 rows.push(acc.row(name, llm_name, system));
@@ -144,5 +154,8 @@ fn main() {
             &rows,
         )
     );
-    save_results("fig12_cost", &json!({ "iterations": iterations, "records": records }));
+    save_results(
+        "fig12_cost",
+        &json!({ "iterations": iterations, "route": args.route, "records": records }),
+    );
 }

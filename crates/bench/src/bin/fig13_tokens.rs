@@ -26,6 +26,45 @@ const DATASETS: [&str; 10] = [
     "gas-drift",
 ];
 
+/// Split one run's trace into generation vs error-management tokens and
+/// append the table row + JSON record. Each LlmCall is attributed to the
+/// task of the PromptBuilt that preceded it.
+fn push_split(
+    rows: &mut Vec<Vec<String>>,
+    records: &mut Vec<serde_json::Value>,
+    dataset: &str,
+    llm_name: &str,
+    system: &str,
+    trace: &catdb_trace::Trace,
+) {
+    let by_task = trace.llm_tokens_by_task();
+    let err_tokens: usize = by_task
+        .iter()
+        .filter(|(task, _)| task.as_str() == "error_fix")
+        .map(|(_, (i, o))| i + o)
+        .sum();
+    let (total_in, total_out) = trace.total_llm_tokens();
+    let total = total_in + total_out;
+    let gen_tokens = total - err_tokens;
+    rows.push(vec![
+        dataset.to_string(),
+        llm_name.to_string(),
+        system.to_string(),
+        gen_tokens.to_string(),
+        err_tokens.to_string(),
+        total.to_string(),
+    ]);
+    records.push(json!({
+        "dataset": dataset, "llm": llm_name, "system": system,
+        "generation_tokens": gen_tokens,
+        "error_tokens": err_tokens,
+        "total_tokens": total,
+        "error_iterations": trace.error_iteration_count(),
+        "cache_hits": trace.cache_hit_count(),
+        "cache_saved_tokens": trace.cache_saved_tokens(),
+    }));
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let llms = if args.quick { vec!["gemini-1.5-pro"] } else { paper_llms() };
@@ -39,35 +78,11 @@ fn main() {
             for (system, beta) in [("catdb", 1usize), ("catdb_chain", 3)] {
                 let llm = llm_for(llm_name, args.seed);
                 let (_o, trace) = run_catdb_traced(&p, &llm, beta, args.seed);
-                // The generation/error split comes from the trace: each
-                // LlmCall is attributed to the task of the PromptBuilt
-                // that preceded it.
-                let by_task = trace.llm_tokens_by_task();
-                let err_tokens: usize = by_task
-                    .iter()
-                    .filter(|(task, _)| task.as_str() == "error_fix")
-                    .map(|(_, (i, o))| i + o)
-                    .sum();
-                let (total_in, total_out) = trace.total_llm_tokens();
-                let total = total_in + total_out;
-                let gen_tokens = total - err_tokens;
-                rows.push(vec![
-                    name.to_string(),
-                    llm_name.to_string(),
-                    system.to_string(),
-                    gen_tokens.to_string(),
-                    err_tokens.to_string(),
-                    total.to_string(),
-                ]);
-                records.push(json!({
-                    "dataset": name, "llm": llm_name, "system": system,
-                    "generation_tokens": gen_tokens,
-                    "error_tokens": err_tokens,
-                    "total_tokens": total,
-                    "error_iterations": trace.error_iteration_count(),
-                    "cache_hits": trace.cache_hit_count(),
-                    "cache_saved_tokens": trace.cache_saved_tokens(),
-                }));
+                push_split(&mut rows, &mut records, name, llm_name, system, &trace);
+            }
+            if let Some(llm) = args.routed_llm(llm_name, args.seed) {
+                let (_o, trace) = run_catdb_traced(&p, &llm, 1, args.seed);
+                push_split(&mut rows, &mut records, name, llm_name, "catdb_routed", &trace);
             }
             // CAAFE total for comparison (single ledger bucket).
             let llm = llm_for(llm_name, args.seed);
@@ -106,5 +121,5 @@ fn main() {
             &rows,
         )
     );
-    save_results("fig13_tokens", &json!({ "records": records }));
+    save_results("fig13_tokens", &json!({ "route": args.route, "records": records }));
 }

@@ -9,7 +9,10 @@
 use catdb_catalog::CatalogEntry;
 use catdb_core::{generate_pipeline, CatDbConfig, GenerationOutcome, PromptOptions};
 use catdb_data::{GenOptions, GeneratedDataset};
-use catdb_llm::{FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, SimLlm};
+use catdb_llm::{
+    resolve_route, FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, RoutedLlm,
+    SimLlm, DEFAULT_ROUTE_TARGET_ACCURACY,
+};
 use catdb_ml::TaskKind;
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_sched::{CompletionCache, DEFAULT_LLM_CONCURRENCY};
@@ -104,6 +107,30 @@ pub fn resilient_llm_for(
     )
 }
 
+/// Build the per-role routed transport for a bench run: one simulated
+/// resilient backend per distinct model in the route spec, all sharing
+/// `seed` so routed runs stay byte-deterministic. `route` accepts the
+/// same grammar as `catdb run --route` (including `auto`).
+pub fn routed_llm_for(
+    default_model: &str,
+    route: &str,
+    target_accuracy: f64,
+    seed: u64,
+    fault_rate: f64,
+    max_retries: usize,
+    llm_timeout: Option<f64>,
+) -> Result<RoutedLlm, catdb_llm::RouteError> {
+    let profile = ModelProfile::by_name(default_model).unwrap_or_else(ModelProfile::gpt_4o);
+    let spec = resolve_route(route, target_accuracy)?;
+    Ok(RoutedLlm::simulated(
+        &profile,
+        &spec,
+        FaultSpec::from_rate(fault_rate),
+        RetryPolicy { max_retries, call_timeout_seconds: llm_timeout, ..Default::default() },
+        seed,
+    ))
+}
+
 /// Run CatDB (β = 1) or CatDB Chain (β > 1) on a prepared dataset.
 pub fn run_catdb(
     p: &Prepared,
@@ -184,12 +211,18 @@ pub struct BenchArgs {
     pub llm_timeout: Option<f64>,
     /// Concurrent in-flight LLM requests for the chain's fan-out stages.
     pub llm_concurrency: usize,
+    /// Per-role model routing spec (`refine=llama,fix=mini` or `auto`);
+    /// when set, figure binaries add a `catdb_routed` system row.
+    pub route: Option<String>,
+    /// End-to-end accuracy target for `--route auto`.
+    pub route_target_accuracy: f64,
 }
 
 impl BenchArgs {
     /// Parse `--max-rows N`, `--seed N`, `--quick`, `--smoke`,
     /// `--fault-rate F`, `--max-retries N`, `--llm-timeout S`,
-    /// `--llm-concurrency N` from argv.
+    /// `--llm-concurrency N`, `--route SPEC|auto`,
+    /// `--route-target-accuracy F` from argv.
     pub fn parse() -> BenchArgs {
         let mut args = BenchArgs {
             max_rows: 2_000,
@@ -200,6 +233,8 @@ impl BenchArgs {
             max_retries: 3,
             llm_timeout: None,
             llm_concurrency: DEFAULT_LLM_CONCURRENCY,
+            route: None,
+            route_target_accuracy: DEFAULT_ROUTE_TARGET_ACCURACY,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -241,6 +276,18 @@ impl BenchArgs {
                         i += 1;
                     }
                 }
+                "--route" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        args.route = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--route-target-accuracy" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.route_target_accuracy = v;
+                        i += 1;
+                    }
+                }
                 "--quick" => args.quick = true,
                 "--smoke" => {
                     args.smoke = true;
@@ -252,6 +299,27 @@ impl BenchArgs {
             i += 1;
         }
         args
+    }
+
+    /// The routed LLM for this run's `--route`, or `None` when unrouted.
+    /// A malformed spec aborts the binary with the structured parse error
+    /// (bench runs should fail loudly, not silently fall back).
+    pub fn routed_llm(&self, default_model: &str, seed: u64) -> Option<RoutedLlm> {
+        self.route.as_ref().map(|route| {
+            routed_llm_for(
+                default_model,
+                route,
+                self.route_target_accuracy,
+                seed,
+                self.fault_rate,
+                self.max_retries,
+                self.llm_timeout,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("bad --route '{route}': {e}");
+                std::process::exit(2);
+            })
+        })
     }
 
     pub fn gen_options(&self) -> GenOptions {
@@ -369,6 +437,15 @@ mod tests {
         );
         assert!(text.contains("=== T ==="));
         assert!(text.contains("333"));
+    }
+
+    #[test]
+    fn routed_llm_for_builds_from_spec_and_rejects_garbage() {
+        let llm = routed_llm_for("gpt-4o", "refine=llama,fix=mini", 0.95, 7, 0.0, 3, None)
+            .expect("valid spec");
+        use catdb_llm::LanguageModel;
+        assert_eq!(llm.model_name(), "gpt-4o");
+        assert!(routed_llm_for("gpt-4o", "refine=claude", 0.95, 7, 0.0, 3, None).is_err());
     }
 
     #[test]

@@ -806,6 +806,71 @@ mod tests {
     }
 
     #[test]
+    fn routed_chain_is_byte_identical_at_any_concurrency() {
+        use catdb_llm::{Role, RouteSpec, RoutedLlm};
+        let (entry, _, _) = dataset();
+        let spec = RouteSpec::parse("refine=llama,generate=gpt-4o,select=gemini,fix=mini")
+            .expect("valid spec");
+        let mut sources = Vec::new();
+        for concurrency in [1usize, 2, 8] {
+            let table: Vec<(Role, Arc<dyn LanguageModel>)> = spec
+                .resolve(&ModelProfile::gpt_4o())
+                .into_iter()
+                .map(|(role, profile)| {
+                    (role, Arc::new(SimLlm::new(profile, 11)) as Arc<dyn LanguageModel>)
+                })
+                .collect();
+            let llm = RoutedLlm::from_backends(table);
+            let cfg = CatDbConfig {
+                prompt: PromptOptions { beta: 2, ..Default::default() },
+                llm_concurrency: concurrency,
+                ..Default::default()
+            };
+            sources.push(generate_chain_source(&entry, &llm, &cfg).expect("chain succeeds"));
+        }
+        assert_eq!(sources[0], sources[1], "concurrency 1 vs 2");
+        assert_eq!(sources[0], sources[2], "concurrency 1 vs 8");
+    }
+
+    #[test]
+    fn different_routes_never_share_cache_entries() {
+        use catdb_llm::{FaultSpec, RetryPolicy};
+        use catdb_llm::{RouteSpec, RoutedLlm};
+        let (entry, _, _) = dataset();
+        let cache = Arc::new(CompletionCache::new(256));
+        let cfg = CatDbConfig {
+            prompt: PromptOptions { beta: 2, ..Default::default() },
+            llm_cache: Some(cache.clone()),
+            ..Default::default()
+        };
+        let run = |route: &str| {
+            let spec = RouteSpec::parse(route).expect("valid spec");
+            let llm = RoutedLlm::simulated(
+                &ModelProfile::gpt_4o(),
+                &spec,
+                FaultSpec::none(),
+                RetryPolicy::default(),
+                cfg.seed,
+            );
+            let sink = Arc::new(catdb_trace::TraceSink::new());
+            let guard = catdb_trace::install(sink.clone());
+            let source = generate_chain_source(&entry, &llm, &cfg).expect("chain succeeds");
+            drop(guard);
+            (source, sink.snapshot())
+        };
+        let (_, cold) = run("generate=gpt-4o");
+        assert_eq!(cold.cache_hit_count(), 0);
+        // Same prompts, different routed models: the second route must
+        // go upstream for its re-routed roles, not replay the first
+        // route's completions.
+        let (_, rerouted) = run("generate=gpt-4o,refine=llama,select=llama");
+        assert!(rerouted.llm_call_count() > 0, "re-routed roles must miss the cache");
+        // A repeat of either route is fully warm.
+        let (_, warm) = run("generate=gpt-4o,refine=llama,select=llama");
+        assert_eq!(warm.llm_call_count(), 0, "identical route replays from cache");
+    }
+
+    #[test]
     fn shared_cache_makes_second_run_free_and_identical() {
         let (entry, _, _) = dataset();
         let cache = Arc::new(CompletionCache::new(256));

@@ -79,4 +79,12 @@ pub trait LanguageModel: Send + Sync {
 
     /// Complete a prompt.
     fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError>;
+
+    /// The model this backend would serve `prompt` with. Single-model
+    /// backends answer `model_name()`; a router inspects the prompt's
+    /// role and answers the routed model, so caches keyed on this never
+    /// conflate completions from different models.
+    fn model_for(&self, _prompt: &Prompt) -> &str {
+        self.model_name()
+    }
 }

@@ -30,6 +30,7 @@ mod fault;
 mod profile;
 mod prompt;
 mod resilient;
+mod route;
 mod sim;
 mod tokens;
 
@@ -40,6 +41,10 @@ pub use prompt::{
     parse_attrs as prompt_attrs, ColumnInfo, DatasetInfo, LlmTaskKind, Prompt, PromptSpec, RuleInfo,
 };
 pub use resilient::{ResilientClient, RetryPolicy, Rung, SimClock};
+pub use route::{
+    resolve_route, Role, RouteCandidate, RouteError, RouteOptimizer, RouteSpec, RoutedLlm,
+    DEFAULT_ROUTE_TARGET_ACCURACY,
+};
 pub use sim::codegen::GenStage;
 pub use sim::dedup::{parse_response as parse_refinement_response, refine_values};
 pub use sim::fixer::clean_syntax as clean_pipeline_syntax;

@@ -118,14 +118,60 @@ impl ModelProfile {
         }
     }
 
+    /// GPT-4o-mini: the cheap routing tier — not one of the paper's three
+    /// evaluated models (so it never appears in `paper_models()` or the
+    /// degradation ladder), but pricing and behaviour follow the public
+    /// mini tier: near-4o instruction following at a fraction of the
+    /// price, with a weaker fix loop and noticeably higher semantic
+    /// fault rate.
+    pub fn gpt_4o_mini() -> ModelProfile {
+        ModelProfile {
+            name: "gpt-4o-mini".into(),
+            context_window: 16_000,
+            attention_fraction: 0.6,
+            instruction_following: 0.92,
+            initiative: 0.7,
+            semantic_fault_rate: 0.48,
+            syntax_fault_rate: 0.025,
+            env_fault_rate: 0.03,
+            fix_skill: 0.78,
+            fix_without_metadata: 0.38,
+            quality: 0.84,
+            verbosity: 1.0,
+            seconds_per_1k_tokens: 1.2,
+            usd_per_1k_input: 0.00015,
+            usd_per_1k_output: 0.0006,
+        }
+    }
+
     /// The three paper models, in the order the tables list them.
     pub fn paper_models() -> Vec<ModelProfile> {
         vec![ModelProfile::gpt_4o(), ModelProfile::gemini_1_5_pro(), ModelProfile::llama3_1_70b()]
     }
 
-    /// Look up a paper model by name.
+    /// Every profile the CLI accepts: the paper's three plus the mini
+    /// routing tier.
+    pub fn known_models() -> Vec<ModelProfile> {
+        let mut all = Self::paper_models();
+        all.push(ModelProfile::gpt_4o_mini());
+        all
+    }
+
+    /// Canonical profile name for a CLI spelling, resolving the short
+    /// aliases accepted by `--route` (`llama`, `gemini`, `mini`).
+    pub fn resolve_alias(name: &str) -> &str {
+        match name {
+            "llama" => "llama3.1-70b",
+            "gemini" => "gemini-1.5-pro",
+            "mini" => "gpt-4o-mini",
+            other => other,
+        }
+    }
+
+    /// Look up a known model by name or alias.
     pub fn by_name(name: &str) -> Option<ModelProfile> {
-        Self::paper_models().into_iter().find(|m| m.name == name)
+        let canonical = Self::resolve_alias(name);
+        Self::known_models().into_iter().find(|m| m.name == canonical)
     }
 
     /// Dollar cost of a call at this model's API pricing.
@@ -184,5 +230,21 @@ mod tests {
     fn lookup_by_name() {
         assert!(ModelProfile::by_name("gpt-4o").is_some());
         assert!(ModelProfile::by_name("claude").is_none());
+    }
+
+    #[test]
+    fn aliases_resolve_and_mini_stays_out_of_paper_models() {
+        assert_eq!(ModelProfile::by_name("llama").unwrap().name, "llama3.1-70b");
+        assert_eq!(ModelProfile::by_name("gemini").unwrap().name, "gemini-1.5-pro");
+        assert_eq!(ModelProfile::by_name("mini").unwrap().name, "gpt-4o-mini");
+        assert_eq!(ModelProfile::by_name("gpt-4o-mini").unwrap().name, "gpt-4o-mini");
+        // The mini tier must not join the paper tables or the degradation
+        // ladder, both of which enumerate `paper_models()`.
+        assert!(ModelProfile::paper_models().iter().all(|m| m.name != "gpt-4o-mini"));
+        // Mini is the cheapest known model at reference volume.
+        let mini = ModelProfile::gpt_4o_mini();
+        for m in ModelProfile::paper_models() {
+            assert!(mini.cost_usd(1000, 1000) < m.cost_usd(1000, 1000), "{}", m.name);
+        }
     }
 }

@@ -80,7 +80,8 @@ impl LlmTaskKind {
         }
     }
 
-    fn parse(s: &str) -> LlmTaskKind {
+    /// Inverse of [`LlmTaskKind::tag`]; unrecognized tags map to `Unknown`.
+    pub fn parse(s: &str) -> LlmTaskKind {
         match s {
             "pipeline_generation" => LlmTaskKind::PipelineGeneration,
             "preprocessing" => LlmTaskKind::Preprocessing,

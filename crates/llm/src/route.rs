@@ -1,0 +1,710 @@
+//! Per-role model routing: send each pipeline role to its own model.
+//!
+//! CatDB's prompt stream is not homogeneous — catalog refinement asks
+//! short classification questions, chain-stage generation writes whole
+//! pipeline programs, model selection picks a learner, and fix re-prompts
+//! repair a failing program. The paper runs every role on one model per
+//! experiment; SNIPPETS.md Snippet 3 and the prompt-generation literature
+//! argue for a registry that assigns a cheap model to the mechanical
+//! roles and a strong model where errors are expensive. [`RouteSpec`]
+//! parses the `--route refine=llama,generate=gpt-4o,fix=gpt-4o-mini`
+//! syntax, [`RoutedLlm`] dispatches each prompt by its `<TASK>` tag, and
+//! [`RouteOptimizer`] enumerates assignments to find the cheapest one
+//! meeting a target end-to-end accuracy, using the same Table-2 fault
+//! frequencies that drive the simulator.
+//!
+//! Routing composes with everything below it unchanged: each role's
+//! backend is a full [`ResilientClient`] (retry, breaker, degradation
+//! ladder), and the scheduler keys its completion cache on
+//! [`LanguageModel::model_for`], so identical prompts routed to
+//! different models never share a cache entry while re-runs of the same
+//! route stay warm.
+
+use crate::client::{Completion, LanguageModel, LlmError};
+use crate::fault::FaultSpec;
+use crate::profile::ModelProfile;
+use crate::prompt::{LlmTaskKind, Prompt};
+use crate::resilient::{ResilientClient, RetryPolicy};
+use catdb_trace::{Trace, TraceEvent};
+use std::fmt;
+use std::sync::Arc;
+
+/// The four routable pipeline roles, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Catalog refinement: feature-type inference and categorical-value
+    /// deduplication prompts (Section 3.2).
+    Refine,
+    /// Pipeline generation: the single CatDB prompt or the chain's
+    /// preprocessing / feature-engineering stage prompts (Algorithm 3).
+    Generate,
+    /// Model-selection prompts (the chain's final stage).
+    Select,
+    /// Error-fix re-prompts from the error-management loop (Algorithm 4).
+    Fix,
+}
+
+impl Role {
+    pub const ALL: [Role; 4] = [Role::Refine, Role::Generate, Role::Select, Role::Fix];
+
+    /// The `--route` key for this role.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Refine => "refine",
+            Role::Generate => "generate",
+            Role::Select => "select",
+            Role::Fix => "fix",
+        }
+    }
+
+    /// Parse a `--route` key.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "refine" => Some(Role::Refine),
+            "generate" => Some(Role::Generate),
+            "select" => Some(Role::Select),
+            "fix" => Some(Role::Fix),
+            _ => None,
+        }
+    }
+
+    /// The role that owns a prompt task.
+    pub fn of_task(task: LlmTaskKind) -> Role {
+        match task {
+            LlmTaskKind::FeatureTypeInference | LlmTaskKind::CategoricalRefinement => Role::Refine,
+            LlmTaskKind::ModelSelection => Role::Select,
+            LlmTaskKind::ErrorFix => Role::Fix,
+            LlmTaskKind::PipelineGeneration
+            | LlmTaskKind::Preprocessing
+            | LlmTaskKind::FeatureEngineering
+            | LlmTaskKind::Unknown => Role::Generate,
+        }
+    }
+
+    /// Classify a prompt by scanning for its `<TASK>` tag. Prompts
+    /// without a recognizable tag route as [`Role::Generate`] — the
+    /// conservative default, since generation carries the strongest
+    /// model in every sensible route.
+    pub fn of_prompt(prompt: &Prompt) -> Role {
+        for text in [&prompt.system, &prompt.user] {
+            for line in text.lines() {
+                let trimmed = line.trim();
+                if let Some(rest) = trimmed.strip_prefix("<TASK>") {
+                    if let Some(tag) = rest.strip_suffix("</TASK>") {
+                        return Role::of_task(LlmTaskKind::parse(tag.trim()));
+                    }
+                }
+            }
+        }
+        Role::Generate
+    }
+}
+
+/// A structured `--route` parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The spec string was empty (or all-whitespace/commas).
+    EmptySpec,
+    /// An entry had no `=` separator.
+    MissingSeparator { entry: String },
+    /// The key before `=` is not one of `refine|generate|select|fix`.
+    UnknownRole { role: String },
+    /// The value after `=` is not a known model or alias.
+    UnknownModel { model: String },
+    /// The same role was assigned twice.
+    DuplicateRole { role: String },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::EmptySpec => {
+                write!(f, "empty --route spec; expected role=model[,role=model...]")
+            }
+            RouteError::MissingSeparator { entry } => {
+                write!(f, "route entry '{entry}' has no '='; expected role=model")
+            }
+            RouteError::UnknownRole { role } => {
+                write!(f, "unknown route role '{role}'; roles are refine, generate, select, fix")
+            }
+            RouteError::UnknownModel { model } => write!(
+                f,
+                "unknown route model '{model}'; known models: gpt-4o, gemini-1.5-pro, \
+                 llama3.1-70b, gpt-4o-mini (aliases: gemini, llama, mini)"
+            ),
+            RouteError::DuplicateRole { role } => {
+                write!(f, "route role '{role}' assigned more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A parsed role → model assignment. Roles left out of the spec fall
+/// back to the run's default model when the route is materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSpec {
+    assigned: Vec<(Role, ModelProfile)>,
+}
+
+impl RouteSpec {
+    /// Parse `role=model[,role=model...]`. Models accept the aliases of
+    /// [`ModelProfile::resolve_alias`]. Every failure is a structured
+    /// [`RouteError`] naming the offending entry.
+    pub fn parse(spec: &str) -> Result<RouteSpec, RouteError> {
+        let entries: Vec<&str> = spec.split(',').map(str::trim).filter(|e| !e.is_empty()).collect();
+        if entries.is_empty() {
+            return Err(RouteError::EmptySpec);
+        }
+        let mut assigned: Vec<(Role, ModelProfile)> = Vec::new();
+        for entry in entries {
+            let (role_s, model_s) = entry
+                .split_once('=')
+                .ok_or_else(|| RouteError::MissingSeparator { entry: entry.to_string() })?;
+            let role = Role::parse(role_s.trim())
+                .ok_or_else(|| RouteError::UnknownRole { role: role_s.trim().to_string() })?;
+            let model = ModelProfile::by_name(model_s.trim())
+                .ok_or_else(|| RouteError::UnknownModel { model: model_s.trim().to_string() })?;
+            if assigned.iter().any(|(r, _)| *r == role) {
+                return Err(RouteError::DuplicateRole { role: role.name().to_string() });
+            }
+            assigned.push((role, model));
+        }
+        Ok(RouteSpec { assigned })
+    }
+
+    /// A spec assigning `model` to every role.
+    pub fn uniform(model: ModelProfile) -> RouteSpec {
+        RouteSpec { assigned: Role::ALL.iter().map(|r| (*r, model.clone())).collect() }
+    }
+
+    /// The model assigned to `role`, if the spec names one.
+    pub fn model(&self, role: Role) -> Option<&ModelProfile> {
+        self.assigned.iter().find(|(r, _)| *r == role).map(|(_, m)| m)
+    }
+
+    /// Full per-role table with `default` filling unassigned roles,
+    /// in [`Role::ALL`] order.
+    pub fn resolve(&self, default: &ModelProfile) -> Vec<(Role, ModelProfile)> {
+        Role::ALL
+            .iter()
+            .map(|r| (*r, self.model(*r).cloned().unwrap_or_else(|| default.clone())))
+            .collect()
+    }
+
+    /// Canonical `role=model,...` string in [`Role::ALL`] order, with
+    /// unassigned roles resolved against `default`. Two specs that
+    /// route identically render identically.
+    pub fn canonical(&self, default: &ModelProfile) -> String {
+        self.resolve(default)
+            .iter()
+            .map(|(r, m)| format!("{}={}", r.name(), m.name))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A [`LanguageModel`] that dispatches each prompt to the backend its
+/// role is routed to. Roles sharing a model share one backend (and
+/// therefore one circuit breaker and one seeded fault stream), so a
+/// route is exactly as deterministic as its distinct backends — backend
+/// responses depend only on (seed, prompt), never on arrival order.
+pub struct RoutedLlm {
+    /// One backend per distinct routed model, creation order.
+    backends: Vec<Arc<dyn LanguageModel>>,
+    /// `Role::ALL`-indexed backend index and routed model name.
+    by_role: [usize; 4],
+    names: [String; 4],
+}
+
+impl RoutedLlm {
+    /// Build from explicit per-role backends, deduplicated by
+    /// `model_name()`. `table` must cover all four roles (use
+    /// [`RouteSpec::resolve`]).
+    pub fn from_backends(table: Vec<(Role, Arc<dyn LanguageModel>)>) -> RoutedLlm {
+        let mut backends: Vec<Arc<dyn LanguageModel>> = Vec::new();
+        let mut by_role = [0usize; 4];
+        let mut names: [String; 4] = Default::default();
+        for (role, backend) in table {
+            let name = backend.model_name().to_string();
+            let idx = match backends.iter().position(|b| b.model_name() == name) {
+                Some(i) => i,
+                None => {
+                    backends.push(backend);
+                    backends.len() - 1
+                }
+            };
+            let slot = Role::ALL.iter().position(|r| *r == role).expect("role in ALL");
+            by_role[slot] = idx;
+            names[slot] = name;
+        }
+        assert!(names.iter().all(|n| !n.is_empty()), "route table must cover all roles");
+        RoutedLlm { backends, by_role, names }
+    }
+
+    /// The standard simulated stack for a route: one
+    /// [`ResilientClient::simulated`] per distinct routed model, all
+    /// seeded with the same base `seed` and fault surface. Shared
+    /// seeding keeps routed runs byte-deterministic at any concurrency:
+    /// a backend's response depends only on (seed, prompt), so the set
+    /// of distinct models — not their call interleaving — fixes the
+    /// output.
+    pub fn simulated(
+        default: &ModelProfile,
+        spec: &RouteSpec,
+        faults: FaultSpec,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> RoutedLlm {
+        let mut built: Vec<(String, Arc<dyn LanguageModel>)> = Vec::new();
+        let mut table: Vec<(Role, Arc<dyn LanguageModel>)> = Vec::new();
+        for (role, profile) in spec.resolve(default) {
+            let backend = match built.iter().find(|(n, _)| *n == profile.name) {
+                Some((_, b)) => b.clone(),
+                None => {
+                    let b: Arc<dyn LanguageModel> = Arc::new(ResilientClient::simulated(
+                        profile.clone(),
+                        faults,
+                        policy.clone(),
+                        seed,
+                    ));
+                    built.push((profile.name.clone(), b.clone()));
+                    b
+                }
+            };
+            table.push((role, backend));
+        }
+        RoutedLlm::from_backends(table)
+    }
+
+    /// The routed model name for each role, [`Role::ALL`] order.
+    pub fn routed_names(&self) -> &[String; 4] {
+        &self.names
+    }
+
+    fn slot(&self, prompt: &Prompt) -> usize {
+        let role = Role::of_prompt(prompt);
+        Role::ALL.iter().position(|r| *r == role).expect("role in ALL")
+    }
+}
+
+impl LanguageModel for RoutedLlm {
+    /// The generate-role model: the identity shown in error traces and
+    /// degradation events, since generation is the role they concern.
+    fn model_name(&self) -> &str {
+        let generate = Role::ALL.iter().position(|r| *r == Role::Generate).expect("in ALL");
+        &self.names[generate]
+    }
+
+    fn context_window(&self) -> usize {
+        let generate = Role::ALL.iter().position(|r| *r == Role::Generate).expect("in ALL");
+        self.backends[self.by_role[generate]].context_window()
+    }
+
+    fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+        self.backends[self.by_role[self.slot(prompt)]].complete(prompt)
+    }
+
+    fn model_for(&self, prompt: &Prompt) -> &str {
+        &self.names[self.slot(prompt)]
+    }
+}
+
+/// Default `--route-target-accuracy` for `--route auto`.
+pub const DEFAULT_ROUTE_TARGET_ACCURACY: f64 = 0.95;
+
+/// Default per-role `(input, output)` token volumes used when the
+/// optimizer has no observed trace — rough fig12-workload shapes.
+const DEFAULT_VOLUME: [(f64, f64); 4] =
+    [(2_400.0, 500.0), (6_000.0, 1_600.0), (1_200.0, 300.0), (3_000.0, 900.0)];
+
+/// Error-fix rounds Algorithm 4 grants before falling back.
+const FIX_ROUNDS: i32 = 3;
+
+/// One enumerated route with its predicted quality and price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteCandidate {
+    pub route: String,
+    pub spec: RouteSpec,
+    pub expected_accuracy: f64,
+    pub expected_cost_usd: f64,
+}
+
+/// Enumerates every assignment of known models to roles and picks the
+/// cheapest one whose predicted end-to-end accuracy meets the target.
+///
+/// The accuracy model composes the same per-model frequencies the
+/// simulator draws from: a role's first-try error rate comes from its
+/// routed profile (instruction following for refinement, the Table-2
+/// fault mix for generation, selection quality for model choice), and
+/// the fix role's `fix_skill` discounts every other role's error by the
+/// chance [`FIX_ROUNDS`] repair rounds all fail. The cost model prices
+/// per-role token volumes — observed ones when a trace is supplied,
+/// fig12-shaped defaults otherwise — at each routed model's API rates,
+/// with fix volume scaled by the generation error it exists to repair.
+pub struct RouteOptimizer {
+    pub target_accuracy: f64,
+    candidates: Vec<ModelProfile>,
+    volumes: [(f64, f64); 4],
+}
+
+impl RouteOptimizer {
+    pub fn new(target_accuracy: f64) -> RouteOptimizer {
+        RouteOptimizer {
+            target_accuracy,
+            candidates: ModelProfile::known_models(),
+            volumes: DEFAULT_VOLUME,
+        }
+    }
+
+    /// Scale the default per-role volumes by a trace's observed
+    /// `llm_tokens_by_task()`, so the optimizer prices the workload the
+    /// run actually sends. Roles absent from the trace keep defaults.
+    pub fn with_observed(mut self, trace: &Trace) -> RouteOptimizer {
+        let mut observed = [(0.0f64, 0.0f64); 4];
+        for (task, (input, output)) in trace.llm_tokens_by_task() {
+            let role = Role::of_task(LlmTaskKind::parse(&task));
+            let slot = Role::ALL.iter().position(|r| *r == role).expect("in ALL");
+            observed[slot].0 += input as f64;
+            observed[slot].1 += output as f64;
+        }
+        for (slot, (input, output)) in observed.iter().enumerate() {
+            if *input > 0.0 || *output > 0.0 {
+                self.volumes[slot] = (*input, *output);
+            }
+        }
+        self
+    }
+
+    /// A role's first-try failure probability under `profile`.
+    fn role_error(role: Role, profile: &ModelProfile) -> f64 {
+        match role {
+            Role::Refine => 1.0 - profile.instruction_following,
+            Role::Generate => {
+                1.0 - (1.0 - profile.semantic_fault_rate)
+                    * (1.0 - profile.syntax_fault_rate)
+                    * (1.0 - profile.env_fault_rate)
+            }
+            Role::Select => 1.0 - profile.quality,
+            // The fix role has no first-try slot of its own; it enters
+            // the model as every other role's recovery channel.
+            Role::Fix => 0.0,
+        }
+    }
+
+    /// Predicted end-to-end success probability of a full route table.
+    pub fn predicted_accuracy(table: &[(Role, ModelProfile)]) -> f64 {
+        let fix_rel =
+            table.iter().find(|(r, _)| *r == Role::Fix).map(|(_, m)| m.fix_skill).unwrap_or(0.0);
+        let unrecovered = (1.0 - fix_rel).powi(FIX_ROUNDS);
+        table
+            .iter()
+            .filter(|(r, _)| *r != Role::Fix)
+            .map(|(r, m)| 1.0 - Self::role_error(*r, m) * unrecovered)
+            .product()
+    }
+
+    /// Predicted billed cost of a route table at the given volumes.
+    fn predicted_cost(&self, table: &[(Role, ModelProfile)]) -> f64 {
+        let gen_error = table
+            .iter()
+            .find(|(r, _)| *r == Role::Generate)
+            .map(|(_, m)| Self::role_error(Role::Generate, m))
+            .unwrap_or(0.0);
+        table
+            .iter()
+            .map(|(role, m)| {
+                let slot = Role::ALL.iter().position(|r| r == role).expect("in ALL");
+                let (input, output) = self.volumes[slot];
+                // Fix prompts only exist in proportion to generation
+                // failures; an error-free generator bills no fix tokens.
+                let weight = if *role == Role::Fix { gen_error * FIX_ROUNDS as f64 } else { 1.0 };
+                m.cost_usd((input * weight) as usize, (output * weight) as usize)
+            })
+            .sum()
+    }
+
+    fn candidate_for(&self, table: Vec<(Role, ModelProfile)>) -> RouteCandidate {
+        let spec = RouteSpec { assigned: table.clone() };
+        // Every role is explicitly assigned, so the default is unused;
+        // gpt-4o is passed only to satisfy the signature.
+        let route = spec.canonical(&ModelProfile::gpt_4o());
+        RouteCandidate {
+            route,
+            spec,
+            expected_accuracy: Self::predicted_accuracy(&table),
+            expected_cost_usd: self.predicted_cost(&table),
+        }
+    }
+
+    /// Enumerate all `models^roles` assignments, keep those meeting the
+    /// target, and return the cheapest (ties broken by canonical route
+    /// string, so the choice is deterministic). The all-gpt-4o route is
+    /// the baseline. Emits a [`TraceEvent::RouteDecision`] with the
+    /// feasible shortlist. Returns `None` when no assignment reaches
+    /// the target.
+    pub fn optimize(&self) -> Option<RouteCandidate> {
+        let n = self.candidates.len();
+        let mut feasible: Vec<RouteCandidate> = Vec::new();
+        let mut considered = 0usize;
+        // Mixed-radix counter over candidate indices — deterministic
+        // enumeration order, no recursion.
+        let mut idx = [0usize; 4];
+        loop {
+            let table: Vec<(Role, ModelProfile)> = Role::ALL
+                .iter()
+                .enumerate()
+                .map(|(slot, role)| (*role, self.candidates[idx[slot]].clone()))
+                .collect();
+            considered += 1;
+            let cand = self.candidate_for(table);
+            if cand.expected_accuracy >= self.target_accuracy {
+                feasible.push(cand);
+            }
+            let mut slot = 0;
+            loop {
+                idx[slot] += 1;
+                if idx[slot] < n {
+                    break;
+                }
+                idx[slot] = 0;
+                slot += 1;
+                if slot == 4 {
+                    break;
+                }
+            }
+            if slot == 4 {
+                break;
+            }
+        }
+        feasible.sort_by(|a, b| {
+            a.expected_cost_usd
+                .partial_cmp(&b.expected_cost_usd)
+                .expect("finite costs")
+                .then_with(|| a.route.cmp(&b.route))
+        });
+        let baseline =
+            self.candidate_for(Role::ALL.iter().map(|r| (*r, ModelProfile::gpt_4o())).collect());
+        let chosen = feasible.first().cloned();
+        if let Some(chosen) = &chosen {
+            catdb_trace::emit(TraceEvent::RouteDecision {
+                target_accuracy: self.target_accuracy,
+                considered,
+                candidates: feasible
+                    .iter()
+                    .take(5)
+                    .map(|c| (c.route.clone(), c.expected_accuracy, c.expected_cost_usd))
+                    .collect(),
+                route: chosen.route.clone(),
+                expected_accuracy: chosen.expected_accuracy,
+                expected_cost_usd: chosen.expected_cost_usd,
+                baseline_cost_usd: baseline.expected_cost_usd,
+            });
+        }
+        chosen
+    }
+}
+
+/// Resolve a `--route` value: an explicit spec parses directly, the
+/// literal `auto` runs the optimizer at `target_accuracy`. When no
+/// assignment reaches the target, `auto` falls back to the uniform
+/// strong route (all gpt-4o) — the best-accuracy assignment available —
+/// rather than failing the run.
+pub fn resolve_route(spec: &str, target_accuracy: f64) -> Result<RouteSpec, RouteError> {
+    if spec.trim() == "auto" {
+        return Ok(RouteOptimizer::new(target_accuracy)
+            .optimize()
+            .map(|c| c.spec)
+            .unwrap_or_else(|| RouteSpec::uniform(ModelProfile::gpt_4o())));
+    }
+    RouteSpec::parse(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimLlm;
+
+    fn tagged(task: LlmTaskKind) -> Prompt {
+        Prompt::new("system", format!("<TASK>{}</TASK>\nbody", task.tag()))
+    }
+
+    #[test]
+    fn roles_classify_prompts_by_task_tag() {
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::FeatureTypeInference)), Role::Refine);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::CategoricalRefinement)), Role::Refine);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::PipelineGeneration)), Role::Generate);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::Preprocessing)), Role::Generate);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::FeatureEngineering)), Role::Generate);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::ModelSelection)), Role::Select);
+        assert_eq!(Role::of_prompt(&tagged(LlmTaskKind::ErrorFix)), Role::Fix);
+        assert_eq!(Role::of_prompt(&Prompt::new("no", "tags here")), Role::Generate);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_partial_specs() {
+        let spec = RouteSpec::parse("refine=llama,generate=gpt-4o,fix=mini").unwrap();
+        assert_eq!(spec.model(Role::Refine).unwrap().name, "llama3.1-70b");
+        assert_eq!(spec.model(Role::Generate).unwrap().name, "gpt-4o");
+        assert_eq!(spec.model(Role::Fix).unwrap().name, "gpt-4o-mini");
+        assert!(spec.model(Role::Select).is_none());
+        let table = spec.resolve(&ModelProfile::gemini_1_5_pro());
+        assert_eq!(table[2].1.name, "gemini-1.5-pro");
+        assert_eq!(
+            spec.canonical(&ModelProfile::gemini_1_5_pro()),
+            "refine=llama3.1-70b,generate=gpt-4o,select=gemini-1.5-pro,fix=gpt-4o-mini"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_structured_errors() {
+        assert_eq!(RouteSpec::parse(""), Err(RouteError::EmptySpec));
+        assert_eq!(RouteSpec::parse(" , ,"), Err(RouteError::EmptySpec));
+        assert_eq!(
+            RouteSpec::parse("refine"),
+            Err(RouteError::MissingSeparator { entry: "refine".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("profile=gpt-4o"),
+            Err(RouteError::UnknownRole { role: "profile".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("refine=claude"),
+            Err(RouteError::UnknownModel { model: "claude".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("refine=llama,refine=gpt-4o"),
+            Err(RouteError::DuplicateRole { role: "refine".into() })
+        );
+    }
+
+    #[test]
+    fn routed_llm_dispatches_by_role_and_reports_routed_model() {
+        let spec = RouteSpec::parse("refine=llama,generate=gpt-4o").unwrap();
+        let table: Vec<(Role, Arc<dyn LanguageModel>)> = spec
+            .resolve(&ModelProfile::gpt_4o())
+            .into_iter()
+            .map(|(role, profile)| {
+                (role, Arc::new(SimLlm::new(profile, 7)) as Arc<dyn LanguageModel>)
+            })
+            .collect();
+        let routed = RoutedLlm::from_backends(table);
+        // gpt-4o serves generate, select, fix — three roles, one backend.
+        assert_eq!(routed.backends.len(), 2);
+        assert_eq!(routed.model_name(), "gpt-4o");
+        assert_eq!(routed.model_for(&tagged(LlmTaskKind::FeatureTypeInference)), "llama3.1-70b");
+        assert_eq!(routed.model_for(&tagged(LlmTaskKind::PipelineGeneration)), "gpt-4o");
+        assert_eq!(routed.model_for(&tagged(LlmTaskKind::ErrorFix)), "gpt-4o");
+        assert!(routed.complete(&tagged(LlmTaskKind::PipelineGeneration)).is_ok());
+    }
+
+    #[test]
+    fn routed_completion_matches_direct_backend_call() {
+        // The router must be a pure dispatcher: a routed completion is
+        // byte-identical to calling the role's backend directly.
+        let spec = RouteSpec::parse("refine=llama").unwrap();
+        let routed = RoutedLlm::simulated(
+            &ModelProfile::gpt_4o(),
+            &spec,
+            FaultSpec::none(),
+            RetryPolicy::default(),
+            42,
+        );
+        let direct = ResilientClient::simulated(
+            ModelProfile::llama3_1_70b(),
+            FaultSpec::none(),
+            RetryPolicy::default(),
+            42,
+        );
+        let prompt = tagged(LlmTaskKind::FeatureTypeInference);
+        assert_eq!(routed.complete(&prompt).unwrap().text, direct.complete(&prompt).unwrap().text);
+    }
+
+    #[test]
+    fn optimizer_meets_target_with_a_cheaper_route_than_all_strong() {
+        let opt = RouteOptimizer::new(0.95);
+        let chosen = opt.optimize().expect("0.95 is feasible");
+        assert!(chosen.expected_accuracy >= 0.95);
+        let baseline = Role::ALL.iter().map(|r| (*r, ModelProfile::gpt_4o())).collect::<Vec<_>>();
+        let baseline_cost = opt.predicted_cost(&baseline);
+        assert!(
+            chosen.expected_cost_usd < baseline_cost,
+            "chosen {} at {} not under baseline {}",
+            chosen.route,
+            chosen.expected_cost_usd,
+            baseline_cost
+        );
+        // A cheap route only clears the target because its fixer
+        // recovers the extra first-try failures: llama's fix skill is
+        // not enough, so the fixer must be a stronger tier.
+        assert_ne!(chosen.spec.model(Role::Fix).unwrap().name, "llama3.1-70b");
+    }
+
+    #[test]
+    fn a_tight_target_forces_the_strong_fixer() {
+        // At 0.999 only gpt-4o's fix skill leaves little enough
+        // unrecovered error; the other roles can still go cheap, so the
+        // chosen route beats the uniform-strong baseline on price.
+        let opt = RouteOptimizer::new(0.999);
+        let chosen = opt.optimize().expect("0.999 is feasible");
+        assert_eq!(chosen.spec.model(Role::Fix).unwrap().name, "gpt-4o");
+        assert!(chosen.spec.model(Role::Refine).unwrap().name != "gpt-4o");
+        let baseline = Role::ALL.iter().map(|r| (*r, ModelProfile::gpt_4o())).collect::<Vec<_>>();
+        assert!(chosen.expected_cost_usd < opt.predicted_cost(&baseline));
+    }
+
+    #[test]
+    fn optimizer_emits_route_decision_event() {
+        let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+        let _guard = catdb_trace::install(sink.clone());
+        RouteOptimizer::new(0.95).optimize().unwrap();
+        let t = sink.snapshot();
+        let decisions: Vec<_> =
+            t.events.iter().filter(|r| r.event.kind() == "route_decision").collect();
+        assert_eq!(decisions.len(), 1);
+        if let TraceEvent::RouteDecision {
+            considered,
+            candidates,
+            expected_cost_usd,
+            baseline_cost_usd,
+            ..
+        } = &decisions[0].event
+        {
+            assert_eq!(*considered, 256); // 4 known models ^ 4 roles
+            assert!(!candidates.is_empty());
+            assert!(expected_cost_usd < baseline_cost_usd);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn an_impossible_target_falls_back_to_uniform_strong() {
+        let spec = resolve_route("auto", 1.1).unwrap();
+        assert_eq!(
+            spec.canonical(&ModelProfile::gpt_4o()),
+            "refine=gpt-4o,generate=gpt-4o,select=gpt-4o,fix=gpt-4o"
+        );
+    }
+
+    #[test]
+    fn observed_volumes_rescale_costs() {
+        let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+        sink.emit(TraceEvent::PromptBuilt { task: "feature_type_inference".into(), tokens: 10 });
+        sink.emit(TraceEvent::LlmCall {
+            model: "gpt-4o".into(),
+            prompt_tokens: 50_000,
+            completion_tokens: 9_000,
+            cost: 0.2,
+        });
+        let t = sink.snapshot();
+        let base = RouteOptimizer::new(0.95);
+        let scaled = RouteOptimizer::new(0.95).with_observed(&t);
+        let table: Vec<(Role, ModelProfile)> =
+            Role::ALL.iter().map(|r| (*r, ModelProfile::gpt_4o())).collect();
+        // Refinement dominated the observed run, so its priced volume
+        // (and with it the total) must grow past the default shape.
+        assert!(scaled.predicted_cost(&table) > base.predicted_cost(&table));
+    }
+}

@@ -141,8 +141,13 @@ impl<'a> LlmScheduler<'a> {
         &self.cache
     }
 
+    /// Fingerprints key on the model that would *serve* this prompt
+    /// ([`LanguageModel::model_for`]) — for a routed backend that is the
+    /// routed model, so identical prompts routed to different models
+    /// never share an entry. Single-model backends are unchanged
+    /// (`model_for` defaults to `model_name`).
     pub fn fingerprint(&self, prompt: &Prompt) -> Fingerprint {
-        Fingerprint::of(self.inner.model_name(), prompt, &self.decode_tag)
+        Fingerprint::of(self.inner.model_for(prompt), prompt, &self.decode_tag)
     }
 
     /// Complete one prompt, reporting how it was served.
@@ -179,7 +184,7 @@ impl<'a> LlmScheduler<'a> {
             // completion as-is, still zero-billed.
             catdb_trace::add_counter("cache.hit", 1.0);
             catdb_trace::emit(TraceEvent::CacheHit {
-                model: self.inner.model_name().to_string(),
+                model: self.inner.model_for(prompt).to_string(),
                 saved_tokens: result.usage.total(),
                 saved_cost: 0.0,
                 coalesced: true,
@@ -196,7 +201,7 @@ impl<'a> LlmScheduler<'a> {
             let evicted = self.cache.insert(
                 fp,
                 CachedCompletion {
-                    model: self.inner.model_name().to_string(),
+                    model: self.inner.model_for(prompt).to_string(),
                     text: completion.text.clone(),
                     input_tokens: completion.usage.input,
                     output_tokens: completion.usage.output,
@@ -280,6 +285,10 @@ impl LanguageModel for LlmScheduler<'_> {
 
     fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
         self.complete_served(prompt).map(|(c, _)| c)
+    }
+
+    fn model_for(&self, prompt: &Prompt) -> &str {
+        self.inner.model_for(prompt)
     }
 }
 
@@ -440,6 +449,52 @@ mod tests {
         assert_eq!(upstream.calls(), 2, "different decode options must not share entries");
         greedy.complete(&p("alpha")).unwrap();
         assert_eq!(upstream.calls(), 2, "same options hit");
+    }
+
+    /// Minimal routed backend: prompts mentioning "cheap" are served by
+    /// a second model name, everything else by the primary.
+    struct RoutedUpstream {
+        inner: Upstream,
+    }
+
+    impl LanguageModel for RoutedUpstream {
+        fn model_name(&self) -> &str {
+            self.inner.model_name()
+        }
+
+        fn context_window(&self) -> usize {
+            self.inner.context_window()
+        }
+
+        fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
+            self.inner.complete(prompt)
+        }
+
+        fn model_for(&self, prompt: &Prompt) -> &str {
+            if prompt.user.contains("cheap") {
+                "cheap-test"
+            } else {
+                self.inner.model_name()
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_follow_the_routed_model() {
+        let routed = RoutedUpstream { inner: Upstream::new() };
+        let cache = Arc::new(CompletionCache::new(16));
+        let sched = LlmScheduler::new(&routed, cache.clone());
+        // Same prompt text, different routed model → different entries.
+        assert_ne!(sched.fingerprint(&p("cheap one")), sched.fingerprint(&p("dear one")));
+        // Unrouted prompts keep the primary-model fingerprint, so the
+        // pinned golden fingerprints elsewhere are untouched.
+        assert_eq!(
+            sched.fingerprint(&p("dear one")),
+            Fingerprint::of("upstream-test", &p("dear one"), "")
+        );
+        sched.complete(&p("cheap one")).unwrap();
+        let fp = sched.fingerprint(&p("cheap one"));
+        assert_eq!(cache.get(fp).unwrap().model, "cheap-test");
     }
 
     #[test]

@@ -15,8 +15,13 @@
 //! `--clients N`, drives N concurrent connections — against it.
 
 use catdb_catalog::MultiTableDataset;
-use catdb_core::{catdb_collect, catdb_pipgen, CatDbConfig, CollectOptions, PromptOptions};
-use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
+use catdb_core::{
+    catdb_collect, catdb_pipgen, measured_cost, CatDbConfig, CollectOptions, PromptOptions,
+};
+use catdb_llm::{
+    resolve_route, FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, RoutedLlm,
+    DEFAULT_ROUTE_TARGET_ACCURACY,
+};
 use catdb_ml::TaskKind;
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_serve::{
@@ -29,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b] [--beta N] [--alpha K]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--seed N] [--beta N] [--alpha K] [--no-refine]\n            [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
     );
     ExitCode::from(2)
 }
@@ -40,6 +45,10 @@ struct Args {
     target: Option<String>,
     task: Option<String>,
     model: String,
+    /// Per-role model routing (`refine=llama,fix=mini` or `auto`).
+    route: Option<String>,
+    /// End-to-end accuracy target for `--route auto`.
+    route_target_accuracy: f64,
     beta: usize,
     alpha: Option<usize>,
     refine: bool,
@@ -87,6 +96,8 @@ fn parse_args() -> Option<Args> {
         target: None,
         task: None,
         model: "gpt-4o".into(),
+        route: None,
+        route_target_accuracy: DEFAULT_ROUTE_TARGET_ACCURACY,
         beta: 1,
         alpha: None,
         refine: true,
@@ -121,6 +132,13 @@ fn parse_args() -> Option<Args> {
             "--model" => {
                 if let Some(m) = argv.get(i + 1) {
                     args.model = m.clone();
+                    i += 1;
+                }
+            }
+            "--route" => args.route = argv.get(i + 1).cloned().inspect(|_| i += 1),
+            "--route-target-accuracy" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.route_target_accuracy = v;
                     i += 1;
                 }
             }
@@ -329,22 +347,40 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     let Some(profile) = ModelProfile::by_name(&args.model) else {
-        eprintln!("unknown model '{}'; use gpt-4o, gemini-1.5-pro, or llama3.1-70b", args.model);
+        eprintln!(
+            "unknown model '{}'; use gpt-4o, gemini-1.5-pro, llama3.1-70b, or gpt-4o-mini \
+             (aliases: gemini, llama, mini)",
+            args.model
+        );
         return ExitCode::FAILURE;
     };
     // The full resilient transport stack: fault injection (off at rate 0)
     // under retry/backoff/circuit-breaking/degradation. At the default
-    // knobs with no faults this behaves exactly like a bare SimLlm.
-    let llm = ResilientClient::simulated(
-        profile,
-        FaultSpec::from_rate(args.fault_rate),
-        RetryPolicy {
-            max_retries: args.max_retries,
-            call_timeout_seconds: args.llm_timeout,
-            ..Default::default()
-        },
-        args.seed,
-    );
+    // knobs with no faults this behaves exactly like a bare SimLlm. With
+    // --route, each role gets its own resilient stack (roles sharing a
+    // model share one); `--route auto` picks the cheapest assignment
+    // meeting --route-target-accuracy and records a RouteDecision event.
+    let faults = FaultSpec::from_rate(args.fault_rate);
+    let policy = RetryPolicy {
+        max_retries: args.max_retries,
+        call_timeout_seconds: args.llm_timeout,
+        ..Default::default()
+    };
+    let llm: Box<dyn LanguageModel> = match &args.route {
+        Some(route) => {
+            let spec = match resolve_route(route, args.route_target_accuracy) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("bad --route '{route}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("[route: {}]", spec.canonical(&profile));
+            Box::new(RoutedLlm::simulated(&profile, &spec, faults, policy, args.seed))
+        }
+        None => Box::new(ResilientClient::simulated(profile, faults, policy, args.seed)),
+    };
+    let llm = llm.as_ref();
 
     // A persistent completion cache shared by generation and error fixing;
     // warm entries replay for free on later runs with the same seed.
@@ -353,9 +389,23 @@ fn cmd_run(args: &Args) -> ExitCode {
         .as_ref()
         .map(|path| std::sync::Arc::new(catdb_sched::CompletionCache::persistent(path, 4096)));
 
+    // Catalog refinement shares the persistent cache: route the collect
+    // phase through a scheduler over it (exactly as the serve daemon
+    // does) so warm runs replay refinement answers without billing. The
+    // scheduler keys entries on the *routed* model per prompt.
+    let sched = cache.as_ref().map(|cache| {
+        catdb_sched::LlmScheduler::new(llm, cache.clone())
+            .with_concurrency(args.llm_concurrency)
+            .with_decode_tag(format!("seed={}", args.seed))
+    });
+    let llm: &dyn LanguageModel = match &sched {
+        Some(sched) => sched,
+        None => llm,
+    };
+
     let dataset = MultiTableDataset::single(name, table);
     let opts = CollectOptions { refine: args.refine, ..Default::default() };
-    let (entry, prepared, report) = match catdb_collect(&dataset, target, task, &llm, &opts) {
+    let (entry, prepared, report) = match catdb_collect(&dataset, target, task, llm, &opts) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("collection failed: {e}");
@@ -376,7 +426,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         llm_cache: cache.clone(),
         ..Default::default()
     };
-    let result = match catdb_pipgen(&entry, &prepared, &llm, &cfg) {
+    let result = match catdb_pipgen(&entry, &prepared, llm, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("generation failed: {e}");
@@ -424,6 +474,13 @@ fn cmd_run(args: &Args) -> ExitCode {
                 result.results.ledger.n_calls,
                 result.results.attempts,
                 result.results.traces.len(),
+            );
+            // Billed spend from the trace (cache hits bill zero); the
+            // smoke-route CI job compares this line across routings.
+            let measured = measured_cost(&sink.snapshot());
+            eprintln!(
+                "billed: {:.6} USD | {} billed call(s) | {} cache hit(s)",
+                measured.usd, measured.llm_calls, measured.cache_hits,
             );
             ExitCode::SUCCESS
         }
@@ -513,6 +570,7 @@ fn client_request(args: &Args) -> Result<GenerateRequest, String> {
     req.target = args.target.clone();
     req.task = args.task.clone();
     req.model = args.model.clone();
+    req.route = args.route.clone();
     req.seed = args.seed;
     req.beta = args.beta;
     req.alpha = args.alpha;

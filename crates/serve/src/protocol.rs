@@ -57,6 +57,11 @@ pub struct GenerateRequest {
     /// dataset's default.
     pub task: Option<String>,
     pub model: String,
+    /// Per-role model routing spec (`refine=llama,fix=mini` or `auto`);
+    /// `None` sends every role to `model`. Optional on the wire, so
+    /// version-1 clients that never heard of routing stay compatible.
+    #[serde(default)]
+    pub route: Option<String>,
     pub seed: u64,
     /// Chain chunks (1 = single prompt).
     pub beta: usize,
@@ -77,6 +82,7 @@ impl GenerateRequest {
             target: None,
             task: None,
             model: "gpt-4o".into(),
+            route: None,
             seed: 42,
             beta: 1,
             alpha: None,
@@ -260,6 +266,7 @@ mod tests {
             target: Some("label".into()),
             task: Some("binary".into()),
             model: "gemini-1.5-pro".into(),
+            route: Some("refine=llama,fix=mini".into()),
             seed: 9,
             beta: 3,
             alpha: Some(12),
@@ -313,6 +320,26 @@ mod tests {
             assert_eq!(frame, back);
             assert_eq!(frame.is_terminal(), !matches!(frame, ServerFrame::Progress { .. }));
         }
+    }
+
+    #[test]
+    fn requests_without_route_field_still_decode() {
+        // A version-1 client that predates routing omits `route`
+        // entirely; the server must read that as "no routing".
+        let v = serde_json::to_value(&request());
+        let stripped = match v {
+            serde_json::Value::Object(m) => serde_json::Value::Object(
+                m.iter()
+                    .filter(|(k, _)| k.as_str() != "route")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+            _ => unreachable!("requests serialize as objects"),
+        };
+        let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
+        assert_eq!(back.route, None);
+        assert_eq!(back.model, request().model);
     }
 
     #[test]

@@ -35,7 +35,10 @@ use catdb_catalog::MultiTableDataset;
 use catdb_core::{
     catdb_collect, catdb_pipgen, measured_cost, CatDbConfig, CollectOptions, PromptOptions,
 };
-use catdb_llm::{FaultSpec, ModelProfile, ResilientClient, RetryPolicy};
+use catdb_llm::{
+    resolve_route, FaultSpec, LanguageModel, ModelProfile, ResilientClient, RetryPolicy, RoutedLlm,
+    DEFAULT_ROUTE_TARGET_ACCURACY,
+};
 use catdb_ml::TaskKind;
 use catdb_sched::{CompletionCache, LlmScheduler};
 use catdb_table::{read_csv_path, read_csv_str, CsvOptions};
@@ -331,17 +334,23 @@ impl Server {
         let profile = ModelProfile::by_name(&req.model)
             .ok_or_else(|| format!("unknown model '{}'", req.model))?;
         let opts = &self.inner.opts;
-        let llm = ResilientClient::simulated(
-            profile,
-            FaultSpec::from_rate(opts.fault_rate),
-            RetryPolicy {
-                max_retries: opts.max_retries,
-                call_timeout_seconds: opts.llm_timeout,
-                ..Default::default()
-            },
-            req.seed,
-        );
-        let sched = LlmScheduler::new(&llm, self.inner.cache.clone())
+        let faults = FaultSpec::from_rate(opts.fault_rate);
+        let policy = RetryPolicy {
+            max_retries: opts.max_retries,
+            call_timeout_seconds: opts.llm_timeout,
+            ..Default::default()
+        };
+        // With a route, each role gets its own resilient stack (roles
+        // sharing a model share one); otherwise the single-model stack.
+        let llm: Box<dyn LanguageModel> = match &req.route {
+            Some(route) => {
+                let spec = resolve_route(route, DEFAULT_ROUTE_TARGET_ACCURACY)
+                    .map_err(|e| format!("bad route '{route}': {e}"))?;
+                Box::new(RoutedLlm::simulated(&profile, &spec, faults, policy, req.seed))
+            }
+            None => Box::new(ResilientClient::simulated(profile, faults, policy, req.seed)),
+        };
+        let sched = LlmScheduler::new(llm.as_ref(), self.inner.cache.clone())
             .with_concurrency(opts.llm_concurrency)
             .with_decode_tag(format!("seed={}", req.seed));
 
@@ -430,6 +439,50 @@ mod tests {
         assert!(cold.billed_tokens > 0);
         assert_eq!(warm.billed_tokens, 0, "warm pass billed tokens: {}", warm.billed_tokens);
         assert!(warm.cache_hits >= cold.llm_calls);
+    }
+
+    #[test]
+    fn routed_requests_serve_and_use_route_keyed_cache_entries() {
+        let server = Server::new(ServeOptions::default());
+        let mut req = wifi_request("acme");
+        req.route = Some("refine=llama,fix=mini".into());
+        let first = {
+            let mut s = server.connect_in_proc();
+            submit(&mut s, &req, |_, _| {}).unwrap()
+        };
+        let first = first.response().expect("routed request served");
+        assert!(!first.pipeline.is_empty());
+        assert!(first.billed_tokens > 0);
+        // Same route again: fully warm.
+        let warm = {
+            let mut s = server.connect_in_proc();
+            submit(&mut s, &req, |_, _| {}).unwrap()
+        };
+        assert_eq!(warm.response().unwrap().billed_tokens, 0);
+        // A different route shares nothing for the re-routed roles, so
+        // it must bill fresh upstream calls despite the warm cache.
+        let mut rerouted = wifi_request("acme");
+        rerouted.route = Some("refine=gemini,fix=mini".into());
+        let rerouted = {
+            let mut s = server.connect_in_proc();
+            submit(&mut s, &rerouted, |_, _| {}).unwrap()
+        };
+        assert!(rerouted.response().unwrap().billed_tokens > 0);
+    }
+
+    #[test]
+    fn bad_route_yields_a_structured_error_frame() {
+        let server = Server::new(ServeOptions::default());
+        let mut stream = server.connect_in_proc();
+        let mut req = wifi_request("acme");
+        req.route = Some("refine=claude".into());
+        let outcome = submit(&mut stream, &req, |_, _| {}).unwrap();
+        match outcome {
+            crate::client::Outcome::Error(message) => {
+                assert!(message.contains("unknown route model"), "{message}")
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
     }
 
     #[test]

@@ -80,6 +80,20 @@ pub enum TraceEvent {
     /// billed at zero, so no `LlmCall` accompanies it and
     /// `total_llm_cost()` / `measured_cost()` are unaffected.
     CacheHit { model: String, saved_tokens: usize, saved_cost: f64, coalesced: bool },
+    /// The route optimizer picked a per-role model assignment. `route` is
+    /// the canonical `role=model,...` spec, `considered` the size of the
+    /// enumerated search space, and `candidates` a shortlist of feasible
+    /// assignments (`route`, expected accuracy, expected cost) that met
+    /// the target, cheapest first.
+    RouteDecision {
+        target_accuracy: f64,
+        considered: usize,
+        candidates: Vec<(String, f64, f64)>,
+        route: String,
+        expected_accuracy: f64,
+        expected_cost_usd: f64,
+        baseline_cost_usd: f64,
+    },
 }
 
 impl TraceEvent {
@@ -96,6 +110,7 @@ impl TraceEvent {
             TraceEvent::CircuitOpen { .. } => "circuit_open",
             TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::RouteDecision { .. } => "route_decision",
         }
     }
 }
@@ -767,6 +782,33 @@ mod tests {
         let back = Trace::from_json_str(&t.to_json_string()).unwrap();
         assert_eq!(t, back);
         assert_eq!(back.events[1].event.kind(), "cache_hit");
+    }
+
+    #[test]
+    fn route_decision_round_trips() {
+        let sink = TraceSink::new();
+        sink.emit(TraceEvent::RouteDecision {
+            target_accuracy: 0.95,
+            considered: 81,
+            candidates: vec![
+                (
+                    "fix=gpt-4o,generate=llama3.1-70b,refine=llama3.1-70b,select=llama3.1-70b"
+                        .into(),
+                    0.9989,
+                    0.011,
+                ),
+                ("fix=gpt-4o,generate=gpt-4o,refine=gpt-4o,select=gpt-4o".into(), 0.9994, 0.034),
+            ],
+            route: "fix=gpt-4o,generate=llama3.1-70b,refine=llama3.1-70b,select=llama3.1-70b"
+                .into(),
+            expected_accuracy: 0.9989,
+            expected_cost_usd: 0.011,
+            baseline_cost_usd: 0.034,
+        });
+        let t = sink.snapshot();
+        let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.events[0].event.kind(), "route_decision");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Routed-run smoke: for each of two --route configs, run the same seeded
+# `catdb run` twice against a per-config --llm-cache file — the cold run
+# at CATDB_THREADS=1, the warm run at CATDB_THREADS=8 — and assert:
+#   (a) stdout is byte-identical within a config (routing must not leak
+#       scheduling order or thread count into the output),
+#   (b) the warm run bills zero upstream LLM calls (cache keys include
+#       the routed model, so every repeat is a hit),
+#   (c) the cheap-refine routing's cold run bills strictly less than the
+#       all-gpt-4o routing's cold run.
+# Used directly as a CI gate (any violated assertion exits nonzero).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Deterministic toy CSV — no checked-in data needed.
+{
+  echo "age,income,segment,label"
+  for i in $(seq 0 239); do
+    echo "$((20 + i % 47)),$((1000 + (i * 37) % 900)).$((i % 10)),s$((i % 5)),$((i % 2))"
+  done
+} > "$TMP/smoke.csv"
+
+STRONG_ROUTE="refine=gpt-4o,generate=gpt-4o,select=gpt-4o,fix=gpt-4o"
+CHEAP_ROUTE="refine=llama,generate=gpt-4o,select=mini,fix=mini"
+
+run() { # $1 route spec, $2 cache file, $3 stdout, $4 stderr, $5 threads
+  CATDB_THREADS="$5" cargo run -q -p catdb-serve --bin catdb -- run \
+    --csv "$TMP/smoke.csv" --target label --task binary \
+    --beta 2 --seed 7 --llm-concurrency 4 \
+    --route "$1" --llm-cache "$2" > "$3" 2> "$4"
+}
+
+billed_usd() { sed -n 's/^billed: \([0-9.][0-9.]*\) USD.*/\1/p' "$1"; }
+billed_calls() { sed -n 's/^billed: .* USD | \([0-9][0-9]*\) billed call(s).*/\1/p' "$1"; }
+
+for cfg in strong cheap; do
+  case "$cfg" in
+    strong) route="$STRONG_ROUTE" ;;
+    cheap) route="$CHEAP_ROUTE" ;;
+  esac
+  run "$route" "$TMP/cache-$cfg.jsonl" "$TMP/$cfg-1.out" "$TMP/$cfg-1.err" 1
+  run "$route" "$TMP/cache-$cfg.jsonl" "$TMP/$cfg-2.out" "$TMP/$cfg-2.err" 8
+
+  if ! diff "$TMP/$cfg-1.out" "$TMP/$cfg-2.out" > /dev/null; then
+    echo "route_smoke: $cfg warm run diverged from cold run" >&2
+    diff "$TMP/$cfg-1.out" "$TMP/$cfg-2.out" >&2 || true
+    exit 1
+  fi
+
+  warm_calls="$(billed_calls "$TMP/$cfg-2.err")"
+  if [ -z "$warm_calls" ]; then
+    echo "route_smoke: $cfg warm run printed no billed-cost line" >&2
+    cat "$TMP/$cfg-2.err" >&2
+    exit 1
+  fi
+  if [ "$warm_calls" -ne 0 ]; then
+    echo "route_smoke: $cfg warm run billed $warm_calls upstream call(s), expected 0" >&2
+    exit 1
+  fi
+done
+
+strong_usd="$(billed_usd "$TMP/strong-1.err")"
+cheap_usd="$(billed_usd "$TMP/cheap-1.err")"
+if [ -z "$strong_usd" ] || [ -z "$cheap_usd" ]; then
+  echo "route_smoke: missing billed-cost line (strong='$strong_usd' cheap='$cheap_usd')" >&2
+  exit 1
+fi
+if ! awk -v cheap="$cheap_usd" -v strong="$strong_usd" 'BEGIN { exit !(cheap + 0 < strong + 0) }'; then
+  echo "route_smoke: cheap routing billed $cheap_usd USD, not below strong $strong_usd USD" >&2
+  exit 1
+fi
+
+echo "route_smoke: ok (strong=$strong_usd USD, cheap=$cheap_usd USD, warm runs identical and fully cached)"
