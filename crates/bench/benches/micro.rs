@@ -8,7 +8,10 @@
 use catdb_core::{generate_chain_source, CatDbConfig, PromptBuilder, PromptOptions};
 use catdb_data::{generate, GenOptions};
 use catdb_llm::{Completion, LanguageModel, LlmError, ModelProfile, Prompt, SimLlm};
-use catdb_ml::{Classifier, ForestConfig, LogisticRegression, Matrix, RandomForestClassifier};
+use catdb_ml::{
+    Classifier, ForestConfig, KnnClassifier, KnnConfig, LogisticRegression, Matrix,
+    RandomForestClassifier, SplitMode,
+};
 use catdb_pipeline::{execute, parse, Environment, ExecutionConfig};
 use catdb_profiler::{profile_table, ProfileOptions};
 use catdb_sched::{CompletionCache, LlmScheduler};
@@ -112,6 +115,33 @@ fn bench_models(c: &mut Criterion) {
                 config: ForestConfig { n_trees: 20, ..Default::default() },
             },
             |clf| clf.fit(black_box(&x), &y, 2).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Same forest with histogram split search — the ablation pair for
+    // `random_forest_20trees_1000x20` (exact scans above).
+    group.bench_function("random_forest_binned_20trees_1000x20", |b| {
+        b.iter_batched(
+            || RandomForestClassifier {
+                config: ForestConfig {
+                    n_trees: 20,
+                    split_mode: SplitMode::Binned { bins: 256 },
+                    ..Default::default()
+                },
+            },
+            |clf| clf.fit(black_box(&x), &y, 2).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // k-NN fit + full predict: prediction runs the blocked distance
+    // kernel over every (query, train) pair.
+    group.bench_function("knn_blocked_1000x20", |b| {
+        b.iter_batched(
+            || KnnClassifier { config: KnnConfig { k: 7 } },
+            |clf| {
+                let model = clf.fit(black_box(&x), &y, 2).unwrap();
+                model.predict(black_box(&x)).unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

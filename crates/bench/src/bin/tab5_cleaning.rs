@@ -111,7 +111,8 @@ fn main() {
         }
 
         // AutoML on original data, then AutoML after a cleaning workflow.
-        let automl_cfg = AutoMlConfig { time_budget_seconds: 12.0, seed: args.seed };
+        let automl_cfg =
+            AutoMlConfig { time_budget_seconds: 12.0, seed: args.seed, ..Default::default() };
         let cleaned = match saga(&p.raw_train, &p.target, p.task, &SagaConfig::default()) {
             Ok(r) => Some(("SAGA", r)),
             Err(_) => {

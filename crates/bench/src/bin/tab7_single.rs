@@ -29,7 +29,8 @@ fn main() {
         // AutoML + cleaning run once per dataset (LLM-independent).
         let prep_llm = llm_for("gemini-1.5-pro", args.seed);
         let p = prepare(&g, true, &prep_llm, args.seed);
-        let automl_cfg = AutoMlConfig { time_budget_seconds: 12.0, seed: args.seed };
+        let automl_cfg =
+            AutoMlConfig { time_budget_seconds: 12.0, seed: args.seed, ..Default::default() };
         let cleaning = saga(&p.raw_train, &p.target, p.task, &SagaConfig::default()).ok();
         let prep_label = cleaning.as_ref().map(|c| c.label()).unwrap_or_else(|| "-".into());
         let mut automl_cells = Vec::new();

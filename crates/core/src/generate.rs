@@ -56,6 +56,9 @@ pub struct CatDbConfig {
     /// spanning a whole config sweep). Takes precedence over
     /// `llm_cache_path`.
     pub llm_cache: Option<Arc<CompletionCache>>,
+    /// Split-search strategy forwarded to the tree-family estimators
+    /// (`--split-mode`): exact scans or histogram-binned training.
+    pub split_mode: catdb_ml::SplitMode,
 }
 
 impl Default for CatDbConfig {
@@ -73,6 +76,7 @@ impl Default for CatDbConfig {
             llm_concurrency: DEFAULT_LLM_CONCURRENCY,
             llm_cache_path: None,
             llm_cache: None,
+            split_mode: catdb_ml::SplitMode::Exact,
         }
     }
 }
@@ -404,6 +408,7 @@ pub fn generate_pipeline(
         task,
         seed: cfg.seed,
         fast_validation: false,
+        split_mode: cfg.split_mode,
     };
     let n_train = train.n_rows().max(1);
     let validation_fraction =
@@ -417,6 +422,7 @@ pub fn generate_pipeline(
         task,
         seed: cfg.seed,
         fast_validation: true,
+        split_mode: cfg.split_mode,
     };
 
     // ---- Validation & error-management loop (Algorithm 4, lines 3–15) ----

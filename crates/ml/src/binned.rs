@@ -1,0 +1,204 @@
+//! Feature quantization for histogram-based tree training.
+//!
+//! A [`BinnedDataset`] is built once per fit (and shared across every tree
+//! of a forest or boosting ensemble): each feature is quantized into at
+//! most `bins` buckets whose edges are chosen from the quantiles of the
+//! observed values. Codes are stored **column-major** (`codes[f · rows + r]`)
+//! so the per-node histogram pass streams one contiguous column at a time.
+//!
+//! Edges are midpoints between adjacent distinct sorted values — exactly
+//! the thresholds the exact sorted-scan search would propose — so a split
+//! "code ≤ b" is equivalent to "value ≤ edges[b]" for *every* input, not
+//! just training rows. Tree nodes therefore store the plain `f64`
+//! threshold and the prediction path is identical for both split modes.
+
+use crate::matrix::{ColMajor, Matrix};
+
+/// Maximum number of bins per feature (codes are `u8`).
+pub const MAX_BINS: usize = 256;
+
+/// Per-feature quantized view of a training matrix.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    rows: usize,
+    cols: usize,
+    /// Column-major codes: `codes[f * rows + r]` is row `r`'s bin in
+    /// feature `f`.
+    codes: Vec<u8>,
+    /// Ascending candidate thresholds per feature (`≤ bins − 1` of them).
+    /// Splitting at bin `b` sends `code ≤ b` left, i.e. `value ≤ edges[b]`.
+    edges: Vec<Vec<f64>>,
+    /// Start of feature `f`'s bin range in a flattened histogram
+    /// (`offsets[cols]` is the total bin count).
+    offsets: Vec<usize>,
+}
+
+impl BinnedDataset {
+    /// Quantize `x` into at most `bins` buckets per feature (clamped to
+    /// `2..=256`). Features are quantized independently and in parallel on
+    /// the shared runtime; output is identical at any thread count.
+    pub fn build(x: &Matrix, bins: usize) -> BinnedDataset {
+        let bins = bins.clamp(2, MAX_BINS);
+        let rows = x.rows();
+        let cols = x.cols();
+        let by_col = ColMajor::from_matrix(x);
+        let feats: Vec<usize> = (0..cols).collect();
+        let limit = catdb_runtime::pool_size().saturating_add(1);
+        let quantized = catdb_runtime::parallel_map(limit, &feats, |_, &f| {
+            quantize_feature(by_col.col(f), bins)
+        });
+        let mut codes = Vec::with_capacity(rows * cols);
+        let mut edges = Vec::with_capacity(cols);
+        let mut offsets = Vec::with_capacity(cols + 1);
+        let mut total = 0usize;
+        for (col_codes, col_edges) in quantized {
+            offsets.push(total);
+            total += col_edges.len() + 1;
+            codes.extend_from_slice(&col_codes);
+            edges.push(col_edges);
+        }
+        offsets.push(total);
+        BinnedDataset { rows, cols, codes, edges, offsets }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column-major code slice for feature `f` (one `u8` per row).
+    #[inline]
+    pub fn col_codes(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.rows..(f + 1) * self.rows]
+    }
+
+    /// Candidate thresholds for feature `f`.
+    #[inline]
+    pub fn edges(&self, f: usize) -> &[f64] {
+        &self.edges[f]
+    }
+
+    /// Number of bins for feature `f` (`edges(f).len() + 1`).
+    #[inline]
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+
+    /// Start of feature `f`'s bins in a flattened per-node histogram.
+    #[inline]
+    pub fn bin_offset(&self, f: usize) -> usize {
+        self.offsets[f]
+    }
+
+    /// Total bins across all features (flattened histogram length).
+    #[inline]
+    pub fn total_bins(&self) -> usize {
+        self.offsets[self.cols]
+    }
+}
+
+/// Quantize one feature column: pick up to `bins − 1` edges at quantile
+/// positions among the boundaries between distinct sorted values, then code
+/// every row as the number of edges strictly below its value.
+fn quantize_feature(col: &[f64], bins: usize) -> (Vec<u8>, Vec<f64>) {
+    let mut sorted = col.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    // Boundaries between distinct adjacent values; each yields the midpoint
+    // threshold the exact search would use.
+    let mut cuts: Vec<f64> = Vec::new();
+    for w in sorted.windows(2) {
+        if w[1] > w[0] {
+            cuts.push((w[0] + w[1]) / 2.0);
+        }
+    }
+    let max_edges = bins - 1;
+    let edges: Vec<f64> = if cuts.len() <= max_edges {
+        cuts
+    } else {
+        // Quantile stride: spread the kept edges evenly over the distinct
+        // boundaries so dense value regions get proportionally more bins.
+        (0..max_edges)
+            .map(|i| {
+                let pos = (i * (cuts.len() - 1)) / (max_edges - 1).max(1);
+                cuts[pos]
+            })
+            .collect()
+    };
+    let codes: Vec<u8> = col.iter().map(|&v| edges.partition_point(|&e| e < v) as u8).collect();
+    (codes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_feature(vals: &[f64]) -> Matrix {
+        Matrix::from_rows(&vals.iter().map(|&v| vec![v]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn codes_are_monotone_in_value() {
+        let vals: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let b = BinnedDataset::build(&single_feature(&vals), 16);
+        let codes = b.col_codes(0);
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                if vals[i] <= vals[j] {
+                    assert!(codes[i] <= codes[j], "order violated at {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_split_matches_threshold_split() {
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 50.0).collect();
+        let b = BinnedDataset::build(&single_feature(&vals), 32);
+        let codes = b.col_codes(0);
+        for (bin, &edge) in b.edges(0).iter().enumerate() {
+            for (r, &v) in vals.iter().enumerate() {
+                assert_eq!(
+                    codes[r] as usize <= bin,
+                    v <= edge,
+                    "bin {bin} edge {edge} row {r} value {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn few_distinct_values_use_all_boundaries() {
+        let vals = vec![1.0, 2.0, 2.0, 3.0, 1.0, 3.0];
+        let b = BinnedDataset::build(&single_feature(&vals), 256);
+        assert_eq!(b.edges(0).len(), 2);
+        assert_eq!(b.n_bins(0), 3);
+    }
+
+    #[test]
+    fn constant_feature_has_one_bin() {
+        let vals = vec![4.0; 10];
+        let b = BinnedDataset::build(&single_feature(&vals), 256);
+        assert!(b.edges(0).is_empty());
+        assert!(b.col_codes(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn bins_cap_is_respected() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let b = BinnedDataset::build(&single_feature(&vals), 16);
+        assert_eq!(b.edges(0).len(), 15);
+        assert!(b.col_codes(0).iter().all(|&c| (c as usize) < 16));
+    }
+
+    #[test]
+    fn offsets_cover_all_features() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 3) as f64, 1.0]).collect();
+        let b = BinnedDataset::build(&Matrix::from_rows(&rows), 8);
+        assert_eq!(b.bin_offset(0), 0);
+        assert_eq!(b.bin_offset(1), b.n_bins(0));
+        assert_eq!(b.total_bins(), b.n_bins(0) + b.n_bins(1) + b.n_bins(2));
+    }
+}

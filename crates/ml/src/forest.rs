@@ -8,7 +8,7 @@ use crate::estimator::{
     Regressor, RegressorModel, Result,
 };
 use crate::matrix::Matrix;
-use crate::tree::{fit_class_tree_on, fit_reg_tree, TreeConfig};
+use crate::tree::{binned_for, fit_class_tree_on, fit_reg_tree, SplitMode, TreeConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -22,11 +22,20 @@ pub struct ForestConfig {
     pub seed: u64,
     /// Worker threads for tree training (1 = sequential).
     pub n_threads: usize,
+    /// Split-search strategy shared by every tree.
+    pub split_mode: SplitMode,
 }
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_trees: 50, max_depth: 12, min_samples_leaf: 2, seed: 7, n_threads: 4 }
+        ForestConfig {
+            n_trees: 50,
+            max_depth: 12,
+            min_samples_leaf: 2,
+            seed: 7,
+            n_threads: 4,
+            split_mode: SplitMode::Exact,
+        }
     }
 }
 
@@ -41,6 +50,7 @@ fn tree_config(cfg: &ForestConfig, n_features: usize, tree_seed: u64) -> TreeCon
         max_thresholds: 16,
         feature_subsample: Some(((n_features as f64).sqrt().ceil() as usize).max(1)),
         seed: tree_seed,
+        split_mode: cfg.split_mode,
     }
 }
 
@@ -69,9 +79,11 @@ impl Classifier for RandomForestClassifier {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let samples: Vec<Vec<usize>> =
             (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
+        // Quantize once; every tree shares the same codes and bin edges.
+        let binned = binned_for(x, &tree_config(cfg, x.cols(), cfg.seed));
         let trees = catdb_runtime::parallel_map(cfg.n_threads, &samples, |t, sample| {
             let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
-            fit_class_tree_on(x, y, sample.clone(), n_classes, &tc)
+            fit_class_tree_on(x, y, sample.clone(), n_classes, &tc, binned.as_ref())
         });
         Ok(Box::new(ForestClassifierModel { trees, n_classes }))
     }
@@ -124,9 +136,10 @@ impl Regressor for RandomForestRegressor {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let samples: Vec<Vec<usize>> =
             (0..cfg.n_trees).map(|_| bootstrap_rows(n, &mut rng)).collect();
+        let binned = binned_for(x, &tree_config(cfg, x.cols(), cfg.seed));
         let trees = catdb_runtime::parallel_map(cfg.n_threads, &samples, |t, sample| {
             let tc = tree_config(cfg, x.cols(), cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
-            fit_reg_tree(x, y, sample.clone(), &tc)
+            fit_reg_tree(x, y, sample.clone(), &tc, binned.as_ref())
         });
         Ok(Box::new(ForestRegressorModel { trees }))
     }

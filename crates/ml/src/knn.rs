@@ -1,6 +1,13 @@
 //! k-nearest-neighbour classifier and regressor (brute force, internally
 //! standardized, inverse-distance weighting).
+//!
+//! Distances run through the blocked kernel in [`crate::dist`]: prediction
+//! batches queries per parallel chunk and sweeps them over train-row ×
+//! feature tiles instead of re-streaming the whole training set per query.
+//! The kernel accumulates in the same feature order as the old per-query
+//! rescan, so predictions are byte-identical.
 
+use crate::dist::euclidean_block;
 use crate::estimator::{
     check_finite, validate_classification, validate_regression, Classifier, ClassifierModel,
     Regressor, RegressorModel, Result,
@@ -50,16 +57,37 @@ fn scale_row(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
     row.iter().zip(means).zip(stds).map(|((v, m), s)| (v - m) / s).collect()
 }
 
-/// Indices and distances of the k nearest training rows to `q`.
-fn neighbours(train: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(usize, f64)> {
-    let mut dists: Vec<(usize, f64)> = train
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let d: f64 = t.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum();
-            (i, d.sqrt())
-        })
-        .collect();
+/// Standardized training rows, flattened row-major for the blocked kernel.
+struct TrainSet {
+    flat: Vec<f64>,
+    n: usize,
+    d: usize,
+}
+
+impl TrainSet {
+    fn fit(x: &Matrix, means: &[f64], stds: &[f64]) -> TrainSet {
+        let (n, d) = (x.rows(), x.cols());
+        let mut flat = Vec::with_capacity(n * d);
+        for r in 0..n {
+            flat.extend(scale_row(x.row(r), means, stds));
+        }
+        TrainSet { flat, n, d }
+    }
+
+    /// Distances from each scaled query row to every training row
+    /// (`out[q * n + t]`), via the blocked kernel.
+    fn distances(&self, queries: &[f64], n_queries: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_queries * self.n];
+        euclidean_block(&self.flat, self.n, queries, n_queries, self.d, &mut out);
+        out
+    }
+}
+
+/// Indices and distances of the k nearest training rows given one query's
+/// distance row. Stable sort keeps ties in index order, matching the old
+/// per-query scan.
+fn neighbours(dist_row: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut dists: Vec<(usize, f64)> = dist_row.iter().enumerate().map(|(i, &d)| (i, d)).collect();
     dists.sort_by(|a, b| a.1.total_cmp(&b.1));
     dists.truncate(k.max(1));
     dists
@@ -72,7 +100,7 @@ pub struct KnnClassifier {
 }
 
 struct KnnClassModel {
-    train: Vec<Vec<f64>>,
+    train: TrainSet,
     labels: Vec<usize>,
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -88,8 +116,7 @@ impl Classifier for KnnClassifier {
     fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<Box<dyn ClassifierModel>> {
         validate_classification(x, y, n_classes)?;
         let (means, stds) = fit_scaling(x);
-        let train: Vec<Vec<f64>> =
-            (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        let train = TrainSet::fit(x, &means, &stds);
         Ok(Box::new(KnnClassModel {
             train,
             labels: y.to_vec(),
@@ -110,10 +137,16 @@ impl ClassifierModel for KnnClassModel {
         check_finite(x, "prediction features")?;
         let limit = catdb_runtime::pool_size().saturating_add(1);
         let chunks = catdb_runtime::parallel_chunks(limit, x.rows(), PREDICT_CHUNK, |range| {
-            range
-                .map(|r| {
-                    let q = scale_row(x.row(r), &self.means, &self.stds);
-                    let nn = neighbours(&self.train, &q, self.k);
+            let rows: Vec<usize> = range.collect();
+            let mut queries = Vec::with_capacity(rows.len() * self.train.d);
+            for &r in &rows {
+                queries.extend(scale_row(x.row(r), &self.means, &self.stds));
+            }
+            let dists = self.train.distances(&queries, rows.len());
+            rows.iter()
+                .enumerate()
+                .map(|(qi, _)| {
+                    let nn = neighbours(&dists[qi * self.train.n..(qi + 1) * self.train.n], self.k);
                     let mut probs = vec![0.0; self.n_classes];
                     let mut total = 0.0;
                     for (i, d) in nn {
@@ -143,7 +176,7 @@ pub struct KnnRegressor {
 }
 
 struct KnnRegModel {
-    train: Vec<Vec<f64>>,
+    train: TrainSet,
     targets: Vec<f64>,
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -158,8 +191,7 @@ impl Regressor for KnnRegressor {
     fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn RegressorModel>> {
         validate_regression(x, y)?;
         let (means, stds) = fit_scaling(x);
-        let train: Vec<Vec<f64>> =
-            (0..x.rows()).map(|r| scale_row(x.row(r), &means, &stds)).collect();
+        let train = TrainSet::fit(x, &means, &stds);
         Ok(Box::new(KnnRegModel { train, targets: y.to_vec(), means, stds, k: self.config.k }))
     }
 }
@@ -169,10 +201,16 @@ impl RegressorModel for KnnRegModel {
         check_finite(x, "prediction features")?;
         let limit = catdb_runtime::pool_size().saturating_add(1);
         let chunks = catdb_runtime::parallel_chunks(limit, x.rows(), PREDICT_CHUNK, |range| {
-            range
-                .map(|r| {
-                    let q = scale_row(x.row(r), &self.means, &self.stds);
-                    let nn = neighbours(&self.train, &q, self.k);
+            let rows: Vec<usize> = range.collect();
+            let mut queries = Vec::with_capacity(rows.len() * self.train.d);
+            for &r in &rows {
+                queries.extend(scale_row(x.row(r), &self.means, &self.stds));
+            }
+            let dists = self.train.distances(&queries, rows.len());
+            rows.iter()
+                .enumerate()
+                .map(|(qi, _)| {
+                    let nn = neighbours(&dists[qi * self.train.n..(qi + 1) * self.train.n], self.k);
                     let mut num = 0.0;
                     let mut den = 0.0;
                     for (i, d) in nn {

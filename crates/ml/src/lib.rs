@@ -16,7 +16,9 @@
 //! substrate CatDB's error-management loop is built on.
 
 pub mod augment;
+pub mod binned;
 pub mod boosting;
+mod dist;
 pub mod encode;
 pub mod estimator;
 pub mod featurize;
@@ -35,6 +37,7 @@ pub mod transform;
 mod tree;
 
 pub use augment::{AugmentMethod, Augmenter};
+pub use binned::BinnedDataset;
 pub use boosting::{BoostConfig, GradientBoostingClassifier, GradientBoostingRegressor};
 pub use encode::{FeatureHasher, KHotEncoder, OneHotEncoder, OrdinalEncoder};
 pub use estimator::{argmax, Classifier, ClassifierModel, MlError, Regressor, RegressorModel};
@@ -43,7 +46,7 @@ pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
 pub use impute::{ImputeStrategy, Imputer};
 pub use knn::{KnnClassifier, KnnConfig, KnnRegressor};
 pub use linear::{LogisticRegression, RidgeRegression};
-pub use matrix::Matrix;
+pub use matrix::{ColMajor, Matrix};
 pub use naive_bayes::GaussianNb;
 pub use rows::{
     ColumnDropper, ConstantColumnDropper, Deduplicator, HighMissingDropper, NullRowDropper,
@@ -53,4 +56,4 @@ pub use scale::{ScaleMethod, Scaler};
 pub use select::TopKSelector;
 pub use tabpfn::{TabPfnSurrogate, TABPFN_MAX_CLASSES, TABPFN_MAX_FEATURES, TABPFN_MAX_SAMPLES};
 pub use transform::{Transform, TransformError};
-pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor, SplitMode, TreeConfig};

@@ -57,11 +57,6 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Column `c` gathered into a vector.
-    pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self.get(r, c)).collect()
-    }
-
     /// Select a subset of rows (gather).
     pub fn take_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
@@ -128,6 +123,45 @@ impl Matrix {
     }
 }
 
+/// Column-major copy of a [`Matrix`]: each column is a contiguous slice,
+/// which is what per-feature kernels (quantization, per-feature statistics)
+/// want to stream. Replaces the old `Matrix::col` gather-per-call accessor.
+#[derive(Debug, Clone)]
+pub struct ColMajor {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl ColMajor {
+    /// Transpose `m` once; `col()` is then a free slice borrow.
+    pub fn from_matrix(m: &Matrix) -> ColMajor {
+        let (rows, cols) = (m.rows, m.cols);
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            let row = m.row(r);
+            for c in 0..cols {
+                data[c * rows + r] = row[c];
+            }
+        }
+        ColMajor { data, rows, cols }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column `c` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+}
+
 /// Solve the symmetric positive-definite system `A x = b` in place via
 /// Cholesky decomposition. Returns `None` if `A` is not positive definite
 /// (callers add a ridge term to guarantee it in practice).
@@ -185,7 +219,9 @@ mod tests {
         assert_eq!(m.cols(), 2);
         assert_eq!(m.get(1, 0), 3.0);
         assert_eq!(m.row(0), &[1.0, 2.0]);
-        assert_eq!(m.col(1), vec![2.0, 4.0]);
+        let by_col = ColMajor::from_matrix(&m);
+        assert_eq!(by_col.col(1), &[2.0, 4.0]);
+        assert_eq!((by_col.rows(), by_col.cols()), (2, 2));
     }
 
     #[test]
@@ -218,6 +254,6 @@ mod tests {
     fn take_rows_gathers() {
         let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
         let t = m.take_rows(&[2, 0]);
-        assert_eq!(t.col(0), vec![3.0, 1.0]);
+        assert_eq!(ColMajor::from_matrix(&t).col(0), &[3.0, 1.0]);
     }
 }

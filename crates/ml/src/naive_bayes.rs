@@ -3,7 +3,7 @@
 use crate::estimator::{
     check_finite, validate_classification, Classifier, ClassifierModel, Result,
 };
-use crate::matrix::Matrix;
+use crate::matrix::{ColMajor, Matrix};
 
 /// Gaussian naive Bayes with per-class feature means/variances and a small
 /// variance floor for numerical stability.
@@ -26,9 +26,11 @@ impl Classifier for GaussianNb {
         let d = x.cols();
         let n = x.rows();
         // Global variance scale for the floor (sklearn-style epsilon).
+        // One transpose, then each column is a contiguous streaming pass.
+        let by_col = ColMajor::from_matrix(x);
         let mut global_var = 0.0;
         for c in 0..d {
-            let col = x.col(c);
+            let col = by_col.col(c);
             let mean = col.iter().sum::<f64>() / n as f64;
             global_var += col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         }

@@ -149,22 +149,30 @@ impl Transform for OutlierRemover {
                 // Cap the pairwise computation (LOF is O(n²)).
                 let n = rows.len().min(4000);
                 let k = k.max(1).min(n.saturating_sub(1)).max(1);
-                let mut mean_knn = vec![0.0f64; n];
-                for i in 0..n {
-                    let mut dists: Vec<f64> = (0..n)
-                        .filter(|&j| j != i)
-                        .map(|j| {
-                            rows[i]
-                                .iter()
-                                .zip(&rows[j])
-                                .map(|(a, b)| (a - b).powi(2))
-                                .sum::<f64>()
-                                .sqrt()
+                let d = rows.first().map_or(0, |r| r.len());
+                // Blocked kernel over query chunks: same distances in the
+                // same accumulation order as the old per-row rescan, but
+                // cache-tiled and parallel over the runtime pool.
+                let flat: Vec<f64> = rows[..n].iter().flatten().copied().collect();
+                let limit = catdb_runtime::pool_size().saturating_add(1);
+                let chunks = catdb_runtime::parallel_chunks(limit, n, 64, |range| {
+                    let idx: Vec<usize> = range.collect();
+                    let queries: Vec<f64> =
+                        idx.iter().flat_map(|&i| flat[i * d..(i + 1) * d].to_vec()).collect();
+                    let mut all = vec![0.0; idx.len() * n];
+                    crate::dist::euclidean_block(&flat, n, &queries, idx.len(), d, &mut all);
+                    idx.iter()
+                        .enumerate()
+                        .map(|(qi, &i)| {
+                            let row = &all[qi * n..(qi + 1) * n];
+                            let mut dists: Vec<f64> =
+                                (0..n).filter(|&j| j != i).map(|j| row[j]).collect();
+                            dists.sort_by(|a, b| a.total_cmp(b));
+                            dists.iter().take(k).sum::<f64>() / k as f64
                         })
-                        .collect();
-                    dists.sort_by(|a, b| a.total_cmp(b));
-                    mean_knn[i] = dists.iter().take(k).sum::<f64>() / k as f64;
-                }
+                        .collect::<Vec<_>>()
+                });
+                let mean_knn: Vec<f64> = chunks.into_iter().flatten().collect();
                 let mut sorted = mean_knn.clone();
                 sorted.sort_by(|a, b| a.total_cmp(b));
                 let median = quantile(&sorted, 0.5).max(1e-12);

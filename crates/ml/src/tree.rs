@@ -1,7 +1,18 @@
 //! CART decision trees for classification (Gini) and regression (variance
 //! reduction), with capped threshold candidates and optional feature
 //! subsampling so the trees double as random-forest base learners.
+//!
+//! Two split-search strategies share the same tree structure:
+//!
+//! * [`SplitMode::Exact`] — the original sorted-scan search, bit-identical
+//!   to the seed implementation.
+//! * [`SplitMode::Binned`] — LightGBM-style histogram search over a shared
+//!   [`BinnedDataset`]: per-node histograms of (count, class counts |
+//!   sum, sum-of-squares) are accumulated in one pass over `u8` codes, and
+//!   each sibling's histogram is derived as parent − scanned-child instead
+//!   of rescanned.
 
+use crate::binned::{BinnedDataset, MAX_BINS};
 use crate::estimator::{
     check_finite, validate_classification, validate_regression, Classifier, ClassifierModel,
     Regressor, RegressorModel, Result,
@@ -10,18 +21,64 @@ use crate::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+
+/// Split-search strategy for tree training.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SplitMode {
+    /// Sorted-scan threshold search (bit-identical to the seed trees).
+    #[default]
+    Exact,
+    /// Histogram search over quantized features (`2..=256` bins).
+    Binned { bins: usize },
+}
+
+impl SplitMode {
+    /// Parse `exact`, `binned`, or `binned:<bins>` (bins in `2..=256`).
+    pub fn parse(s: &str) -> std::result::Result<SplitMode, String> {
+        match s {
+            "exact" => Ok(SplitMode::Exact),
+            "binned" => Ok(SplitMode::Binned { bins: MAX_BINS }),
+            other => match other.strip_prefix("binned:") {
+                Some(n) => {
+                    let bins: usize = n.parse().map_err(|_| format!("invalid bin count `{n}`"))?;
+                    if !(2..=MAX_BINS).contains(&bins) {
+                        return Err(format!("bins must be in 2..=256, got {bins}"));
+                    }
+                    Ok(SplitMode::Binned { bins })
+                }
+                None => Err(format!(
+                    "unknown split mode `{other}` (expected `exact`, `binned`, or \
+                     `binned:<bins>`)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SplitMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitMode::Exact => write!(f, "exact"),
+            SplitMode::Binned { bins } => write!(f, "binned:{bins}"),
+        }
+    }
+}
 
 /// Hyper-parameters shared by classification and regression trees.
 #[derive(Debug, Clone)]
 pub struct TreeConfig {
     pub max_depth: usize,
     pub min_samples_leaf: usize,
-    /// Cap on candidate thresholds per feature per node (quantile-strided).
+    /// Cap on candidate thresholds per feature per node (quantile-strided;
+    /// exact mode only — binned mode considers every bin edge).
     pub max_thresholds: usize,
     /// Features sampled per split; `None` = all (single trees),
     /// `Some(k)` for forests.
     pub feature_subsample: Option<usize>,
     pub seed: u64,
+    /// Split-search strategy.
+    pub split_mode: SplitMode,
 }
 
 impl Default for TreeConfig {
@@ -32,6 +89,7 @@ impl Default for TreeConfig {
             max_thresholds: 32,
             feature_subsample: None,
             seed: 0,
+            split_mode: SplitMode::Exact,
         }
     }
 }
@@ -151,14 +209,332 @@ fn prepare_candidates(
     true
 }
 
+/// Flattened per-node histogram over all features of a [`BinnedDataset`]:
+/// classification keeps per-(bin, class) counts, regression keeps per-bin
+/// (count, Σy, Σy²). Sibling histograms subtract exactly (u32 counts are
+/// exact; the f64 sums are deterministic but not order-identical to a
+/// rescan, which binned mode accepts).
+enum Hist {
+    Class(Vec<u32>),
+    Reg { count: Vec<u32>, sum: Vec<f64>, sumsq: Vec<f64> },
+}
+
+impl Hist {
+    /// In-place `self −= child`, turning a parent histogram into the
+    /// sibling of the scanned child.
+    fn subtract(&mut self, child: &Hist) {
+        match (self, child) {
+            (Hist::Class(p), Hist::Class(c)) => {
+                for (a, b) in p.iter_mut().zip(c) {
+                    *a -= b;
+                }
+            }
+            (Hist::Reg { count, sum, sumsq }, Hist::Reg { count: cc, sum: cs, sumsq: cq }) => {
+                for (a, b) in count.iter_mut().zip(cc) {
+                    *a -= b;
+                }
+                for (a, b) in sum.iter_mut().zip(cs) {
+                    *a -= b;
+                }
+                for (a, b) in sumsq.iter_mut().zip(cq) {
+                    *a -= b;
+                }
+            }
+            _ => unreachable!("histogram kind mismatch"),
+        }
+    }
+}
+
+/// Allocate a zeroed histogram covering `bins` bins of the given target
+/// kind (classification scales by the class count).
+fn empty_hist(target: &Target, bins: usize) -> Hist {
+    match target {
+        Target::Class { n_classes, .. } => Hist::Class(vec![0; bins * n_classes]),
+        Target::Reg { .. } => {
+            Hist::Reg { count: vec![0; bins], sum: vec![0.0; bins], sumsq: vec![0.0; bins] }
+        }
+    }
+}
+
+/// `(base, width)` of feature `f`'s element range inside a flattened
+/// histogram (element units, i.e. already scaled by the class count).
+fn feature_range(target: &Target, b: &BinnedDataset, f: usize) -> (usize, usize) {
+    let scale = match target {
+        Target::Class { n_classes, .. } => *n_classes,
+        Target::Reg { .. } => 1,
+    };
+    (b.bin_offset(f) * scale, b.n_bins(f) * scale)
+}
+
+/// Per-node training payload gathered once per histogram scan, so every
+/// feature pass streams flat arrays (row index, label | target value)
+/// instead of re-chasing `rows → y` through two indirections per feature.
+enum NodePayload {
+    Class(Vec<u32>),
+    Reg(Vec<f64>),
+}
+
+/// Accumulate one feature's codes into `hist` starting at element offset
+/// `base`. This is the monomorphic hot loop of binned training: one `u8`
+/// gather plus one indexed add per row.
+fn scan_feature(
+    codes: &[u8],
+    idx: &[u32],
+    payload: &NodePayload,
+    n_classes: usize,
+    base: usize,
+    hist: &mut Hist,
+) {
+    match (hist, payload) {
+        (Hist::Class(h), NodePayload::Class(labels)) => {
+            for (&r, &lab) in idx.iter().zip(labels) {
+                h[base + codes[r as usize] as usize * n_classes + lab as usize] += 1;
+            }
+        }
+        (Hist::Reg { count, sum, sumsq }, NodePayload::Reg(vals)) => {
+            for (&r, &v) in idx.iter().zip(vals) {
+                let bin = base + codes[r as usize] as usize;
+                count[bin] += 1;
+                sum[bin] += v;
+                sumsq[bin] += v * v;
+            }
+        }
+        _ => unreachable!("histogram kind mismatch"),
+    }
+}
+
+/// Row-count × feature-count product above which a node's histogram scan
+/// fans out per-feature on the shared runtime (each feature's bin range is
+/// an independent output slice, so the merge is a plain input-ordered
+/// concatenation and the result is identical at any thread count).
+const PARALLEL_SCAN_CELLS: usize = 1 << 15;
+
 struct Builder<'a> {
     x: &'a Matrix,
     target: Target<'a>,
     cfg: &'a TreeConfig,
     rng: StdRng,
+    binned: Option<&'a BinnedDataset>,
+    hist_builds: u64,
+    hist_subtractions: u64,
 }
 
 impl Builder<'_> {
+    fn fit(&mut self, rows: Vec<usize>) -> Node {
+        match self.binned {
+            Some(_) => self.build_binned(rows, 0, None),
+            None => self.build(rows, 0),
+        }
+    }
+
+    /// Build the full-feature histogram for a node in one pass over the u8
+    /// codes. Large nodes fan out per feature on the runtime pool; each
+    /// feature's bins land in a disjoint slice, so the input-ordered merge
+    /// is a plain copy and the result is identical at any thread count.
+    fn scan_hist(&mut self, rows: &[usize]) -> Hist {
+        self.hist_builds += 1;
+        let b = self.binned.expect("binned scan without dataset");
+        let target = &self.target;
+        // Gather the node's row indices and targets into flat arrays once;
+        // the d feature passes then stream them sequentially.
+        let idx: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        let (payload, n_classes) = match target {
+            Target::Class { y, n_classes } => {
+                (NodePayload::Class(rows.iter().map(|&r| y[r] as u32).collect()), *n_classes)
+            }
+            Target::Reg { y } => (NodePayload::Reg(rows.iter().map(|&r| y[r]).collect()), 1),
+        };
+        let mut hist = empty_hist(target, b.total_bins());
+        if rows.len() * b.cols() >= PARALLEL_SCAN_CELLS && b.cols() > 1 {
+            let feats: Vec<usize> = (0..b.cols()).collect();
+            let limit = catdb_runtime::pool_size().saturating_add(1);
+            let parts = catdb_runtime::parallel_map(limit, &feats, |_, &f| {
+                let mut part = empty_hist(target, b.n_bins(f));
+                scan_feature(b.col_codes(f), &idx, &payload, n_classes, 0, &mut part);
+                part
+            });
+            for (f, part) in parts.into_iter().enumerate() {
+                let (base, width) = feature_range(target, b, f);
+                match (&mut hist, part) {
+                    (Hist::Class(h), Hist::Class(p)) => {
+                        h[base..base + width].copy_from_slice(&p);
+                    }
+                    (
+                        Hist::Reg { count, sum, sumsq },
+                        Hist::Reg { count: pc, sum: ps, sumsq: pq },
+                    ) => {
+                        count[base..base + width].copy_from_slice(&pc);
+                        sum[base..base + width].copy_from_slice(&ps);
+                        sumsq[base..base + width].copy_from_slice(&pq);
+                    }
+                    _ => unreachable!("histogram kind mismatch"),
+                }
+            }
+        } else {
+            for f in 0..b.cols() {
+                let (base, _) = feature_range(target, b, f);
+                scan_feature(b.col_codes(f), &idx, &payload, n_classes, base, &mut hist);
+            }
+        }
+        hist
+    }
+
+    /// Histogram-based recursion: `hist`, when present, was derived by the
+    /// parent (scan of the smaller sibling + subtraction), so each level
+    /// scans the raw codes at most once for the smaller half of its rows.
+    fn build_binned(&mut self, rows: Vec<usize>, depth: usize, hist: Option<Hist>) -> Node {
+        if depth >= self.cfg.max_depth || rows.len() < 2 * self.cfg.min_samples_leaf {
+            return self.target.leaf(&rows);
+        }
+        // One pass over the node's labels covers purity + parent impurity
+        // (the exact path pays three passes here; with full-feature
+        // histogram scans per node the savings are material).
+        let parent_class_counts: Option<Vec<usize>> = match &self.target {
+            Target::Class { y, n_classes } => {
+                let mut counts = vec![0usize; *n_classes];
+                for &r in &rows {
+                    counts[y[r]] += 1;
+                }
+                if counts.iter().filter(|&&c| c > 0).count() <= 1 {
+                    return self.target.leaf(&rows);
+                }
+                Some(counts)
+            }
+            Target::Reg { .. } => {
+                if self.target.is_pure(&rows) {
+                    return self.target.leaf(&rows);
+                }
+                None
+            }
+        };
+        let parent_impurity = match &parent_class_counts {
+            Some(counts) => gini_weighted(counts, rows.len()),
+            None => self.target.weighted_impurity(&rows),
+        };
+        if parent_impurity <= 1e-12 {
+            return self.target.leaf(&rows);
+        }
+        let binned = self.binned.expect("binned build without dataset");
+
+        let d = self.x.cols();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(k) = self.cfg.feature_subsample {
+            features.shuffle(&mut self.rng);
+            features.truncate(k.max(1).min(d));
+        }
+
+        let hist = match hist {
+            Some(h) => h,
+            None => self.scan_hist(&rows),
+        };
+
+        // Cumulative left-to-right sweep over each feature's bins: split at
+        // bin b sends codes ≤ b left, which is exactly `value ≤ edges[b]`.
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        match (&hist, &self.target) {
+            (Hist::Class(h), Target::Class { n_classes, .. }) => {
+                let nc = *n_classes;
+                let parent_counts =
+                    parent_class_counts.as_ref().expect("class counts computed above");
+                let mut left_counts = vec![0usize; nc];
+                for &f in &features {
+                    let nb = binned.n_bins(f);
+                    if nb < 2 {
+                        continue; // constant feature
+                    }
+                    let base = binned.bin_offset(f) * nc;
+                    left_counts.fill(0);
+                    let mut left_n = 0usize;
+                    for b in 0..nb - 1 {
+                        let slot = &h[base + b * nc..base + (b + 1) * nc];
+                        for (acc, &v) in left_counts.iter_mut().zip(slot) {
+                            *acc += v as usize;
+                            left_n += v as usize;
+                        }
+                        let right_n = rows.len() - left_n;
+                        if left_n < self.cfg.min_samples_leaf.max(1)
+                            || right_n < self.cfg.min_samples_leaf.max(1)
+                        {
+                            continue;
+                        }
+                        let child = gini_weighted(&left_counts, left_n)
+                            + gini_weighted_rest(parent_counts, &left_counts, right_n);
+                        let gain = parent_impurity - child;
+                        if best.as_ref().is_none_or(|x| gain > x.0) && gain > 1e-12 {
+                            best = Some((gain, f, b));
+                        }
+                    }
+                }
+            }
+            (Hist::Reg { count, sum, sumsq }, Target::Reg { .. }) => {
+                for &f in &features {
+                    let nb = binned.n_bins(f);
+                    if nb < 2 {
+                        continue;
+                    }
+                    let base = binned.bin_offset(f);
+                    let bins = base..base + nb;
+                    let total_n: u32 = count[bins.clone()].iter().sum();
+                    let total_sum: f64 = sum[bins.clone()].iter().sum();
+                    let total_sumsq: f64 = sumsq[bins].iter().sum();
+                    let mut left_n = 0u32;
+                    let mut left_sum = 0.0f64;
+                    let mut left_sumsq = 0.0f64;
+                    for b in 0..nb - 1 {
+                        left_n += count[base + b];
+                        left_sum += sum[base + b];
+                        left_sumsq += sumsq[base + b];
+                        let right_n = total_n - left_n;
+                        if (left_n as usize) < self.cfg.min_samples_leaf.max(1)
+                            || (right_n as usize) < self.cfg.min_samples_leaf.max(1)
+                        {
+                            continue;
+                        }
+                        let left_sse = left_sumsq - left_sum * left_sum / left_n as f64;
+                        let right_sum = total_sum - left_sum;
+                        let right_sse =
+                            (total_sumsq - left_sumsq) - right_sum * right_sum / right_n as f64;
+                        let child = left_sse + right_sse;
+                        let gain = parent_impurity - child;
+                        if best.as_ref().is_none_or(|x| gain > x.0) && gain > 1e-12 {
+                            best = Some((gain, f, b));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("histogram kind mismatch"),
+        }
+
+        let Some((_, feature, bin)) = best else {
+            return self.target.leaf(&rows);
+        };
+        let threshold = binned.edges(feature)[bin];
+        let codes = binned.col_codes(feature);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.into_iter().partition(|&r| codes[r] as usize <= bin);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            // Histogram counts guarantee both sides are non-empty; keep the
+            // exact path's defensive fallback anyway.
+            let all: Vec<usize> = left_rows.into_iter().chain(right_rows).collect();
+            return self.target.leaf(&all);
+        }
+
+        // Subtraction trick: scan only the smaller child, derive the larger
+        // sibling as parent − child.
+        let scan_left = left_rows.len() <= right_rows.len();
+        let small = if scan_left { &left_rows } else { &right_rows };
+        let small_hist = self.scan_hist(small);
+        let mut large_hist = hist;
+        large_hist.subtract(&small_hist);
+        self.hist_subtractions += 1;
+        let (left_hist, right_hist) =
+            if scan_left { (small_hist, large_hist) } else { (large_hist, small_hist) };
+
+        let left = Box::new(self.build_binned(left_rows, depth + 1, Some(left_hist)));
+        let right = Box::new(self.build_binned(right_rows, depth + 1, Some(right_hist)));
+        Node::Split { feature, threshold, left, right }
+    }
+
     fn build(&mut self, rows: Vec<usize>, depth: usize) -> Node {
         if depth >= self.cfg.max_depth
             || rows.len() < 2 * self.cfg.min_samples_leaf
@@ -317,6 +693,25 @@ impl Classifier for DecisionTreeClassifier {
     }
 }
 
+/// Build the quantized view a config asks for (`None` in exact mode).
+/// Ensemble fits call this once and share the result across every tree.
+pub(crate) fn binned_for(x: &Matrix, cfg: &TreeConfig) -> Option<BinnedDataset> {
+    match cfg.split_mode {
+        SplitMode::Binned { bins } => Some(BinnedDataset::build(x, bins)),
+        SplitMode::Exact => None,
+    }
+}
+
+/// Flush the per-fit histogram counters into the trace layer.
+fn flush_hist_counters(builder: &Builder) {
+    if builder.hist_builds > 0 {
+        catdb_trace::add_counter("ml.hist_builds", builder.hist_builds as f64);
+    }
+    if builder.hist_subtractions > 0 {
+        catdb_trace::add_counter("ml.hist_subtractions", builder.hist_subtractions as f64);
+    }
+}
+
 /// Internal fit that skips validation (forests validate once up front).
 pub(crate) fn fit_class_tree(
     x: &Matrix,
@@ -324,31 +719,37 @@ pub(crate) fn fit_class_tree(
     n_classes: usize,
     cfg: &TreeConfig,
 ) -> TreeClassifierModel {
-    let mut builder = Builder {
-        x,
-        target: Target::Class { y, n_classes },
-        cfg,
-        rng: StdRng::seed_from_u64(cfg.seed),
-    };
-    let root = builder.build((0..x.rows()).collect(), 0);
-    TreeClassifierModel { root, n_classes }
+    let local = binned_for(x, cfg);
+    fit_class_tree_on(x, y, (0..x.rows()).collect(), n_classes, cfg, local.as_ref())
 }
 
-/// Internal fit over a row subset (for bagging).
+/// Internal fit over a row subset (for bagging). `binned` must be the
+/// quantization of `x` when the config selects binned mode; it is ignored
+/// in exact mode.
 pub(crate) fn fit_class_tree_on(
     x: &Matrix,
     y: &[usize],
     rows: Vec<usize>,
     n_classes: usize,
     cfg: &TreeConfig,
+    binned: Option<&BinnedDataset>,
 ) -> TreeClassifierModel {
+    let _span = catdb_trace::span("tree_fit");
+    let binned = match cfg.split_mode {
+        SplitMode::Binned { .. } => binned,
+        SplitMode::Exact => None,
+    };
     let mut builder = Builder {
         x,
         target: Target::Class { y, n_classes },
         cfg,
         rng: StdRng::seed_from_u64(cfg.seed),
+        binned,
+        hist_builds: 0,
+        hist_subtractions: 0,
     };
-    let root = builder.build(rows, 0);
+    let root = builder.fit(rows);
+    flush_hist_counters(&builder);
     TreeClassifierModel { root, n_classes }
 }
 
@@ -385,20 +786,36 @@ impl Regressor for DecisionTreeRegressor {
 
     fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn RegressorModel>> {
         validate_regression(x, y)?;
-        Ok(Box::new(fit_reg_tree(x, y, (0..x.rows()).collect(), &self.config)))
+        let local = binned_for(x, &self.config);
+        Ok(Box::new(fit_reg_tree(x, y, (0..x.rows()).collect(), &self.config, local.as_ref())))
     }
 }
 
-/// Internal regression-tree fit over a row subset.
+/// Internal regression-tree fit over a row subset. `binned` must be the
+/// quantization of `x` when the config selects binned mode.
 pub(crate) fn fit_reg_tree(
     x: &Matrix,
     y: &[f64],
     rows: Vec<usize>,
     cfg: &TreeConfig,
+    binned: Option<&BinnedDataset>,
 ) -> TreeRegressorModel {
-    let mut builder =
-        Builder { x, target: Target::Reg { y }, cfg, rng: StdRng::seed_from_u64(cfg.seed) };
-    let root = builder.build(rows, 0);
+    let _span = catdb_trace::span("tree_fit");
+    let binned = match cfg.split_mode {
+        SplitMode::Binned { .. } => binned,
+        SplitMode::Exact => None,
+    };
+    let mut builder = Builder {
+        x,
+        target: Target::Reg { y },
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        binned,
+        hist_builds: 0,
+        hist_subtractions: 0,
+    };
+    let root = builder.fit(rows);
+    flush_hist_counters(&builder);
     TreeRegressorModel { root }
 }
 

@@ -34,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--split-mode exact|binned|binned:BINS]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--split-mode MODE] [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
     );
     ExitCode::from(2)
 }
@@ -49,6 +49,8 @@ struct Args {
     route: Option<String>,
     /// End-to-end accuracy target for `--route auto`.
     route_target_accuracy: f64,
+    /// Tree split search: `exact` | `binned` | `binned:<bins>`.
+    split_mode: catdb_ml::SplitMode,
     beta: usize,
     alpha: Option<usize>,
     refine: bool,
@@ -98,6 +100,7 @@ fn parse_args() -> Option<Args> {
         model: "gpt-4o".into(),
         route: None,
         route_target_accuracy: DEFAULT_ROUTE_TARGET_ACCURACY,
+        split_mode: catdb_ml::SplitMode::Exact,
         beta: 1,
         alpha: None,
         refine: true,
@@ -140,6 +143,22 @@ fn parse_args() -> Option<Args> {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     args.route_target_accuracy = v;
                     i += 1;
+                }
+            }
+            "--split-mode" => {
+                let Some(raw) = argv.get(i + 1) else {
+                    eprintln!("--split-mode needs a value (exact | binned | binned:<bins>)");
+                    return None;
+                };
+                match catdb_ml::SplitMode::parse(raw) {
+                    Ok(mode) => {
+                        args.split_mode = mode;
+                        i += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("bad --split-mode '{raw}': {e}");
+                        return None;
+                    }
                 }
             }
             "--beta" => {
@@ -424,6 +443,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         seed: args.seed,
         llm_concurrency: args.llm_concurrency,
         llm_cache: cache.clone(),
+        split_mode: args.split_mode,
         ..Default::default()
     };
     let result = match catdb_pipgen(&entry, &prepared, llm, &cfg) {
@@ -571,6 +591,10 @@ fn client_request(args: &Args) -> Result<GenerateRequest, String> {
     req.task = args.task.clone();
     req.model = args.model.clone();
     req.route = args.route.clone();
+    req.split_mode = match args.split_mode {
+        catdb_ml::SplitMode::Exact => None,
+        mode => Some(mode.to_string()),
+    };
     req.seed = args.seed;
     req.beta = args.beta;
     req.alpha = args.alpha;

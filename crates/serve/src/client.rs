@@ -40,7 +40,7 @@ pub fn submit<S: Read + Write>(
     req: &GenerateRequest,
     mut on_progress: impl FnMut(u64, &EventRecord),
 ) -> Result<Outcome, WireError> {
-    write_frame(stream, &ClientFrame::Submit(req.clone()))?;
+    write_frame(stream, &ClientFrame::Submit(Box::new(req.clone())))?;
     loop {
         let frame: ServerFrame = read_frame(stream)?;
         match frame {

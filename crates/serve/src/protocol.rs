@@ -62,6 +62,11 @@ pub struct GenerateRequest {
     /// version-1 clients that never heard of routing stay compatible.
     #[serde(default)]
     pub route: Option<String>,
+    /// Tree split-search strategy (`exact` | `binned` | `binned:<bins>`);
+    /// `None` means exact. Optional on the wire so older clients that
+    /// predate histogram training still decode.
+    #[serde(default)]
+    pub split_mode: Option<String>,
     pub seed: u64,
     /// Chain chunks (1 = single prompt).
     pub beta: usize,
@@ -83,6 +88,7 @@ impl GenerateRequest {
             task: None,
             model: "gpt-4o".into(),
             route: None,
+            split_mode: None,
             seed: 42,
             beta: 1,
             alpha: None,
@@ -95,12 +101,13 @@ impl GenerateRequest {
 /// Frames a client may send.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ClientFrame {
-    Submit(GenerateRequest),
+    /// Boxed: a request (dataset spec + every knob) dwarfs the shutdown
+    /// variant. Serde encodes `Box<T>` exactly as `T`, so the wire
+    /// format is unchanged.
+    Submit(Box<GenerateRequest>),
     /// Graceful daemon shutdown; honored only when the token matches the
     /// server's configured `--shutdown-token`.
-    Shutdown {
-        token: String,
-    },
+    Shutdown { token: String },
 }
 
 /// Terminal success payload.
@@ -267,6 +274,7 @@ mod tests {
             task: Some("binary".into()),
             model: "gemini-1.5-pro".into(),
             route: Some("refine=llama,fix=mini".into()),
+            split_mode: Some("binned:128".into()),
             seed: 9,
             beta: 3,
             alpha: Some(12),
@@ -277,9 +285,10 @@ mod tests {
 
     #[test]
     fn client_frames_round_trip() {
-        for frame in
-            [ClientFrame::Submit(request()), ClientFrame::Shutdown { token: "secret".into() }]
-        {
+        for frame in [
+            ClientFrame::Submit(Box::new(request())),
+            ClientFrame::Shutdown { token: "secret".into() },
+        ] {
             let bytes = encode_frame(&frame).unwrap();
             let back: ClientFrame = decode_frame(&bytes).unwrap();
             assert_eq!(frame, back);
@@ -339,6 +348,26 @@ mod tests {
         };
         let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
         assert_eq!(back.route, None);
+        assert_eq!(back.model, request().model);
+    }
+
+    #[test]
+    fn requests_without_split_mode_field_still_decode() {
+        // Clients that predate histogram training omit `split_mode`;
+        // the server must read that as exact splits.
+        let v = serde_json::to_value(&request());
+        let stripped = match v {
+            serde_json::Value::Object(m) => serde_json::Value::Object(
+                m.iter()
+                    .filter(|(k, _)| k.as_str() != "split_mode")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+            _ => unreachable!("requests serialize as objects"),
+        };
+        let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
+        assert_eq!(back.split_mode, None);
         assert_eq!(back.model, request().model);
     }
 

@@ -358,11 +358,18 @@ impl Server {
         let (entry, prepared, _report) = catdb_collect(&dataset, &target, task, &sched, &collect)
             .map_err(|e| format!("collection failed: {e}"))?;
 
+        let split_mode = match &req.split_mode {
+            Some(s) => {
+                catdb_ml::SplitMode::parse(s).map_err(|e| format!("bad split_mode '{s}': {e}"))?
+            }
+            None => catdb_ml::SplitMode::Exact,
+        };
         let cfg = CatDbConfig {
             prompt: PromptOptions { beta: req.beta.max(1), alpha: req.alpha, ..Default::default() },
             seed: req.seed,
             llm_concurrency: opts.llm_concurrency,
             llm_cache: Some(self.inner.cache.clone()),
+            split_mode,
             ..Default::default()
         };
         let result = catdb_pipgen(&entry, &prepared, &sched, &cfg)

@@ -82,7 +82,7 @@ fn main() {
             &raw_test,
             &g.target,
             g.task,
-            &AutoMlConfig { time_budget_seconds: 10.0, seed: 9 },
+            &AutoMlConfig { time_budget_seconds: 10.0, seed: 9, ..Default::default() },
         );
         let (score, secs) = match &out {
             AutoMlOutcome::Success { test_score, elapsed_seconds, .. } => {

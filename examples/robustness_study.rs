@@ -34,7 +34,7 @@ fn main() {
             &test,
             &g.target,
             g.task,
-            &AutoMlConfig { time_budget_seconds: 8.0, seed: 5 },
+            &AutoMlConfig { time_budget_seconds: 8.0, ..Default::default() },
         );
         let flaml_r2 = match automl {
             AutoMlOutcome::Success { test_score, .. } => test_score,

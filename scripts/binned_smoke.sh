@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Binned-training smoke: run the same seeded `catdb run` pipeline four
+# times — --split-mode exact at CATDB_THREADS 1 and 8, then
+# --split-mode binned at CATDB_THREADS 1 and 8 — and assert:
+#   (a) the two exact runs are byte-identical on stdout (the histogram
+#       refactor must not perturb the default path, at any thread count),
+#   (b) the two binned runs are byte-identical to each other (binned
+#       split search is deterministic across thread counts),
+#   (c) summed tree_fit span time (from --trace-out) is strictly smaller
+#       for binned than for exact — histogram training must actually be
+#       faster on the same workload, not just equivalent.
+# Used directly as a CI gate (any violated assertion exits nonzero).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Deterministic toy CSV, sized so tree training is the dominant model
+# cost: numeric features with thousands of distinct values, so exact
+# split search has real threshold-scanning work to do.
+{
+  echo "f1,f2,f3,f4,f5,f6,f7,f8,label"
+  for i in $(seq 0 2999); do
+    a=$((i * 37 % 9973)); b=$((i * 53 % 9967)); c=$((i * 71 % 9949)); d=$((i * 89 % 9941))
+    e=$((i * 101 % 9931)); f=$((i * 113 % 9929)); g=$((i * 127 % 9923)); h=$((i * 139 % 9907))
+    echo "$a.$((i % 10)),$b.$((i % 7)),$c.$((i % 3)),$d.$((i % 9)),$e.$((i % 8)),$f.$((i % 6)),$g.$((i % 4)),$h.$((i % 5)),$(((a + b) % 2))"
+  done
+} > "$TMP/smoke.csv"
+
+# The timing assertion needs optimized code; a debug binary distorts the
+# exact-vs-binned ratio.
+cargo build -q --release -p catdb-serve --bin catdb
+
+run() { # $1 split mode, $2 threads, $3 stdout, $4 stderr, $5 trace file
+  CATDB_THREADS="$2" ./target/release/catdb run \
+    --csv "$TMP/smoke.csv" --target label --task binary \
+    --seed 7 --split-mode "$1" --trace-out "$5" > "$3" 2> "$4"
+}
+
+# Sum the closed tree_fit spans in a --trace-out snapshot, in micros.
+tree_fit_micros() {
+  python3 - "$1" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+total = sum(
+    s["end_micros"] - s["start_micros"]
+    for s in trace["spans"]
+    if s["name"] == "tree_fit" and s["end_micros"] is not None
+)
+print(total)
+PY
+}
+
+run exact 1 "$TMP/exact-1.out" "$TMP/exact-1.err" "$TMP/exact-1.trace"
+run exact 8 "$TMP/exact-8.out" "$TMP/exact-8.err" "$TMP/exact-8.trace"
+run binned 1 "$TMP/binned-1.out" "$TMP/binned-1.err" "$TMP/binned-1.trace"
+run binned 8 "$TMP/binned-8.out" "$TMP/binned-8.err" "$TMP/binned-8.trace"
+
+if ! diff "$TMP/exact-1.out" "$TMP/exact-8.out" > /dev/null; then
+  echo "binned_smoke: exact runs diverged between 1 and 8 threads" >&2
+  diff "$TMP/exact-1.out" "$TMP/exact-8.out" >&2 || true
+  exit 1
+fi
+if ! diff "$TMP/binned-1.out" "$TMP/binned-8.out" > /dev/null; then
+  echo "binned_smoke: binned runs diverged between 1 and 8 threads" >&2
+  diff "$TMP/binned-1.out" "$TMP/binned-8.out" >&2 || true
+  exit 1
+fi
+
+exact_us="$(tree_fit_micros "$TMP/exact-1.trace")"
+binned_us="$(tree_fit_micros "$TMP/binned-1.trace")"
+if [ -z "$exact_us" ] || [ "$exact_us" -eq 0 ]; then
+  echo "binned_smoke: exact run recorded no closed tree_fit spans" >&2
+  exit 1
+fi
+if [ -z "$binned_us" ] || [ "$binned_us" -eq 0 ]; then
+  echo "binned_smoke: binned run recorded no closed tree_fit spans" >&2
+  exit 1
+fi
+if [ "$binned_us" -ge "$exact_us" ]; then
+  echo "binned_smoke: binned tree_fit ${binned_us}us not below exact ${exact_us}us" >&2
+  exit 1
+fi
+
+echo "binned_smoke: ok (tree_fit exact=${exact_us}us binned=${binned_us}us, both modes thread-invariant)"

@@ -270,7 +270,7 @@ fn arb_request() -> impl Strategy<Value = GenerateRequest> {
 
 fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
     prop_oneof![
-        arb_request().prop_map(ClientFrame::Submit),
+        arb_request().prop_map(|req| ClientFrame::Submit(Box::new(req))),
         "[ -~]{0,24}".prop_map(|token| ClientFrame::Shutdown { token }),
     ]
 }
