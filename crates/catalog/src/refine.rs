@@ -20,7 +20,7 @@
 
 use catdb_llm::{estimate_tokens, LanguageModel, Prompt, TokenUsage};
 use catdb_profiler::{profile_table, ColumnProfile, DataProfile, FeatureType, ProfileOptions};
-use catdb_table::{Column, DataType, Table, Value};
+use catdb_table::{column_dict, Column, DataType, Table, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -198,25 +198,18 @@ fn apply_mapping(table: &mut Table, name: &str, mapping: &BTreeMap<String, Strin
 
 fn distinct_count(table: &Table, name: &str) -> usize {
     let col = table.column(name).expect("caller verified");
-    let mut set = std::collections::HashSet::new();
-    for i in 0..col.len() {
-        if !col.is_null_at(i) {
-            set.insert(col.get(i).render());
-        }
-    }
-    set.len()
+    // The profiler already built (and memoized) this column's dictionary;
+    // reuse it instead of re-rendering every row into a fresh set.
+    column_dict(col).n_distinct()
 }
 
 /// Value list with counts for the refinement prompt ("Male:53|male:2").
 fn values_with_counts(table: &Table, name: &str) -> Vec<String> {
     let col = table.column(name).expect("caller verified");
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for i in 0..col.len() {
-        if !col.is_null_at(i) {
-            *counts.entry(col.get(i).render()).or_insert(0) += 1;
-        }
-    }
-    counts.into_iter().map(|(v, c)| format!("{v}:{c}")).collect()
+    let dict = column_dict(col);
+    // Dictionary values are sorted ascending — the same order the old
+    // BTreeMap walk produced.
+    dict.values().iter().zip(dict.counts()).map(|(v, c)| format!("{v}:{c}")).collect()
 }
 
 /// Run the full refinement pass. Returns the prepared table, its fresh

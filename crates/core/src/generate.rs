@@ -59,6 +59,9 @@ pub struct CatDbConfig {
     /// Split-search strategy forwarded to the tree-family estimators
     /// (`--split-mode`): exact scans or histogram-binned training.
     pub split_mode: catdb_ml::SplitMode,
+    /// Profiling strategy (`--profile-mode`): exact full-column scans
+    /// or chunked single-pass sketches for out-of-core inputs.
+    pub profile_mode: catdb_profiler::ProfileMode,
 }
 
 impl Default for CatDbConfig {
@@ -77,6 +80,7 @@ impl Default for CatDbConfig {
             llm_cache_path: None,
             llm_cache: None,
             split_mode: catdb_ml::SplitMode::Exact,
+            profile_mode: catdb_profiler::ProfileMode::Exact,
         }
     }
 }
@@ -409,6 +413,7 @@ pub fn generate_pipeline(
         seed: cfg.seed,
         fast_validation: false,
         split_mode: cfg.split_mode,
+        profile_mode: cfg.profile_mode,
     };
     let n_train = train.n_rows().max(1);
     let validation_fraction =
@@ -423,6 +428,7 @@ pub fn generate_pipeline(
         seed: cfg.seed,
         fast_validation: true,
         split_mode: cfg.split_mode,
+        profile_mode: cfg.profile_mode,
     };
 
     // ---- Validation & error-management loop (Algorithm 4, lines 3–15) ----

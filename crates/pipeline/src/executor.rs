@@ -37,6 +37,9 @@ pub struct ExecutionConfig {
     pub fast_validation: bool,
     /// Split-search strategy for the tree-family estimators.
     pub split_mode: SplitMode,
+    /// Profiling strategy (exact scans vs mergeable chunked sketches)
+    /// forwarded to every profiling pass the run performs.
+    pub profile_mode: catdb_profiler::ProfileMode,
 }
 
 impl ExecutionConfig {
@@ -47,6 +50,7 @@ impl ExecutionConfig {
             seed: 42,
             fast_validation: false,
             split_mode: SplitMode::Exact,
+            profile_mode: catdb_profiler::ProfileMode::Exact,
         }
     }
 }

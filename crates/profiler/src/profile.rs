@@ -2,12 +2,16 @@
 //! types, dependencies (via embeddings), samples, and statistics.
 
 use crate::embedding::{inclusion_score, ColumnEmbedding};
+use crate::sketch::{ColumnSketch, PairMoments};
 use crate::types::{ColumnProfile, DataProfile, FeatureType, NumericStats};
-use catdb_table::{column_dict, table_fingerprint, Column, DataType, Table, ValueDict};
+use catdb_table::{
+    column_dict, table_fingerprint, ChunkedTable, Column, DataType, Table, ValueDict,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -16,6 +20,64 @@ use std::time::Instant;
 pub const COUNTER_PROFILE_MEMO_HITS: &str = "profile.memo_hits";
 /// Counter name for profile-memo cache misses (full profiling runs).
 pub const COUNTER_PROFILE_MEMO_MISSES: &str = "profile.memo_misses";
+/// Counter: chunks folded into sketches by sketch-mode profiling.
+pub const COUNTER_PROFILER_CHUNKS: &str = "profiler.chunks";
+/// Counter: sketch merge operations (column + pair sketches).
+pub const COUNTER_PROFILER_SKETCH_MERGES: &str = "profiler.sketch_merges";
+/// High-water counter: largest resident chunk during sketch profiling.
+pub const COUNTER_PROFILER_PEAK_CHUNK_RSS: &str = "profiler.peak_chunk_rss";
+/// Span wrapping the processing of one chunk in sketch mode.
+pub const SPAN_PROFILE_CHUNK: &str = "profile_chunk";
+
+/// How `profile_table` computes its statistics.
+///
+/// `Exact` is the default and is bit-frozen: the golden tests pin its
+/// output against the pre-sketch profiler. `Sketch` computes mergeable
+/// single-pass sketches per `chunk_rows`-row chunk, merged in fixed
+/// chunk order — byte-identical at any `CATDB_THREADS`, within
+/// documented error bounds of exact, and the only mode usable on
+/// out-of-core [`ChunkedTable`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    #[default]
+    Exact,
+    Sketch {
+        chunk_rows: usize,
+    },
+}
+
+impl ProfileMode {
+    /// Parse `exact`, `sketch`, or `sketch:<chunk_rows>`.
+    pub fn parse(s: &str) -> std::result::Result<ProfileMode, String> {
+        match s {
+            "exact" => Ok(ProfileMode::Exact),
+            "sketch" => Ok(ProfileMode::Sketch { chunk_rows: catdb_table::DEFAULT_CHUNK_ROWS }),
+            other => match other.strip_prefix("sketch:") {
+                Some(n) => {
+                    let chunk_rows: usize =
+                        n.parse().map_err(|_| format!("invalid chunk rows `{n}`"))?;
+                    if chunk_rows == 0 {
+                        return Err("chunk rows must be at least 1".to_string());
+                    }
+                    Ok(ProfileMode::Sketch { chunk_rows })
+                }
+                None => Err(format!(
+                    "unknown profile mode `{other}` (expected `exact`, `sketch`, or \
+                     `sketch:<chunk_rows>`)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ProfileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileMode::Exact => write!(f, "exact"),
+            ProfileMode::Sketch { chunk_rows } => write!(f, "sketch:{chunk_rows}"),
+        }
+    }
+}
 
 /// Profiling options.
 #[derive(Debug, Clone)]
@@ -33,6 +95,8 @@ pub struct ProfileOptions {
     /// Worker threads for per-column extraction.
     pub n_threads: usize,
     pub seed: u64,
+    /// Exact in-memory statistics (default) or chunked sketches.
+    pub mode: ProfileMode,
 }
 
 impl Default for ProfileOptions {
@@ -45,6 +109,7 @@ impl Default for ProfileOptions {
             inclusion_threshold: 0.75,
             n_threads: 4,
             seed: 1234,
+            mode: ProfileMode::Exact,
         }
     }
 }
@@ -77,13 +142,15 @@ fn numeric_stats(col: &Column) -> Option<NumericStats> {
 }
 
 /// Heuristic feature-type detection for the initial (pre-LLM) profile.
+/// Takes the dtype (not the column) so the sketch finalizer — which
+/// never holds a column — shares the exact path's rules verbatim.
 fn detect_feature_type(
-    col: &Column,
+    dtype: DataType,
     distinct: usize,
     non_null: usize,
     opts: &ProfileOptions,
 ) -> FeatureType {
-    match col.dtype() {
+    match dtype {
         DataType::Bool => FeatureType::Boolean,
         DataType::Int | DataType::Float => {
             let ratio = if non_null == 0 { 0.0 } else { distinct as f64 / non_null as f64 };
@@ -188,6 +255,13 @@ fn options_key(name: &str, opts: &ProfileOptions) -> u64 {
     opts.inclusion_threshold.to_bits().hash(&mut h);
     opts.n_threads.hash(&mut h);
     opts.seed.hash(&mut h);
+    match opts.mode {
+        ProfileMode::Exact => 0u8.hash(&mut h),
+        ProfileMode::Sketch { chunk_rows } => {
+            1u8.hash(&mut h);
+            chunk_rows.hash(&mut h);
+        }
+    }
     h.finish()
 }
 
@@ -213,6 +287,26 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
     }
     catdb_trace::add_counter(COUNTER_PROFILE_MEMO_MISSES, 1.0);
 
+    let (profile, column_events) = match opts.mode {
+        ProfileMode::Exact => profile_exact(name, table, opts),
+        ProfileMode::Sketch { chunk_rows } => profile_sketch_table(name, table, chunk_rows, opts),
+    };
+
+    let mut memo = memo().lock().unwrap();
+    if memo.len() >= MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(key, MemoEntry { profile: profile.clone(), column_events });
+    profile
+}
+
+/// The frozen exact path: whole-column statistics over the in-memory
+/// table. Golden tests pin this output bit-for-bit.
+fn profile_exact(
+    name: &str,
+    table: &Table,
+    opts: &ProfileOptions,
+) -> (DataProfile, Vec<(String, String, u64)>) {
     let started = Instant::now();
     let n_rows = table.n_rows();
     let fields: Vec<(usize, String)> =
@@ -229,7 +323,8 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
             let (distinct, top_value_ratio) = distinct_values(col);
             let non_null = distinct.non_null();
             let missing = n_rows - non_null;
-            let feature_type = detect_feature_type(col, distinct.n_distinct(), non_null, opts);
+            let feature_type =
+                detect_feature_type(col.dtype(), distinct.n_distinct(), non_null, opts);
             let embedding =
                 ColumnEmbedding::from_distinct_values(distinct.values().iter().map(|s| s.as_str()));
             // Samples: all distinct values for categoricals, else τ₁
@@ -347,12 +442,258 @@ pub fn profile_table(name: &str, table: &Table, opts: &ProfileOptions) -> DataPr
         .iter()
         .map(|p| (p.profile.name.clone(), p.profile.feature_type.label().to_string(), p.micros))
         .collect();
-    let mut memo = memo().lock().unwrap();
-    if memo.len() >= MEMO_CAP {
-        memo.clear();
+    (profile, column_events)
+}
+
+// ---------------------------------------------------------------------------
+// Sketch mode: chunked single-pass profiling.
+// ---------------------------------------------------------------------------
+
+/// Accumulated sketch state across chunks: one [`ColumnSketch`] per
+/// column plus bivariate [`PairMoments`] per numeric column pair.
+struct SketchAccum {
+    cols: Vec<ColumnSketch>,
+    /// `(i, j)` column indices of every numeric pair, `i < j`, in the
+    /// iteration order of the exact pairwise pass.
+    pair_idx: Vec<(usize, usize)>,
+    pairs: Vec<PairMoments>,
+    merges: u64,
+}
+
+impl SketchAccum {
+    fn new(fields: &[(String, DataType)]) -> SketchAccum {
+        let mut pair_idx = Vec::new();
+        for i in 0..fields.len() {
+            for j in i + 1..fields.len() {
+                if fields[i].1.is_numeric() && fields[j].1.is_numeric() {
+                    pair_idx.push((i, j));
+                }
+            }
+        }
+        SketchAccum {
+            cols: fields.iter().map(|_| ColumnSketch::default()).collect(),
+            pairs: vec![PairMoments::default(); pair_idx.len()],
+            pair_idx,
+            merges: 0,
+        }
     }
-    memo.insert(key, MemoEntry { profile: profile.clone(), column_events });
-    profile
+
+    /// Fold one chunk in: per-column sketches are computed on the
+    /// runtime pool (input-ordered), then merged sequentially in column
+    /// order — chunk arrival order is fixed by the caller, so the final
+    /// state is identical at any thread count.
+    fn fold_chunk(&mut self, chunk: &Table, n_threads: usize) {
+        let _span = catdb_trace::span(SPAN_PROFILE_CHUNK);
+        catdb_trace::add_counter(COUNTER_PROFILER_CHUNKS, 1.0);
+        catdb_trace::max_counter(COUNTER_PROFILER_PEAK_CHUNK_RSS, chunk.approx_bytes() as f64);
+        let idx: Vec<usize> = (0..chunk.n_cols()).collect();
+        let parts: Vec<ColumnSketch> = catdb_runtime::parallel_map(n_threads, &idx, |_, &c| {
+            let started = Instant::now();
+            let mut s = ColumnSketch::default();
+            s.update(chunk.column_at(c));
+            s.micros = started.elapsed().as_micros() as u64;
+            s
+        });
+        for (acc, part) in self.cols.iter_mut().zip(&parts) {
+            acc.merge(part);
+            self.merges += 1;
+        }
+        if !self.pair_idx.is_empty() {
+            // One f64 view per numeric column, shared by all its pairs.
+            let mut views: Vec<Option<Vec<Option<f64>>>> = vec![None; chunk.n_cols()];
+            for &(i, j) in &self.pair_idx {
+                for c in [i, j] {
+                    if views[c].is_none() {
+                        views[c] = Some(chunk.column_at(c).to_f64_vec());
+                    }
+                }
+            }
+            let parts: Vec<PairMoments> =
+                catdb_runtime::parallel_map(n_threads, &self.pair_idx, |_, &(i, j)| {
+                    let mut p = PairMoments::default();
+                    p.update(
+                        views[i].as_deref().expect("numeric view materialized"),
+                        views[j].as_deref().expect("numeric view materialized"),
+                    );
+                    p
+                });
+            for (acc, part) in self.pairs.iter_mut().zip(&parts) {
+                acc.merge(part);
+                self.merges += 1;
+            }
+        }
+    }
+}
+
+/// Turn accumulated sketches into a [`DataProfile`], mirroring the
+/// exact path's structure (feature typing, thresholds, sort orders)
+/// with sketch estimates in place of exact scans. Emits the per-column
+/// trace events and returns them for memoization.
+fn finalize_sketch(
+    name: &str,
+    fields: &[(String, DataType)],
+    n_rows: usize,
+    acc: &SketchAccum,
+    opts: &ProfileOptions,
+    started: Instant,
+) -> (DataProfile, Vec<(String, String, u64)>) {
+    catdb_trace::add_counter(COUNTER_PROFILER_SKETCH_MERGES, acc.merges as f64);
+    let mut profiles: Vec<ColumnProfile> = Vec::with_capacity(fields.len());
+    let mut embeddings: Vec<ColumnEmbedding> = Vec::with_capacity(fields.len());
+    let mut distincts: Vec<usize> = Vec::with_capacity(fields.len());
+    for ((col_name, dtype), sk) in fields.iter().zip(&acc.cols) {
+        let non_null = sk.non_null as usize;
+        let missing = n_rows - non_null;
+        let distinct_count = sk.distinct.estimate();
+        let feature_type = detect_feature_type(*dtype, distinct_count, non_null, opts);
+        let values = sk.distinct.sorted_values();
+        let embedding =
+            ColumnEmbedding::from_distinct_values(values.iter().map(|(v, _)| v.as_str()));
+        // Samples: all retained values for categoricals (exact below
+        // the sketch's K), else the deterministic min-hash sample.
+        let samples = if matches!(feature_type, FeatureType::Categorical | FeatureType::Boolean) {
+            values.iter().map(|(v, _)| v.clone()).collect()
+        } else {
+            sk.distinct.sample(opts.n_samples)
+        };
+        let statistics =
+            (feature_type == FeatureType::Numerical && sk.moments.n > 0).then(|| NumericStats {
+                min: sk.moments.min,
+                max: sk.moments.max,
+                mean: sk.moments.mean,
+                median: sk.quantiles.query(0.5).unwrap_or(sk.moments.mean),
+                std: sk.moments.std(),
+            });
+        profiles.push(ColumnProfile {
+            name: col_name.clone(),
+            data_type: *dtype,
+            feature_type,
+            n_rows,
+            distinct_count,
+            distinct_percentage: if non_null == 0 {
+                0.0
+            } else {
+                distinct_count as f64 / non_null as f64
+            },
+            missing_count: missing,
+            missing_percentage: if n_rows == 0 { 0.0 } else { missing as f64 / n_rows as f64 },
+            top_value_ratio: if non_null == 0 {
+                0.0
+            } else {
+                sk.distinct.max_count() as f64 / non_null as f64
+            },
+            inclusion_dependencies: Vec::new(),
+            similarities: Vec::new(),
+            correlations: Vec::new(),
+            samples,
+            statistics,
+        });
+        embeddings.push(embedding);
+        distincts.push(distinct_count);
+    }
+
+    let corr_of: HashMap<(usize, usize), f64> =
+        acc.pair_idx.iter().zip(&acc.pairs).map(|(&ij, p)| (ij, p.pearson_abs())).collect();
+    let m = profiles.len();
+    for i in 0..m {
+        for j in (0..m).filter(|&j| j != i) {
+            if i < j {
+                let cos = embeddings[i].cosine(&embeddings[j]);
+                if cos >= opts.similarity_threshold {
+                    profiles[i].similarities.push((fields[j].0.clone(), cos));
+                    profiles[j].similarities.push((fields[i].0.clone(), cos));
+                }
+                if let Some(&corr) = corr_of.get(&(i, j)) {
+                    if corr >= 0.3 {
+                        profiles[i].correlations.push((fields[j].0.clone(), corr));
+                        profiles[j].correlations.push((fields[i].0.clone(), corr));
+                    }
+                }
+            }
+            let incl = inclusion_score(&embeddings[i], &embeddings[j], distincts[i], distincts[j]);
+            if incl >= opts.inclusion_threshold && distincts[i] >= 2 {
+                profiles[i].inclusion_dependencies.push(fields[j].0.clone());
+            }
+        }
+        profiles[i].similarities.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        profiles[i].correlations.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    }
+
+    let column_events: Vec<(String, String, u64)> = profiles
+        .iter()
+        .zip(&acc.cols)
+        .map(|(p, sk)| (p.name.clone(), p.feature_type.label().to_string(), sk.micros))
+        .collect();
+    for (column, feature_type, micros) in &column_events {
+        catdb_trace::emit(catdb_trace::TraceEvent::ProfileColumn {
+            column: column.clone(),
+            feature_type: feature_type.clone(),
+            micros: *micros,
+        });
+    }
+
+    let profile = DataProfile {
+        dataset_name: name.to_string(),
+        n_rows,
+        columns: profiles,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+    };
+    (profile, column_events)
+}
+
+fn schema_fields(table_schema: &catdb_table::Schema) -> Vec<(String, DataType)> {
+    table_schema.fields().iter().map(|f| (f.name.clone(), f.dtype)).collect()
+}
+
+/// Sketch-mode profiling of an in-memory table: the table is walked in
+/// `chunk_rows`-row slices through the same accumulate/merge path the
+/// out-of-core reader uses, so both produce identical profiles for
+/// identical data.
+fn profile_sketch_table(
+    name: &str,
+    table: &Table,
+    chunk_rows: usize,
+    opts: &ProfileOptions,
+) -> (DataProfile, Vec<(String, String, u64)>) {
+    let started = Instant::now();
+    let fields = schema_fields(table.schema());
+    let mut acc = SketchAccum::new(&fields);
+    let n_rows = table.n_rows();
+    let chunk_rows = chunk_rows.max(1);
+    let n_threads = opts.n_threads.max(1);
+    let mut start = 0usize;
+    while start < n_rows {
+        let end = (start + chunk_rows).min(n_rows);
+        let chunk = table.slice_rows(start..end).expect("chunk range in bounds");
+        acc.fold_chunk(&chunk, n_threads);
+        start = end;
+    }
+    finalize_sketch(name, &fields, n_rows, &acc, opts, started)
+}
+
+/// Run Algorithm 1 over an out-of-core [`ChunkedTable`] without ever
+/// materializing the table: chunks are loaded one at a time (peak RSS
+/// is O(chunk), observable via the `profiler.peak_chunk_rss` counter)
+/// and folded into mergeable sketches in fixed chunk order. Always uses
+/// sketch statistics — the chunk size is the table's, and `opts.mode`
+/// is not consulted. Results are not memoized (computing a content
+/// fingerprint would require re-reading the table).
+pub fn profile_chunked(
+    name: &str,
+    table: &ChunkedTable,
+    opts: &ProfileOptions,
+) -> catdb_table::Result<DataProfile> {
+    let _span = catdb_trace::span("profile_table");
+    let started = Instant::now();
+    let fields = schema_fields(table.schema());
+    let mut acc = SketchAccum::new(&fields);
+    let n_threads = opts.n_threads.max(1);
+    for i in 0..table.n_chunks() {
+        let chunk = table.chunk(i)?;
+        acc.fold_chunk(&chunk, n_threads);
+    }
+    let (profile, _events) = finalize_sketch(name, &fields, table.n_rows(), &acc, opts, started);
+    Ok(profile)
 }
 
 #[cfg(test)]

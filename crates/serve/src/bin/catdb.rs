@@ -34,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--split-mode exact|binned|binned:BINS]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--split-mode MODE] [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--split-mode exact|binned|binned:BINS]\n            [--profile-mode exact|sketch|sketch:ROWS]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE [--profile-mode exact|sketch|sketch:ROWS]\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--split-mode MODE] [--profile-mode MODE]\n            [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
     );
     ExitCode::from(2)
 }
@@ -51,6 +51,8 @@ struct Args {
     route_target_accuracy: f64,
     /// Tree split search: `exact` | `binned` | `binned:<bins>`.
     split_mode: catdb_ml::SplitMode,
+    /// Profiling strategy: `exact` | `sketch` | `sketch:<chunk_rows>`.
+    profile_mode: catdb_profiler::ProfileMode,
     beta: usize,
     alpha: Option<usize>,
     refine: bool,
@@ -101,6 +103,7 @@ fn parse_args() -> Option<Args> {
         route: None,
         route_target_accuracy: DEFAULT_ROUTE_TARGET_ACCURACY,
         split_mode: catdb_ml::SplitMode::Exact,
+        profile_mode: catdb_profiler::ProfileMode::Exact,
         beta: 1,
         alpha: None,
         refine: true,
@@ -157,6 +160,24 @@ fn parse_args() -> Option<Args> {
                     }
                     Err(e) => {
                         eprintln!("bad --split-mode '{raw}': {e}");
+                        return None;
+                    }
+                }
+            }
+            "--profile-mode" => {
+                let Some(raw) = argv.get(i + 1) else {
+                    eprintln!(
+                        "--profile-mode needs a value (exact | sketch | sketch:<chunk_rows>)"
+                    );
+                    return None;
+                };
+                match catdb_profiler::ProfileMode::parse(raw) {
+                    Ok(mode) => {
+                        args.profile_mode = mode;
+                        i += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("bad --profile-mode '{raw}': {e}");
                         return None;
                     }
                 }
@@ -320,9 +341,60 @@ fn load_table(args: &Args) -> Result<(String, catdb_table::Table), ExitCode> {
 }
 
 fn cmd_profile(args: &Args) -> ExitCode {
-    let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
-    let profile = profile_table(&name, &table, &ProfileOptions::default());
-    println!("dataset: {name} ({} rows × {} cols)", table.n_rows(), table.n_cols());
+    // Sketch mode streams the CSV through a spill file chunk by chunk —
+    // peak memory is O(chunk), so files far larger than RAM profile fine.
+    // Exact mode materializes the whole table (the bit-frozen default).
+    let (name, profile, n_cols) = match args.profile_mode {
+        catdb_profiler::ProfileMode::Exact => {
+            let Ok((name, table)) = load_table(args) else { return ExitCode::FAILURE };
+            let profile = profile_table(&name, &table, &ProfileOptions::default());
+            let n_cols = table.n_cols();
+            (name, profile, n_cols)
+        }
+        catdb_profiler::ProfileMode::Sketch { chunk_rows } => {
+            let Some(path) = &args.csv else {
+                eprintln!("--csv is required");
+                return usage();
+            };
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("dataset")
+                .to_string();
+            let chunked = match catdb_table::ChunkedTable::from_csv_path(
+                path,
+                &CsvOptions::default(),
+                chunk_rows,
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "[streamed {} row(s) in {} chunk(s) of ≤{} rows, {} spill byte(s)]",
+                chunked.n_rows(),
+                chunked.n_chunks(),
+                chunked.chunk_rows(),
+                chunked.spill_bytes(),
+            );
+            let opts = ProfileOptions {
+                mode: catdb_profiler::ProfileMode::Sketch { chunk_rows },
+                ..Default::default()
+            };
+            let profile = match catdb_profiler::profile_chunked(&name, &chunked, &opts) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("failed to profile {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let n_cols = chunked.schema().len();
+            (name, profile, n_cols)
+        }
+    };
+    println!("dataset: {name} ({} rows × {} cols)", profile.n_rows, n_cols);
     println!(
         "{:<20} {:<8} {:<12} {:>8} {:>9} {:>9}",
         "column", "type", "feature", "distinct", "missing%", "top%"
@@ -423,7 +495,8 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
 
     let dataset = MultiTableDataset::single(name, table);
-    let opts = CollectOptions { refine: args.refine, ..Default::default() };
+    let mut opts = CollectOptions { refine: args.refine, ..Default::default() };
+    opts.profile.mode = args.profile_mode;
     let (entry, prepared, report) = match catdb_collect(&dataset, target, task, llm, &opts) {
         Ok(v) => v,
         Err(e) => {
@@ -444,6 +517,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         llm_concurrency: args.llm_concurrency,
         llm_cache: cache.clone(),
         split_mode: args.split_mode,
+        profile_mode: args.profile_mode,
         ..Default::default()
     };
     let result = match catdb_pipgen(&entry, &prepared, llm, &cfg) {
@@ -593,6 +667,10 @@ fn client_request(args: &Args) -> Result<GenerateRequest, String> {
     req.route = args.route.clone();
     req.split_mode = match args.split_mode {
         catdb_ml::SplitMode::Exact => None,
+        mode => Some(mode.to_string()),
+    };
+    req.profile_mode = match args.profile_mode {
+        catdb_profiler::ProfileMode::Exact => None,
         mode => Some(mode.to_string()),
     };
     req.seed = args.seed;

@@ -67,6 +67,11 @@ pub struct GenerateRequest {
     /// predate histogram training still decode.
     #[serde(default)]
     pub split_mode: Option<String>,
+    /// Profiling strategy (`exact` | `sketch` | `sketch:<chunk_rows>`);
+    /// `None` means exact. Optional on the wire so older clients that
+    /// predate sketch profiling still decode.
+    #[serde(default)]
+    pub profile_mode: Option<String>,
     pub seed: u64,
     /// Chain chunks (1 = single prompt).
     pub beta: usize,
@@ -89,6 +94,7 @@ impl GenerateRequest {
             model: "gpt-4o".into(),
             route: None,
             split_mode: None,
+            profile_mode: None,
             seed: 42,
             beta: 1,
             alpha: None,
@@ -275,6 +281,7 @@ mod tests {
             model: "gemini-1.5-pro".into(),
             route: Some("refine=llama,fix=mini".into()),
             split_mode: Some("binned:128".into()),
+            profile_mode: Some("sketch:4096".into()),
             seed: 9,
             beta: 3,
             alpha: Some(12),
@@ -368,6 +375,26 @@ mod tests {
         };
         let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
         assert_eq!(back.split_mode, None);
+        assert_eq!(back.model, request().model);
+    }
+
+    #[test]
+    fn requests_without_profile_mode_field_still_decode() {
+        // Clients that predate sketch profiling omit `profile_mode`;
+        // the server must read that as exact profiling.
+        let v = serde_json::to_value(&request());
+        let stripped = match v {
+            serde_json::Value::Object(m) => serde_json::Value::Object(
+                m.iter()
+                    .filter(|(k, _)| k.as_str() != "profile_mode")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+            _ => unreachable!("requests serialize as objects"),
+        };
+        let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
+        assert_eq!(back.profile_mode, None);
         assert_eq!(back.model, request().model);
     }
 

@@ -354,7 +354,13 @@ impl Server {
             .with_concurrency(opts.llm_concurrency)
             .with_decode_tag(format!("seed={}", req.seed));
 
-        let collect = CollectOptions { refine: req.refine, ..Default::default() };
+        let profile_mode = match &req.profile_mode {
+            Some(s) => catdb_profiler::ProfileMode::parse(s)
+                .map_err(|e| format!("bad profile_mode '{s}': {e}"))?,
+            None => catdb_profiler::ProfileMode::Exact,
+        };
+        let mut collect = CollectOptions { refine: req.refine, ..Default::default() };
+        collect.profile.mode = profile_mode;
         let (entry, prepared, _report) = catdb_collect(&dataset, &target, task, &sched, &collect)
             .map_err(|e| format!("collection failed: {e}"))?;
 
@@ -370,6 +376,7 @@ impl Server {
             llm_concurrency: opts.llm_concurrency,
             llm_cache: Some(self.inner.cache.clone()),
             split_mode,
+            profile_mode,
             ..Default::default()
         };
         let result = catdb_pipgen(&entry, &prepared, &sched, &cfg)

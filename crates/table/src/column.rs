@@ -148,6 +148,20 @@ impl Column {
         }
     }
 
+    /// Copy out the contiguous row range `r` as a new column.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (same contract as slice
+    /// indexing).
+    pub fn slice(&self, r: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[r].to_vec()),
+            Column::Float(v) => Column::Float(v[r].to_vec()),
+            Column::Str(v) => Column::Str(v[r].to_vec()),
+            Column::Bool(v) => Column::Bool(v[r].to_vec()),
+        }
+    }
+
     /// Gather a new column containing the rows at `indices` in order.
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {

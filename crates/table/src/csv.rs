@@ -69,7 +69,7 @@ pub const DEFAULT_NULL_MARKERS: [&str; 5] = ["NA", "N/A", "null", "NULL", "?"];
 /// Records per parallel materialization chunk. Fixed (never derived from
 /// the thread count) so chunk boundaries — and therefore any
 /// order-sensitive observation — depend only on the input.
-const CHUNK_RECORDS: usize = 4096;
+pub(crate) const CHUNK_RECORDS: usize = 4096;
 
 /// Options controlling CSV parsing.
 #[derive(Debug, Clone)]
@@ -99,7 +99,7 @@ impl Default for CsvOptions {
     }
 }
 
-fn csv_err(line: usize, message: impl Into<String>) -> TableError {
+pub(crate) fn csv_err(line: usize, message: impl Into<String>) -> TableError {
     TableError::Csv { line, message: message.into() }
 }
 
@@ -176,7 +176,7 @@ fn find_first3(bytes: &[u8], mut i: usize, a: u8, b: u8, c: u8) -> usize {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FieldKind {
+pub(crate) enum FieldKind {
     /// Unquoted: the slice is the raw cell content.
     Plain = 0,
     /// Quoted without escapes: the slice is the interior between quotes.
@@ -191,7 +191,7 @@ enum FieldKind {
 /// cuts the pass's memory traffic. The packing caps inputs at
 /// [`MAX_CSV_BYTES`]; [`read_csv_str`] rejects larger files up front.
 #[derive(Debug, Clone, Copy)]
-struct FieldRef {
+pub(crate) struct FieldRef {
     start: u32,
     /// `len << 2 | kind`.
     len_kind: u32,
@@ -206,8 +206,21 @@ impl FieldRef {
         FieldRef { start: start as u32, len_kind: (((end - start) as u32) << 2) | kind as u32 }
     }
 
+    /// Byte offset where this field's *record representation* begins:
+    /// the opening quote for quoted fields, the first content byte
+    /// otherwise. Used by the streaming reader to find the carry-over
+    /// boundary of a partially consumed scan window.
     #[inline]
-    fn kind(&self) -> FieldKind {
+    pub(crate) fn record_start(&self) -> usize {
+        let start = self.start as usize;
+        match self.kind() {
+            FieldKind::Plain => start,
+            FieldKind::Quoted | FieldKind::Escaped => start - 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn kind(&self) -> FieldKind {
         match self.len_kind & 3 {
             0 => FieldKind::Plain,
             1 => FieldKind::Quoted,
@@ -216,13 +229,13 @@ impl FieldRef {
     }
 
     #[inline]
-    fn raw<'a>(&self, text: &'a str) -> &'a str {
+    pub(crate) fn raw<'a>(&self, text: &'a str) -> &'a str {
         let start = self.start as usize;
         &text[start..start + (self.len_kind >> 2) as usize]
     }
 
     /// Cell content with quote escapes collapsed; borrows unless escaped.
-    fn content<'a>(&self, text: &'a str) -> Cow<'a, str> {
+    pub(crate) fn content<'a>(&self, text: &'a str) -> Cow<'a, str> {
         match self.kind() {
             FieldKind::Plain | FieldKind::Quoted => Cow::Borrowed(self.raw(text)),
             FieldKind::Escaped => Cow::Owned(self.raw(text).replace("\"\"", "\"")),
@@ -231,7 +244,7 @@ impl FieldRef {
 
     /// Whether the cell is missing: empty or a null marker, unquoted only
     /// (quoting makes content literal). Byte-compares the trimmed slice.
-    fn is_null(&self, text: &str, null_markers: &[String]) -> bool {
+    pub(crate) fn is_null(&self, text: &str, null_markers: &[String]) -> bool {
         if self.kind() != FieldKind::Plain {
             return false;
         }
@@ -245,20 +258,30 @@ impl FieldRef {
 /// outside quotes ends a record (a `\r` immediately before it is
 /// stripped); fully blank lines are skipped; quoted fields may contain
 /// delimiters, quotes (escaped as `""`), and line breaks (RFC-4180).
-/// Rectangularity is enforced against the first record's field count, and
-/// errors carry the 1-based physical line their record starts on.
+/// Rectangularity is enforced against the first record's field count —
+/// or against `expect_cols` when the caller already knows the width (the
+/// streaming reader scans one window at a time, so later windows must
+/// match the width fixed by the first). Errors carry the 1-based
+/// physical line their record starts on, offset by `start_line` so
+/// multi-window scans report file-absolute lines.
 /// Returns the number of records scanned.
 // The close-record macro's final expansion (end of input) leaves its
 // bookkeeping writes dead; they are live in every loop expansion.
 #[allow(unused_assignments)]
-fn scan_records(text: &str, delim: u8, out: &mut Vec<FieldRef>) -> Result<usize> {
+pub(crate) fn scan_records(
+    text: &str,
+    delim: u8,
+    out: &mut Vec<FieldRef>,
+    start_line: usize,
+    expect_cols: Option<usize>,
+) -> Result<usize> {
     let bytes = text.as_bytes();
     let len = bytes.len();
     let mut n_records = 0usize;
-    let mut n_cols = 0usize;
+    let mut n_cols = expect_cols.unwrap_or(0);
     let mut rec_base = out.len(); // fields emitted before the current record
-    let mut line = 1usize; // current physical line
-    let mut rline = 1usize; // line the current record starts on
+    let mut line = start_line; // current physical line
+    let mut rline = start_line; // line the current record starts on
     let mut rstart = 0usize; // byte offset of the current record
     let mut fstart = 0usize; // byte offset of the current field
     let mut just_closed = false; // the current field was emitted by the quote arm
@@ -275,7 +298,7 @@ fn scan_records(text: &str, delim: u8, out: &mut Vec<FieldRef>) -> Result<usize>
                     out.push(FieldRef::new(fstart, rend, FieldKind::Plain));
                 }
                 let n = out.len() - rec_base;
-                if n_records == 0 {
+                if n_cols == 0 {
                     n_cols = n;
                 } else if n != n_cols {
                     return Err(csv_err(rline, format!("expected {n_cols} fields, found {n}")));
@@ -468,13 +491,13 @@ fn parse_f64_fast(t: &str) -> Option<f64> {
 /// Null-marker matcher with a 256-entry first-byte prefilter: almost no
 /// real cell starts with a marker's first byte, so the common case is one
 /// table load instead of a marker-list walk.
-struct NullMatcher<'a> {
+pub(crate) struct NullMatcher<'a> {
     markers: &'a [String],
     first: [bool; 256],
 }
 
 impl<'a> NullMatcher<'a> {
-    fn new(markers: &'a [String]) -> NullMatcher<'a> {
+    pub(crate) fn new(markers: &'a [String]) -> NullMatcher<'a> {
         let mut first = [false; 256];
         for m in markers {
             if let Some(&b) = m.as_bytes().first() {
@@ -591,7 +614,12 @@ impl TypeSketch {
 
 /// Infer per-column types over a row-major sample prefix (field counts
 /// were already validated by the scanner).
-fn infer_types(text: &str, sample: &[FieldRef], n_cols: usize, opts: &CsvOptions) -> Vec<DataType> {
+pub(crate) fn infer_types(
+    text: &str,
+    sample: &[FieldRef],
+    n_cols: usize,
+    opts: &CsvOptions,
+) -> Vec<DataType> {
     let mut sketches: Vec<TypeSketch> = (0..n_cols).map(|_| TypeSketch::new()).collect();
     for row in sample.chunks_exact(n_cols) {
         for (sketch, f) in sketches.iter_mut().zip(row) {
@@ -609,15 +637,15 @@ fn infer_types(text: &str, sample: &[FieldRef], n_cols: usize, opts: &CsvOptions
 
 /// Output of one materialization chunk: typed partial columns and
 /// per-column degradation flags.
-struct ChunkOut {
-    cols: Vec<Column>,
-    degrade: Vec<bool>,
+pub(crate) struct ChunkOut {
+    pub(crate) cols: Vec<Column>,
+    pub(crate) degrade: Vec<bool>,
 }
 
 /// Materialize one chunk of row-major field slices into typed columns —
 /// pure pass-2 work (the fused scanner already produced the slices), so
 /// the parallel fan-out shares one scan and one allocation.
-fn build_chunk(
+pub(crate) fn build_chunk(
     text: &str,
     fields: &[FieldRef],
     dtypes: &[DataType],
@@ -683,7 +711,7 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Table> {
     // the source for the degradation re-render — the file is never
     // re-read or re-split.
     let mut fields: Vec<FieldRef> = Vec::with_capacity(text.len() / 8 + 8);
-    let n_records = scan_records(text, opts.delimiter, &mut fields)?;
+    let n_records = scan_records(text, opts.delimiter, &mut fields, 1, None)?;
     if n_records == 0 {
         return Ok(Table::empty());
     }
@@ -1138,7 +1166,7 @@ mod tests {
         }
         let (d_scan, fields) = best(8, || {
             let mut fields = Vec::with_capacity(s.len() / 8 + 8);
-            scan_records(&s, b',', &mut fields).unwrap();
+            scan_records(&s, b',', &mut fields, 1, None).unwrap();
             fields
         });
         let data = &fields[6..];

@@ -18,6 +18,7 @@
 //! assert_eq!(t.value(1, "city").unwrap(), Value::Str("Montreal".into()));
 //! ```
 
+mod chunked;
 mod column;
 mod csv;
 mod dict;
@@ -27,6 +28,7 @@ mod schema;
 mod table;
 mod value;
 
+pub use chunked::{ChunkedTable, COUNTER_CSV_SPILL_BYTES, DEFAULT_CHUNK_ROWS};
 pub use column::Column;
 pub use csv::{
     read_csv, read_csv_path, read_csv_str, to_csv_string, write_csv, CsvOptions, COUNTER_CSV_BYTES,

@@ -176,6 +176,19 @@ impl Table {
         })
     }
 
+    /// New table containing the contiguous row range `r` (cheaper than
+    /// [`Table::take`] — no index indirection).
+    pub fn slice_rows(&self, r: std::ops::Range<usize>) -> Result<Table> {
+        if r.end > self.n_rows || r.start > r.end {
+            return Err(TableError::RowOutOfBounds { index: r.end, len: self.n_rows });
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(r.clone())).collect(),
+            n_rows: r.len(),
+        })
+    }
+
     /// New table with the rows for which `pred(row_index)` returns true.
     pub fn filter(&self, mut pred: impl FnMut(usize) -> bool) -> Table {
         let indices: Vec<usize> = (0..self.n_rows).filter(|&i| pred(i)).collect();

@@ -258,6 +258,17 @@ impl TraceSink {
         *s.counters.entry(name.to_string()).or_insert(0.0) += delta;
     }
 
+    /// Raise a named high-water counter to `value` if it is larger than
+    /// the recorded value (set-to-max, not accumulate) — for peaks like
+    /// `profiler.peak_chunk_rss`.
+    pub fn max_counter(&self, name: &str, value: f64) {
+        let mut s = self.state.lock();
+        let slot = s.counters.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
     /// Copy out everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let s = self.state.lock();
@@ -311,6 +322,14 @@ pub fn emit(event: TraceEvent) {
 pub fn add_counter(name: &str, delta: f64) {
     if let Some(sink) = current() {
         sink.add_counter(name, delta);
+    }
+}
+
+/// Raise a high-water counter on the current sink (no-op when none
+/// installed). See [`TraceSink::max_counter`].
+pub fn max_counter(name: &str, value: f64) {
+    if let Some(sink) = current() {
+        sink.max_counter(name, value);
     }
 }
 
@@ -649,6 +668,26 @@ mod tests {
         let t = sink.snapshot();
         assert_eq!(t.counters["tokens"], 15.0);
         assert_eq!(t.counters["cost"], 0.25);
+    }
+
+    #[test]
+    fn max_counter_keeps_the_high_water_mark() {
+        let sink = TraceSink::new();
+        sink.max_counter("peak", 10.0);
+        sink.max_counter("peak", 4.0);
+        sink.max_counter("peak", 25.0);
+        sink.max_counter("peak", 25.0);
+        assert_eq!(sink.snapshot().counters["peak"], 25.0);
+        // The global variant is a no-op without an installed sink, and
+        // records through one when installed.
+        max_counter("global_peak", 1.0);
+        let sink = Arc::new(TraceSink::new());
+        {
+            let _g = install(sink.clone());
+            max_counter("global_peak", 7.0);
+            max_counter("global_peak", 3.0);
+        }
+        assert_eq!(sink.snapshot().counters["global_peak"], 7.0);
     }
 
     #[test]

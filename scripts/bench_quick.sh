@@ -37,6 +37,14 @@ SERVE_COLD_MS="${SERVE_LINE#*cold_batch_ms=}"; SERVE_COLD_MS="${SERVE_COLD_MS%% 
 SERVE_WARM_MS="${SERVE_LINE#*warm_batch_ms=}"; SERVE_WARM_MS="${SERVE_WARM_MS%% *}"
 SERVE_WARM_RPS="${SERVE_LINE#*warm_rps=}"; SERVE_WARM_RPS="${SERVE_WARM_RPS%% *}"
 
+echo "== out-of-core sketch profiling (10M rows via spill file) =="
+SKETCH_LINE="$(cargo run -q --release -p catdb-bench --bin sketch_bench bench 10000000 | tail -1)"
+echo "$SKETCH_LINE"
+SKETCH_INGEST_MS="${SKETCH_LINE#*ingest_ms=}"; SKETCH_INGEST_MS="${SKETCH_INGEST_MS%% *}"
+SKETCH_PROFILE_MS="${SKETCH_LINE#*profile_ms=}"; SKETCH_PROFILE_MS="${SKETCH_PROFILE_MS%% *}"
+SKETCH_RPS="${SKETCH_LINE#*profile_rows_per_sec=}"; SKETCH_RPS="${SKETCH_RPS%% *}"
+SKETCH_BYTES="${SKETCH_LINE#*csv_bytes=}"; SKETCH_BYTES="${SKETCH_BYTES%% *}"
+
 # Pre-PR baselines (300 ms budget, same machine class): mean ms/iter before
 # the shared runtime, profile memo, and incremental tree-split scan landed.
 BASE_PROFILING_MS=240.818
@@ -46,7 +54,9 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     -v base_prof="$BASE_PROFILING_MS" -v base_forest="$BASE_FOREST_MS" \
     -v smoke_hits="$SMOKE_HITS" -v smoke_warm_tokens="$SMOKE_WARM_TOKENS" \
     -v serve_clients="$SERVE_CLIENTS" -v serve_cold_ms="$SERVE_COLD_MS" \
-    -v serve_warm_ms="$SERVE_WARM_MS" -v serve_warm_rps="$SERVE_WARM_RPS" '
+    -v serve_warm_ms="$SERVE_WARM_MS" -v serve_warm_rps="$SERVE_WARM_RPS" \
+    -v sketch_ingest_ms="$SKETCH_INGEST_MS" -v sketch_profile_ms="$SKETCH_PROFILE_MS" \
+    -v sketch_rps="$SKETCH_RPS" -v sketch_bytes="$SKETCH_BYTES" '
   # Convert a criterion duration token ("4.508ms", "127.3µs", "1.2s") to ms.
   function to_ms(s,  v) {
     v = s; gsub(/[^0-9.]/, "", v); v += 0
@@ -131,6 +141,12 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "      \"warm_batch_ms\": %.3f,\n", serve_warm_ms >> out
     printf "      \"warm_req_per_sec\": %.1f,\n", serve_warm_rps >> out
     printf "      \"speedup\": %.2f\n", serve_cold_ms / serve_warm_ms >> out
+    printf "    },\n" >> out
+    printf "    \"profiler/sketch_10m_rows\": {\n" >> out
+    printf "      \"csv_bytes\": %d,\n", sketch_bytes >> out
+    printf "      \"ingest_ms\": %.1f,\n", sketch_ingest_ms >> out
+    printf "      \"profile_ms\": %.1f,\n", sketch_profile_ms >> out
+    printf "      \"profile_rows_per_sec\": %.0f\n", sketch_rps >> out
     printf "    }\n" >> out
     printf "  }\n" >> out
     printf "}\n" >> out
@@ -142,6 +158,7 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "cache     : %.4f ms miss vs %.4f ms hit (%.2fx); warm smoke %d hit(s), %d billed token(s)\n", cache_cold_ms, cache_warm_ms, cache_cold_ms / cache_warm_ms, smoke_hits, smoke_warm_tokens
     printf "csv       : %.3f ms ingest vs %.3f ms seed reader (%.2fx); %.3f ms write+read roundtrip\n", csv_ingest_ms, csv_seed_ms, csv_seed_ms / csv_ingest_ms, csv_rt_ms
     printf "serve     : %d clients, %.1f ms cold vs %.1f ms warm batch (%.1f req/sec warm)\n", serve_clients, serve_cold_ms, serve_warm_ms, serve_warm_rps
+    printf "sketch    : 10M rows out-of-core, %.1f ms ingest + %.1f ms profile (%.0f rows/sec)\n", sketch_ingest_ms, sketch_profile_ms, sketch_rps
   }
 ' "$RAW"
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Out-of-core profiling smoke: generate a synthetic CSV at least 4× a
+# hard `ulimit -v` address-space cap, then assert:
+#   (a) `catdb profile --profile-mode sketch` succeeds under the cap at
+#       CATDB_THREADS 1 and 8 — the chunked spill-file path keeps peak
+#       memory O(chunk), far below the file size,
+#   (b) the two sketch runs are byte-identical on stdout (after
+#       dropping the wall-clock "profiled in" line) — chunk-ordered
+#       sketch merging is deterministic across thread counts,
+#   (c) exact mode under the same cap fails (non-zero exit) — it
+#       materializes the whole table, which cannot fit, proving the
+#       sketch path is doing real out-of-core work rather than hiding
+#       headroom.
+# Used directly as a CI gate (any violated assertion exits nonzero).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+# 128 MiB of address space; the CSV below is ~534 MB (≥4× the cap).
+CAP_KB=131072
+ROWS=20000000
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build -q --release -p catdb-serve --bin catdb
+cargo build -q --release -p catdb-bench --bin sketch_bench
+./target/release/sketch_bench gen "$TMP/big.csv" "$ROWS"
+
+CSV_BYTES=$(stat -c %s "$TMP/big.csv" 2>/dev/null || stat -f %z "$TMP/big.csv")
+MIN_BYTES=$((CAP_KB * 1024 * 4))
+if [ "$CSV_BYTES" -lt "$MIN_BYTES" ]; then
+  echo "outofcore_smoke: CSV is ${CSV_BYTES} bytes, below 4x the ${CAP_KB} KiB cap" >&2
+  exit 1
+fi
+
+# MALLOC_ARENA_MAX=1 keeps glibc from reserving per-thread arenas that
+# would count against the *virtual* cap without being real usage.
+capped_profile() { # $1 threads, $2 mode, $3 stdout file
+  (
+    ulimit -v "$CAP_KB"
+    MALLOC_ARENA_MAX=1 CATDB_THREADS="$1" ./target/release/catdb profile \
+      --csv "$TMP/big.csv" --profile-mode "$2" > "$3" 2> "$3.err"
+  )
+}
+
+if ! capped_profile 1 sketch "$TMP/sketch-1.out"; then
+  echo "outofcore_smoke: sketch profile failed under the cap at 1 thread" >&2
+  cat "$TMP/sketch-1.out.err" >&2
+  exit 1
+fi
+if ! capped_profile 8 sketch "$TMP/sketch-8.out"; then
+  echo "outofcore_smoke: sketch profile failed under the cap at 8 threads" >&2
+  cat "$TMP/sketch-8.out.err" >&2
+  exit 1
+fi
+
+if ! diff <(grep -v "profiled in" "$TMP/sketch-1.out") \
+          <(grep -v "profiled in" "$TMP/sketch-8.out") > /dev/null; then
+  echo "outofcore_smoke: sketch profiles diverged between 1 and 8 threads" >&2
+  diff "$TMP/sketch-1.out" "$TMP/sketch-8.out" >&2 || true
+  exit 1
+fi
+
+if capped_profile 1 exact "$TMP/exact.out"; then
+  echo "outofcore_smoke: exact profile unexpectedly fit a ${CSV_BYTES}-byte CSV under a ${CAP_KB} KiB cap" >&2
+  exit 1
+fi
+
+echo "outofcore_smoke: ok (${CSV_BYTES}-byte CSV sketch-profiled under a ${CAP_KB} KiB cap, thread-invariant; exact mode OOM-failed as expected)"
