@@ -11,8 +11,9 @@ use catdb_catalog::CatalogEntry;
 use catdb_llm::{CostLedger, LanguageModel, LlmError, LlmTaskKind, Prompt};
 use catdb_ml::TaskKind;
 use catdb_pipeline::{
-    execute, parse, ColumnRef, EncodeSpec, Environment, ErrorCategory, Evaluation, ExecutionConfig,
-    ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, PipelineError, Program, Step,
+    execute, parse, ColumnRef, EncodeSpec, Environment, ErrorCategory, Evaluation, ExecMode,
+    ExecutionConfig, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, PipelineError, Program, Step,
+    StepCache,
 };
 use catdb_sched::{CompletionCache, LlmScheduler, DEFAULT_LLM_CONCURRENCY};
 use catdb_table::{DataType, Table};
@@ -62,6 +63,11 @@ pub struct CatDbConfig {
     /// Profiling strategy (`--profile-mode`): exact full-column scans
     /// or chunked single-pass sketches for out-of-core inputs.
     pub profile_mode: catdb_profiler::ProfileMode,
+    /// Pipeline scheduling strategy (`--exec-mode`): strict source order
+    /// or dependency-DAG antichains with step memoization. DAG mode
+    /// shares one [`StepCache`] across the whole session, so Algorithm 4
+    /// fix-loop iterations re-execute only the steps a fix changed.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for CatDbConfig {
@@ -81,6 +87,7 @@ impl Default for CatDbConfig {
             llm_cache: None,
             split_mode: catdb_ml::SplitMode::Exact,
             profile_mode: catdb_profiler::ProfileMode::Exact,
+            exec_mode: ExecMode::Seq,
         }
     }
 }
@@ -407,6 +414,10 @@ pub fn generate_pipeline(
     };
 
     let task = entry.task_kind();
+    // One step cache for the whole session: validation runs, full runs,
+    // and every fix-loop iteration share it, so only the steps an error
+    // fix actually changed (plus their dependents) re-execute.
+    let step_cache = (cfg.exec_mode == ExecMode::Dag).then(|| Arc::new(StepCache::new()));
     let exec_cfg = ExecutionConfig {
         memory_limit: cfg.memory_limit,
         task,
@@ -414,6 +425,9 @@ pub fn generate_pipeline(
         fast_validation: false,
         split_mode: cfg.split_mode,
         profile_mode: cfg.profile_mode,
+        exec_mode: cfg.exec_mode,
+        step_cache: step_cache.clone(),
+        inject_fault_step: None,
     };
     let n_train = train.n_rows().max(1);
     let validation_fraction =
@@ -429,6 +443,9 @@ pub fn generate_pipeline(
         fast_validation: true,
         split_mode: cfg.split_mode,
         profile_mode: cfg.profile_mode,
+        exec_mode: cfg.exec_mode,
+        step_cache,
+        inject_fault_step: None,
     };
 
     // ---- Validation & error-management loop (Algorithm 4, lines 3–15) ----

@@ -27,7 +27,7 @@ use crate::prompt::{LlmTaskKind, Prompt};
 use crate::resilient::{ResilientClient, RetryPolicy};
 use catdb_trace::{Trace, TraceEvent};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The four routable pipeline roles, in canonical order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,6 +113,8 @@ pub enum RouteError {
     UnknownModel { model: String },
     /// The same role was assigned twice.
     DuplicateRole { role: String },
+    /// A `:N` concurrency suffix was present but not a positive integer.
+    InvalidLimit { entry: String },
 }
 
 impl fmt::Display for RouteError {
@@ -135,6 +137,13 @@ impl fmt::Display for RouteError {
             RouteError::DuplicateRole { role } => {
                 write!(f, "route role '{role}' assigned more than once")
             }
+            RouteError::InvalidLimit { entry } => {
+                write!(
+                    f,
+                    "route entry '{entry}' has a bad concurrency suffix; \
+                     expected role=model:N with N a positive integer"
+                )
+            }
         }
     }
 }
@@ -143,45 +152,78 @@ impl std::error::Error for RouteError {}
 
 /// A parsed role → model assignment. Roles left out of the spec fall
 /// back to the run's default model when the route is materialized.
+/// Entries may carry a `:N` suffix capping that role's in-flight
+/// completions; the cap is enforced *inside* the shared
+/// `--llm-concurrency` fan-out, so a role waiting on its own limit
+/// still occupies one of the scheduler's slots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouteSpec {
     assigned: Vec<(Role, ModelProfile)>,
+    limits: Vec<(Role, usize)>,
 }
 
 impl RouteSpec {
-    /// Parse `role=model[,role=model...]`. Models accept the aliases of
-    /// [`ModelProfile::resolve_alias`]. Every failure is a structured
-    /// [`RouteError`] naming the offending entry.
+    /// Parse `role=model[:N][,role=model[:N]...]`. Models accept the
+    /// aliases of [`ModelProfile::resolve_alias`]; the optional `:N`
+    /// suffix caps the role at `N` concurrent completions. Every
+    /// failure is a structured [`RouteError`] naming the offending
+    /// entry.
     pub fn parse(spec: &str) -> Result<RouteSpec, RouteError> {
         let entries: Vec<&str> = spec.split(',').map(str::trim).filter(|e| !e.is_empty()).collect();
         if entries.is_empty() {
             return Err(RouteError::EmptySpec);
         }
         let mut assigned: Vec<(Role, ModelProfile)> = Vec::new();
+        let mut limits: Vec<(Role, usize)> = Vec::new();
         for entry in entries {
-            let (role_s, model_s) = entry
+            let (role_s, value_s) = entry
                 .split_once('=')
                 .ok_or_else(|| RouteError::MissingSeparator { entry: entry.to_string() })?;
             let role = Role::parse(role_s.trim())
                 .ok_or_else(|| RouteError::UnknownRole { role: role_s.trim().to_string() })?;
+            // No known model name contains ':', so any colon starts a
+            // concurrency suffix; a malformed one is an error, not part
+            // of the model name.
+            let (model_s, limit) =
+                match value_s.split_once(':') {
+                    Some((model_s, limit_s)) => {
+                        let limit =
+                            limit_s.trim().parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(
+                                || RouteError::InvalidLimit { entry: entry.to_string() },
+                            )?;
+                        (model_s, Some(limit))
+                    }
+                    None => (value_s, None),
+                };
             let model = ModelProfile::by_name(model_s.trim())
                 .ok_or_else(|| RouteError::UnknownModel { model: model_s.trim().to_string() })?;
             if assigned.iter().any(|(r, _)| *r == role) {
                 return Err(RouteError::DuplicateRole { role: role.name().to_string() });
             }
             assigned.push((role, model));
+            if let Some(limit) = limit {
+                limits.push((role, limit));
+            }
         }
-        Ok(RouteSpec { assigned })
+        Ok(RouteSpec { assigned, limits })
     }
 
     /// A spec assigning `model` to every role.
     pub fn uniform(model: ModelProfile) -> RouteSpec {
-        RouteSpec { assigned: Role::ALL.iter().map(|r| (*r, model.clone())).collect() }
+        RouteSpec {
+            assigned: Role::ALL.iter().map(|r| (*r, model.clone())).collect(),
+            limits: Vec::new(),
+        }
     }
 
     /// The model assigned to `role`, if the spec names one.
     pub fn model(&self, role: Role) -> Option<&ModelProfile> {
         self.assigned.iter().find(|(r, _)| *r == role).map(|(_, m)| m)
+    }
+
+    /// The in-flight completion cap for `role`, if the spec set one.
+    pub fn limit(&self, role: Role) -> Option<usize> {
+        self.limits.iter().find(|(r, _)| *r == role).map(|(_, n)| *n)
     }
 
     /// Full per-role table with `default` filling unassigned roles,
@@ -193,15 +235,53 @@ impl RouteSpec {
             .collect()
     }
 
-    /// Canonical `role=model,...` string in [`Role::ALL`] order, with
-    /// unassigned roles resolved against `default`. Two specs that
-    /// route identically render identically.
+    /// Canonical `role=model[:N],...` string in [`Role::ALL`] order,
+    /// with unassigned roles resolved against `default`. Two specs
+    /// that route (and cap) identically render identically.
     pub fn canonical(&self, default: &ModelProfile) -> String {
         self.resolve(default)
             .iter()
-            .map(|(r, m)| format!("{}={}", r.name(), m.name))
+            .map(|(r, m)| match self.limit(*r) {
+                Some(n) => format!("{}={}:{n}", r.name(), m.name),
+                None => format!("{}={}", r.name(), m.name),
+            })
             .collect::<Vec<_>>()
             .join(",")
+    }
+}
+
+/// A plain counting semaphore (`Mutex` + `Condvar`), used to cap a
+/// role's in-flight completions without pulling in an async runtime.
+#[derive(Debug)]
+struct RoleGate {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl RoleGate {
+    fn new(permits: usize) -> RoleGate {
+        RoleGate { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    fn acquire(&self) -> RoleGateGuard<'_> {
+        let mut permits = self.permits.lock().expect("role gate poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("role gate poisoned");
+        }
+        *permits -= 1;
+        RoleGateGuard { gate: self }
+    }
+}
+
+struct RoleGateGuard<'a> {
+    gate: &'a RoleGate,
+}
+
+impl Drop for RoleGateGuard<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.gate.permits.lock().expect("role gate poisoned");
+        *permits += 1;
+        self.gate.available.notify_one();
     }
 }
 
@@ -216,6 +296,10 @@ pub struct RoutedLlm {
     /// `Role::ALL`-indexed backend index and routed model name.
     by_role: [usize; 4],
     names: [String; 4],
+    /// `Role::ALL`-indexed in-flight caps; `None` = unbounded. Enforced
+    /// inside [`LanguageModel::complete`], so a capped role's waiters
+    /// still hold their slot of the shared `--llm-concurrency` bound.
+    limits: [Option<Arc<RoleGate>>; 4],
 }
 
 impl RoutedLlm {
@@ -240,7 +324,17 @@ impl RoutedLlm {
             names[slot] = name;
         }
         assert!(names.iter().all(|n| !n.is_empty()), "route table must cover all roles");
-        RoutedLlm { backends, by_role, names }
+        RoutedLlm { backends, by_role, names, limits: [None, None, None, None] }
+    }
+
+    /// Apply the spec's per-role `:N` caps. Each capped role gets its
+    /// own gate — two roles routed to the same backend are capped
+    /// independently.
+    pub fn with_role_limits(mut self, spec: &RouteSpec) -> RoutedLlm {
+        for (slot, role) in Role::ALL.iter().enumerate() {
+            self.limits[slot] = spec.limit(*role).map(|n| Arc::new(RoleGate::new(n)));
+        }
+        self
     }
 
     /// The standard simulated stack for a route: one
@@ -275,7 +369,7 @@ impl RoutedLlm {
             };
             table.push((role, backend));
         }
-        RoutedLlm::from_backends(table)
+        RoutedLlm::from_backends(table).with_role_limits(spec)
     }
 
     /// The routed model name for each role, [`Role::ALL`] order.
@@ -303,7 +397,9 @@ impl LanguageModel for RoutedLlm {
     }
 
     fn complete(&self, prompt: &Prompt) -> Result<Completion, LlmError> {
-        self.backends[self.by_role[self.slot(prompt)]].complete(prompt)
+        let slot = self.slot(prompt);
+        let _permit = self.limits[slot].as_ref().map(|gate| gate.acquire());
+        self.backends[self.by_role[slot]].complete(prompt)
     }
 
     fn model_for(&self, prompt: &Prompt) -> &str {
@@ -426,7 +522,7 @@ impl RouteOptimizer {
     }
 
     fn candidate_for(&self, table: Vec<(Role, ModelProfile)>) -> RouteCandidate {
-        let spec = RouteSpec { assigned: table.clone() };
+        let spec = RouteSpec { assigned: table.clone(), limits: Vec::new() };
         // Every role is explicitly assigned, so the default is unused;
         // gpt-4o is passed only to satisfy the signature.
         let route = spec.canonical(&ModelProfile::gpt_4o());
@@ -549,11 +645,25 @@ mod tests {
         assert_eq!(spec.model(Role::Generate).unwrap().name, "gpt-4o");
         assert_eq!(spec.model(Role::Fix).unwrap().name, "gpt-4o-mini");
         assert!(spec.model(Role::Select).is_none());
+        assert!(Role::ALL.iter().all(|r| spec.limit(*r).is_none()));
         let table = spec.resolve(&ModelProfile::gemini_1_5_pro());
         assert_eq!(table[2].1.name, "gemini-1.5-pro");
         assert_eq!(
             spec.canonical(&ModelProfile::gemini_1_5_pro()),
             "refine=llama3.1-70b,generate=gpt-4o,select=gemini-1.5-pro,fix=gpt-4o-mini"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_per_role_concurrency_suffixes() {
+        let spec = RouteSpec::parse("refine=llama:2,generate=gpt-4o,fix=mini:1").unwrap();
+        assert_eq!(spec.model(Role::Refine).unwrap().name, "llama3.1-70b");
+        assert_eq!(spec.limit(Role::Refine), Some(2));
+        assert_eq!(spec.limit(Role::Generate), None);
+        assert_eq!(spec.limit(Role::Fix), Some(1));
+        assert_eq!(
+            spec.canonical(&ModelProfile::gpt_4o()),
+            "refine=llama3.1-70b:2,generate=gpt-4o,select=gpt-4o,fix=gpt-4o-mini:1"
         );
     }
 
@@ -576,6 +686,18 @@ mod tests {
         assert_eq!(
             RouteSpec::parse("refine=llama,refine=gpt-4o"),
             Err(RouteError::DuplicateRole { role: "refine".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("refine=llama:0"),
+            Err(RouteError::InvalidLimit { entry: "refine=llama:0".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("refine=llama:two"),
+            Err(RouteError::InvalidLimit { entry: "refine=llama:two".into() })
+        );
+        assert_eq!(
+            RouteSpec::parse("refine=llama:"),
+            Err(RouteError::InvalidLimit { entry: "refine=llama:".into() })
         );
     }
 
@@ -619,6 +741,76 @@ mod tests {
         );
         let prompt = tagged(LlmTaskKind::FeatureTypeInference);
         assert_eq!(routed.complete(&prompt).unwrap().text, direct.complete(&prompt).unwrap().text);
+    }
+
+    /// A backend that records how many completions are in flight at
+    /// once, so a test can prove the role gate actually bounds them.
+    struct InFlightProbe {
+        current: std::sync::atomic::AtomicUsize,
+        peak: std::sync::atomic::AtomicUsize,
+    }
+
+    impl InFlightProbe {
+        fn new() -> InFlightProbe {
+            InFlightProbe {
+                current: std::sync::atomic::AtomicUsize::new(0),
+                peak: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for InFlightProbe {
+        fn model_name(&self) -> &str {
+            "probe"
+        }
+
+        fn context_window(&self) -> usize {
+            128_000
+        }
+
+        fn complete(&self, _prompt: &Prompt) -> Result<Completion, LlmError> {
+            use std::sync::atomic::Ordering;
+            let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            self.current.fetch_sub(1, Ordering::SeqCst);
+            Ok(Completion {
+                text: "ok".into(),
+                usage: crate::tokens::TokenUsage::new(1, 1),
+                latency_seconds: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn role_limits_bound_in_flight_completions() {
+        let spec = RouteSpec::parse("refine=llama:2").unwrap();
+        let probe = Arc::new(InFlightProbe::new());
+        let table: Vec<(Role, Arc<dyn LanguageModel>)> =
+            Role::ALL.iter().map(|r| (*r, probe.clone() as Arc<dyn LanguageModel>)).collect();
+        let routed = Arc::new(RoutedLlm::from_backends(table).with_role_limits(&spec));
+        let prompt = tagged(LlmTaskKind::FeatureTypeInference);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let routed = routed.clone();
+                let prompt = prompt.clone();
+                scope.spawn(move || routed.complete(&prompt).unwrap());
+            }
+        });
+        let peak = probe.peak.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(peak <= 2, "refine gate of 2 let {peak} completions run at once");
+        // Uncapped roles on the same route are not throttled: the
+        // generate role has no gate, so 8 threads can overlap freely.
+        probe.peak.store(0, std::sync::atomic::Ordering::SeqCst);
+        let open = tagged(LlmTaskKind::PipelineGeneration);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let routed = routed.clone();
+                let open = open.clone();
+                scope.spawn(move || routed.complete(&open).unwrap());
+            }
+        });
+        assert!(probe.peak.load(std::sync::atomic::Ordering::SeqCst) >= 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! exhaust the memory envelope, TabPFN enforces its input limits.
 
 use crate::ast::*;
+use crate::dag::{execute_dag, ExecMode, StepCache};
 use crate::environment::{step_package, Environment, PREINSTALLED};
 use crate::errors::{ErrorKind, PipelineError};
 use catdb_ml::transform::TransformError;
@@ -40,6 +41,15 @@ pub struct ExecutionConfig {
     /// Profiling strategy (exact scans vs mergeable chunked sketches)
     /// forwarded to every profiling pass the run performs.
     pub profile_mode: catdb_profiler::ProfileMode,
+    /// Step scheduling strategy: strict sequential interpretation or the
+    /// dependency-DAG scheduler (byte-identical outputs either way).
+    pub exec_mode: ExecMode,
+    /// Step-output memoization shared across executions (fix-loop
+    /// iterations, repeated runs). Only consulted in DAG mode.
+    pub step_cache: Option<std::sync::Arc<StepCache>>,
+    /// Test hook: fail the step at this index with a deterministic
+    /// runtime error before executing it (fault-recovery tests).
+    pub inject_fault_step: Option<usize>,
 }
 
 impl ExecutionConfig {
@@ -51,6 +61,9 @@ impl ExecutionConfig {
             fast_validation: false,
             split_mode: SplitMode::Exact,
             profile_mode: catdb_profiler::ProfileMode::Exact,
+            exec_mode: ExecMode::Seq,
+            step_cache: None,
+            inject_fault_step: None,
         }
     }
 }
@@ -95,8 +108,14 @@ pub struct Evaluation {
 }
 
 /// 1-based line of step `idx` in [`Program::render`]'s listing.
-fn step_line(idx: usize) -> usize {
+pub(crate) fn step_line(idx: usize) -> usize {
     idx + 2 // line 1 is "pipeline {"
+}
+
+/// The deterministic error raised by `ExecutionConfig::inject_fault_step`.
+pub(crate) fn injected_fault(idx: usize) -> PipelineError {
+    PipelineError::new(ErrorKind::NumericalInstability, format!("injected fault at step {idx}"))
+        .at_line(step_line(idx))
 }
 
 fn map_transform_err(e: TransformError, line: usize) -> PipelineError {
@@ -163,7 +182,7 @@ fn expand_columns(
     }
 }
 
-fn check_memory(
+pub(crate) fn check_memory(
     train: &Table,
     test: &Table,
     cfg: &ExecutionConfig,
@@ -384,9 +403,8 @@ fn run_model(
     }
 }
 
-/// Execute a program end to end.
 /// Operator name recorded in `PipelineOp` trace events.
-fn step_label(step: &Step) -> &'static str {
+pub(crate) fn step_label(step: &Step) -> &'static str {
     match step {
         Step::Require { .. } => "require",
         Step::Impute { .. } => "impute",
@@ -405,20 +423,10 @@ fn step_label(step: &Step) -> &'static str {
     }
 }
 
-pub fn execute(
-    program: &Program,
-    train: &Table,
-    test: &Table,
-    env: &Environment,
-    cfg: &ExecutionConfig,
-) -> Result<Evaluation, PipelineError> {
-    let _span = catdb_trace::span("execute_pipeline");
-    let started = Instant::now();
-    let target = program.model().map(|m| m.target.clone());
-
-    // Import pass: every step's package must be resolvable. `require`
-    // statements resolve explicitly (and may carry version pins); other
-    // steps implicitly import their package.
+/// Import pass: every step's package must be resolvable. `require`
+/// statements resolve explicitly (and may carry version pins); other
+/// steps implicitly import their package.
+pub(crate) fn resolve_imports(program: &Program, env: &Environment) -> Result<(), PipelineError> {
     for (idx, step) in program.steps.iter().enumerate() {
         let line = step_line(idx);
         if let Step::Require { package } = step {
@@ -433,15 +441,28 @@ pub fn execute(
             }
         }
     }
+    Ok(())
+}
 
-    let mut train = train.clone();
-    let mut test = test.clone();
+/// Interpret one step against `train`/`test` in place. Returns the model
+/// result for [`Step::Model`], `None` otherwise. Shared verbatim between
+/// the sequential interpreter and the DAG scheduler, so both execute
+/// identical operator semantics (including mid-step memory checks).
+#[allow(clippy::type_complexity)]
+pub(crate) fn apply_step(
+    step: &Step,
+    line: usize,
+    train: &mut Table,
+    test: &mut Table,
+    cfg: &ExecutionConfig,
+    target: Option<&str>,
+    model_seen: bool,
+) -> Result<Option<(TaskMetrics, TaskMetrics, usize)>, PipelineError> {
     let mut model_result = None;
-
-    for (idx, step) in program.steps.iter().enumerate() {
-        let line = step_line(idx);
-        let step_started = Instant::now();
-        let rows_in = train.n_rows();
+    {
+        let train = &mut *train;
+        let test = &mut *test;
+        let target = target.map(|t| t.to_string());
         match step {
             Step::Require { .. } => {}
             Step::Impute { column, strategy } => {
@@ -449,7 +470,7 @@ pub fn execute(
                     strategy,
                     ImputeSpec::Mean | ImputeSpec::Median | ImputeSpec::ConstantNum(_)
                 );
-                let cols = expand_columns(&train, column, target.as_deref(), |f, c| {
+                let cols = expand_columns(train, column, target.as_deref(), |f, c| {
                     c.null_count() > 0 && (!numeric_only || f.dtype.is_numeric())
                 });
                 if matches!(column, ColumnRef::Named(_)) && cols.len() == 1 {
@@ -464,7 +485,7 @@ pub fn execute(
                         }
                     };
                     let mut t = Imputer::new(cols[0].clone(), strat);
-                    apply(&mut t, &mut train, &mut test, line)?;
+                    apply(&mut t, train, test, line)?;
                 } else {
                     for col in cols {
                         let strat = match strategy {
@@ -479,63 +500,63 @@ pub fn execute(
                             }
                         };
                         let mut t = Imputer::new(col, strat);
-                        apply(&mut t, &mut train, &mut test, line)?;
+                        apply(&mut t, train, test, line)?;
                     }
                 }
             }
             Step::Scale { column, method } => {
                 let cols =
-                    expand_columns(&train, column, target.as_deref(), |f, _| f.dtype.is_numeric());
+                    expand_columns(train, column, target.as_deref(), |f, _| f.dtype.is_numeric());
                 for col in cols {
                     let mut t = Scaler::new(col, *method);
-                    apply(&mut t, &mut train, &mut test, line)?;
+                    apply(&mut t, train, test, line)?;
                 }
             }
             Step::Encode { column, method } => {
-                let cols = expand_columns(&train, column, target.as_deref(), |f, _| {
+                let cols = expand_columns(train, column, target.as_deref(), |f, _| {
                     f.dtype == DataType::Str
                 });
                 for col in cols {
                     match method {
                         EncodeSpec::OneHot => {
                             let mut t = OneHotEncoder::new(col);
-                            apply(&mut t, &mut train, &mut test, line)?;
+                            apply(&mut t, train, test, line)?;
                         }
                         EncodeSpec::Ordinal => {
                             let mut t = OrdinalEncoder::new(col);
-                            apply(&mut t, &mut train, &mut test, line)?;
+                            apply(&mut t, train, test, line)?;
                         }
                         EncodeSpec::KHot { separator } => {
                             let mut t = KHotEncoder::new(col, separator.clone());
-                            apply(&mut t, &mut train, &mut test, line)?;
+                            apply(&mut t, train, test, line)?;
                         }
                         EncodeSpec::Hash { buckets } => {
                             let mut t = FeatureHasher::new(col, *buckets);
-                            apply(&mut t, &mut train, &mut test, line)?;
+                            apply(&mut t, train, test, line)?;
                         }
                     }
-                    check_memory(&train, &test, cfg, line)?;
+                    check_memory(train, test, cfg, line)?;
                 }
             }
             Step::Drop { column } => {
                 let mut t = ColumnDropper { column: column.clone() };
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::DropHighMissing { threshold } => {
                 let mut t = HighMissingDropper::new(*threshold);
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::DropConstant => {
                 let mut t = ConstantColumnDropper::default();
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::Dedup { approximate } => {
                 let mut t = Deduplicator { approximate: *approximate };
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::DropNullRows => {
                 let mut t = NullRowDropper;
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::Outliers { column, method } => {
                 let cols = match column {
@@ -548,34 +569,89 @@ pub fn execute(
                     OutlierSpec::Lof { k, factor } => OutlierMethod::Lof { k: *k, factor: *factor },
                 };
                 let mut t = OutlierRemover::new(cols, m);
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::Augment { method, target } => {
                 let mut t = Augmenter::new(target.clone(), *method);
                 t.seed = cfg.seed;
-                apply(&mut t, &mut train, &mut test, line)?;
-                check_memory(&train, &test, cfg, line)?;
+                apply(&mut t, train, test, line)?;
+                check_memory(train, test, cfg, line)?;
             }
             Step::Rebalance { target } => {
                 let mut t = Augmenter::new(target.clone(), AugmentMethod::Smote);
                 t.seed = cfg.seed;
-                apply(&mut t, &mut train, &mut test, line)?;
-                check_memory(&train, &test, cfg, line)?;
+                apply(&mut t, train, test, line)?;
+                check_memory(train, test, cfg, line)?;
             }
             Step::SelectTopK { k, target } => {
                 let mut t = TopKSelector::new(target.clone(), *k);
-                apply(&mut t, &mut train, &mut test, line)?;
+                apply(&mut t, train, test, line)?;
             }
             Step::Model(spec) => {
-                if model_result.is_some() {
+                if model_seen {
                     return Err(PipelineError::new(
                         ErrorKind::ModelTaskMismatch,
                         "pipeline trains more than one model",
                     )
                     .at_line(line));
                 }
-                model_result = Some(run_model(spec, &train, &test, cfg, line)?);
+                model_result = Some(run_model(spec, train, test, cfg, line)?);
             }
+        }
+    }
+    Ok(model_result)
+}
+
+/// Execute a program end to end, dispatching on
+/// [`ExecutionConfig::exec_mode`]: the strict sequential interpreter or
+/// the dependency-DAG scheduler. Both produce byte-identical tables,
+/// evaluations, and trace events (timing aside) for any program.
+pub fn execute(
+    program: &Program,
+    train: &Table,
+    test: &Table,
+    env: &Environment,
+    cfg: &ExecutionConfig,
+) -> Result<Evaluation, PipelineError> {
+    match cfg.exec_mode {
+        ExecMode::Seq => execute_seq(program, train, test, env, cfg),
+        ExecMode::Dag => execute_dag(program, train, test, env, cfg),
+    }
+}
+
+fn execute_seq(
+    program: &Program,
+    train: &Table,
+    test: &Table,
+    env: &Environment,
+    cfg: &ExecutionConfig,
+) -> Result<Evaluation, PipelineError> {
+    let _span = catdb_trace::span("execute_pipeline");
+    let started = Instant::now();
+    let target = program.model().map(|m| m.target.clone());
+    resolve_imports(program, env)?;
+
+    let mut train = train.clone();
+    let mut test = test.clone();
+    let mut model_result = None;
+
+    for (idx, step) in program.steps.iter().enumerate() {
+        let line = step_line(idx);
+        let step_started = Instant::now();
+        let rows_in = train.n_rows();
+        if cfg.inject_fault_step == Some(idx) {
+            return Err(injected_fault(idx));
+        }
+        if let Some(result) = apply_step(
+            step,
+            line,
+            &mut train,
+            &mut test,
+            cfg,
+            target.as_deref(),
+            model_result.is_some(),
+        )? {
+            model_result = Some(result);
         }
         catdb_trace::emit(catdb_trace::TraceEvent::PipelineOp {
             op: step_label(step).to_string(),
@@ -586,6 +662,19 @@ pub fn execute(
         check_memory(&train, &test, cfg, step_line(idx))?;
     }
 
+    finish_evaluation(program, &train, &test, cfg, model_result, started)
+}
+
+/// Shared tail of both executors: demand a model result and assemble the
+/// [`Evaluation`].
+pub(crate) fn finish_evaluation(
+    program: &Program,
+    train: &Table,
+    test: &Table,
+    cfg: &ExecutionConfig,
+    model_result: Option<(TaskMetrics, TaskMetrics, usize)>,
+    started: Instant,
+) -> Result<Evaluation, PipelineError> {
     let Some((train_metrics, test_metrics, n_features)) = model_result else {
         return Err(PipelineError::new(ErrorKind::ModelTaskMismatch, "pipeline has no model step"));
     };

@@ -30,6 +30,7 @@
 //! ```
 
 mod ast;
+mod dag;
 mod environment;
 mod errors;
 mod executor;
@@ -38,6 +39,10 @@ mod parser;
 pub use ast::{
     ColumnRef, EncodeSpec, ImputeSpec, ModelAlgo, ModelFamily, ModelSpec, OutlierSpec, Program,
     Step,
+};
+pub use dag::{
+    topo_order, ColSet, DagError, DagNode, ExecMode, StepCache, StepDag, COUNTER_DAG_WAVES,
+    COUNTER_STEP_CACHE_HITS, COUNTER_STEP_CACHE_MISSES, SPAN_DAG_SCHEDULE,
 };
 pub use environment::{required_packages, step_package, Environment, INSTALLABLE, PREINSTALLED};
 pub use errors::{ErrorCategory, ErrorKind, PipelineError};

@@ -18,8 +18,9 @@ mod types;
 
 pub use embedding::{inclusion_score, ColumnEmbedding, EMBEDDING_DIM};
 pub use profile::{
-    profile_chunked, profile_table, ProfileMode, ProfileOptions, COUNTER_PROFILER_CHUNKS,
-    COUNTER_PROFILER_PEAK_CHUNK_RSS, COUNTER_PROFILER_SKETCH_MERGES, SPAN_PROFILE_CHUNK,
+    profile_chunked, profile_csv_stream, profile_table, ProfileMode, ProfileOptions,
+    COUNTER_PROFILER_CHUNKS, COUNTER_PROFILER_PEAK_CHUNK_RSS, COUNTER_PROFILER_SKETCH_MERGES,
+    SPAN_PROFILE_CHUNK,
 };
 pub use sketch::{
     ColumnSketch, DistinctSketch, MomentSketch, PairMoments, QuantileSketch, DISTINCT_K, QUANTILE_K,

@@ -696,6 +696,62 @@ pub fn profile_chunked(
     Ok(profile)
 }
 
+/// Profile a CSV file in a single pass over the ingest stream: sketches
+/// are folded chunk by chunk *as the spill is written* (via
+/// [`ChunkedTable::from_csv_path_observed`]), skipping the read-back
+/// pass [`profile_chunked`] performs. Returns both the chunked table
+/// and its profile; the profile is identical to re-reading the spill
+/// through [`profile_chunked`].
+///
+/// Mid-stream dtype degradation is reconciled at finalize: pair moments
+/// are seeded from the first chunk's dtypes (degradation only narrows
+/// numeric → string, never the reverse) and pairs touching a degraded
+/// column are dropped, matching what the read-back path — which never
+/// sees the pre-degradation dtypes — would have computed. A degraded
+/// column's numeric moments are likewise ignored, because feature
+/// typing off the final string dtype never consults them.
+pub fn profile_csv_stream(
+    name: &str,
+    path: impl AsRef<std::path::Path>,
+    csv_opts: &catdb_table::CsvOptions,
+    chunk_rows: usize,
+    opts: &ProfileOptions,
+) -> catdb_table::Result<(ChunkedTable, DataProfile)> {
+    let _span = catdb_trace::span("profile_table");
+    let started = Instant::now();
+    let n_threads = opts.n_threads.max(1);
+    let mut acc: Option<(Vec<(String, DataType)>, SketchAccum)> = None;
+    let table =
+        ChunkedTable::from_csv_path_observed(path, csv_opts, chunk_rows, &mut |chunk: &Table| {
+            let (_, acc) = acc.get_or_insert_with(|| {
+                let fields = schema_fields(chunk.schema());
+                let acc = SketchAccum::new(&fields);
+                (fields, acc)
+            });
+            acc.fold_chunk(chunk, n_threads);
+        })?;
+    let fields = schema_fields(table.schema());
+    let acc = match acc {
+        Some((first_fields, mut acc)) => {
+            if first_fields != fields {
+                let keep: Vec<bool> = acc
+                    .pair_idx
+                    .iter()
+                    .map(|&(i, j)| fields[i].1.is_numeric() && fields[j].1.is_numeric())
+                    .collect();
+                let mut it = keep.iter();
+                acc.pair_idx.retain(|_| *it.next().expect("one flag per pair"));
+                let mut it = keep.iter();
+                acc.pairs.retain(|_| *it.next().expect("one flag per pair"));
+            }
+            acc
+        }
+        None => SketchAccum::new(&fields),
+    };
+    let (profile, _events) = finalize_sketch(name, &fields, table.n_rows(), &acc, opts, started);
+    Ok((table, profile))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +852,64 @@ mod tests {
             assert_eq!(ca.samples, cb.samples);
             assert_eq!(ca.similarities, cb.similarities);
         }
+    }
+
+    #[test]
+    fn streaming_profile_matches_spill_read_back() {
+        // Includes quoted fields, nulls, blank lines, and a mid-stream
+        // dtype degradation (column b turns textual after 120 int rows),
+        // so the observer path must reconcile pre-degradation chunks.
+        let mut text = String::from("a,b,c\n");
+        for i in 0..120 {
+            text.push_str(&format!("{i},{},\"cat {}\"\n", i * 7, i % 5));
+        }
+        text.push_str("120,oops,\"cat 0\"\n");
+        for i in 121..300 {
+            text.push_str(&format!("{i},{},NA\n", i % 3));
+        }
+        let path =
+            std::env::temp_dir().join(format!("catdb-stream-profile-{}.csv", std::process::id()));
+        std::fs::write(&path, &text).unwrap();
+        let csv_opts = catdb_table::CsvOptions { inference_rows: 50, ..Default::default() };
+        let opts =
+            ProfileOptions { mode: ProfileMode::Sketch { chunk_rows: 64 }, ..Default::default() };
+
+        let (streamed_table, streamed) =
+            profile_csv_stream("s", &path, &csv_opts, 64, &opts).unwrap();
+        assert_eq!(streamed_table.schema().fields()[1].dtype, DataType::Str, "b degraded");
+        let chunked = ChunkedTable::from_csv_path(&path, &csv_opts, 64).unwrap();
+        let read_back = profile_chunked("s", &chunked, &opts).unwrap();
+
+        assert_eq!(streamed.n_rows, read_back.n_rows);
+        assert_eq!(streamed.columns, read_back.columns);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_profile_keeps_spill_accounting() {
+        let mut text = String::from("x,y\n");
+        for i in 0..200 {
+            text.push_str(&format!("{i},{}.5\n", i * 3));
+        }
+        let path =
+            std::env::temp_dir().join(format!("catdb-stream-spill-{}.csv", std::process::id()));
+        std::fs::write(&path, &text).unwrap();
+        let csv_opts = catdb_table::CsvOptions::default();
+        let opts =
+            ProfileOptions { mode: ProfileMode::Sketch { chunk_rows: 64 }, ..Default::default() };
+
+        let sink = std::sync::Arc::new(catdb_trace::TraceSink::new());
+        let guard = catdb_trace::install(sink.clone());
+        let (streamed_table, _) = profile_csv_stream("s", &path, &csv_opts, 64, &opts).unwrap();
+        drop(guard);
+        let trace = sink.snapshot();
+        // The spill-bytes counter must record exactly what was written.
+        assert_eq!(
+            trace.counters[catdb_table::COUNTER_CSV_SPILL_BYTES],
+            streamed_table.spill_bytes() as f64
+        );
+        assert!(streamed_table.spill_bytes() > 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

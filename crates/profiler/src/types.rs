@@ -52,7 +52,7 @@ pub struct NumericStats {
 }
 
 /// Everything Algorithm 1 extracts for one column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnProfile {
     pub name: String,
     pub data_type: DataType,

@@ -34,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--split-mode exact|binned|binned:BINS]\n            [--profile-mode exact|sketch|sketch:ROWS]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE [--profile-mode exact|sketch|sketch:ROWS]\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--split-mode MODE] [--profile-mode MODE]\n            [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
+        "usage:\n  catdb run --csv FILE --target COLUMN --task binary|multiclass|regression\n            [--model gpt-4o|gemini-1.5-pro|llama3.1-70b|gpt-4o-mini] [--beta N] [--alpha K]\n            [--route role=model,...|auto] [--route-target-accuracy F]\n            [--split-mode exact|binned|binned:BINS]\n            [--profile-mode exact|sketch|sketch:ROWS]\n            [--exec-mode seq|dag] [--dag-out FILE]\n            [--no-refine] [--seed N] [--trace-out FILE]\n            [--fault-rate F] [--max-retries N] [--llm-timeout SECONDS]\n            [--llm-concurrency N] [--llm-cache FILE]\n  catdb profile --csv FILE [--profile-mode exact|sketch|sketch:ROWS]\n  catdb serve --port N [--host ADDR] [--max-inflight N] [--max-queued N]\n            [--budget-tokens F] [--budget-refill F] [--llm-cache FILE]\n            [--llm-concurrency N] [--fault-rate F] [--max-retries N]\n            [--llm-timeout SECONDS] [--shutdown-token TOKEN]\n  catdb client --port N [--host ADDR] [--tenant NAME]\n            (--dataset NAME [--rows N] | --csv FILE --target COLUMN --task KIND)\n            [--model M] [--route SPEC|auto] [--split-mode MODE] [--profile-mode MODE]\n            [--exec-mode seq|dag] [--seed N] [--beta N] [--alpha K]\n            [--no-refine] [--stream] [--clients N] [--out-dir DIR]\n  catdb client --port N --shutdown TOKEN"
     );
     ExitCode::from(2)
 }
@@ -53,6 +53,10 @@ struct Args {
     split_mode: catdb_ml::SplitMode,
     /// Profiling strategy: `exact` | `sketch` | `sketch:<chunk_rows>`.
     profile_mode: catdb_profiler::ProfileMode,
+    /// Pipeline scheduling: `seq` | `dag`.
+    exec_mode: catdb_pipeline::ExecMode,
+    /// File receiving the final pipeline's dependency DAG as JSON.
+    dag_out: Option<String>,
     beta: usize,
     alpha: Option<usize>,
     refine: bool,
@@ -104,6 +108,8 @@ fn parse_args() -> Option<Args> {
         route_target_accuracy: DEFAULT_ROUTE_TARGET_ACCURACY,
         split_mode: catdb_ml::SplitMode::Exact,
         profile_mode: catdb_profiler::ProfileMode::Exact,
+        exec_mode: catdb_pipeline::ExecMode::Seq,
+        dag_out: None,
         beta: 1,
         alpha: None,
         refine: true,
@@ -182,6 +188,23 @@ fn parse_args() -> Option<Args> {
                     }
                 }
             }
+            "--exec-mode" => {
+                let Some(raw) = argv.get(i + 1) else {
+                    eprintln!("--exec-mode needs a value (seq | dag)");
+                    return None;
+                };
+                match catdb_pipeline::ExecMode::parse(raw) {
+                    Ok(mode) => {
+                        args.exec_mode = mode;
+                        i += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("bad --exec-mode '{raw}': {e}");
+                        return None;
+                    }
+                }
+            }
+            "--dag-out" => args.dag_out = argv.get(i + 1).cloned().inspect(|_| i += 1),
             "--beta" => {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     args.beta = v;
@@ -361,14 +384,22 @@ fn cmd_profile(args: &Args) -> ExitCode {
                 .and_then(|s| s.to_str())
                 .unwrap_or("dataset")
                 .to_string();
-            let chunked = match catdb_table::ChunkedTable::from_csv_path(
+            let opts = ProfileOptions {
+                mode: catdb_profiler::ProfileMode::Sketch { chunk_rows },
+                ..Default::default()
+            };
+            // Single pass: sketches fold off the ingest stream as each
+            // chunk is spilled — no read-back pass over the spill file.
+            let (chunked, profile) = match catdb_profiler::profile_csv_stream(
+                &name,
                 path,
                 &CsvOptions::default(),
                 chunk_rows,
+                &opts,
             ) {
-                Ok(c) => c,
+                Ok(v) => v,
                 Err(e) => {
-                    eprintln!("failed to read {path}: {e}");
+                    eprintln!("failed to profile {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
@@ -379,17 +410,6 @@ fn cmd_profile(args: &Args) -> ExitCode {
                 chunked.chunk_rows(),
                 chunked.spill_bytes(),
             );
-            let opts = ProfileOptions {
-                mode: catdb_profiler::ProfileMode::Sketch { chunk_rows },
-                ..Default::default()
-            };
-            let profile = match catdb_profiler::profile_chunked(&name, &chunked, &opts) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("failed to profile {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
             let n_cols = chunked.schema().len();
             (name, profile, n_cols)
         }
@@ -518,6 +538,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         llm_cache: cache.clone(),
         split_mode: args.split_mode,
         profile_mode: args.profile_mode,
+        exec_mode: args.exec_mode,
         ..Default::default()
     };
     let result = match catdb_pipgen(&entry, &prepared, llm, &cfg) {
@@ -528,6 +549,20 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     println!("{}", result.code);
+    if let Some(path) = &args.dag_out {
+        // Export the final pipeline's dependency DAG (nodes with their
+        // read/write column sets, barrier flags, and inferred edges).
+        match catdb_pipeline::parse(&result.code) {
+            Ok(program) => {
+                let dag = catdb_pipeline::StepDag::compile(&program);
+                match std::fs::write(path, dag.to_json()) {
+                    Ok(()) => eprintln!("[dag: {} node(s) written to {path}]", dag.nodes.len()),
+                    Err(e) => eprintln!("failed to write DAG to {path}: {e}"),
+                }
+            }
+            Err(e) => eprintln!("cannot export DAG: final pipeline does not parse: {e}"),
+        }
+    }
     if let Some(cache) = &cache {
         let stats = cache.stats();
         eprintln!(
@@ -671,6 +706,10 @@ fn client_request(args: &Args) -> Result<GenerateRequest, String> {
     };
     req.profile_mode = match args.profile_mode {
         catdb_profiler::ProfileMode::Exact => None,
+        mode => Some(mode.to_string()),
+    };
+    req.exec_mode = match args.exec_mode {
+        catdb_pipeline::ExecMode::Seq => None,
         mode => Some(mode.to_string()),
     };
     req.seed = args.seed;

@@ -72,6 +72,11 @@ pub struct GenerateRequest {
     /// predate sketch profiling still decode.
     #[serde(default)]
     pub profile_mode: Option<String>,
+    /// Pipeline scheduling (`seq` | `dag`); `None` means sequential.
+    /// Optional on the wire so older clients that predate DAG execution
+    /// still decode.
+    #[serde(default)]
+    pub exec_mode: Option<String>,
     pub seed: u64,
     /// Chain chunks (1 = single prompt).
     pub beta: usize,
@@ -95,6 +100,7 @@ impl GenerateRequest {
             route: None,
             split_mode: None,
             profile_mode: None,
+            exec_mode: None,
             seed: 42,
             beta: 1,
             alpha: None,
@@ -282,6 +288,7 @@ mod tests {
             route: Some("refine=llama,fix=mini".into()),
             split_mode: Some("binned:128".into()),
             profile_mode: Some("sketch:4096".into()),
+            exec_mode: Some("dag".into()),
             seed: 9,
             beta: 3,
             alpha: Some(12),
@@ -395,6 +402,26 @@ mod tests {
         };
         let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
         assert_eq!(back.profile_mode, None);
+        assert_eq!(back.model, request().model);
+    }
+
+    #[test]
+    fn requests_without_exec_mode_field_still_decode() {
+        // Clients that predate DAG execution omit `exec_mode`; the
+        // server must read that as sequential.
+        let v = serde_json::to_value(&request());
+        let stripped = match v {
+            serde_json::Value::Object(m) => serde_json::Value::Object(
+                m.iter()
+                    .filter(|(k, _)| k.as_str() != "exec_mode")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+            _ => unreachable!("requests serialize as objects"),
+        };
+        let back: GenerateRequest = serde::Deserialize::deserialize(&stripped).unwrap();
+        assert_eq!(back.exec_mode, None);
         assert_eq!(back.model, request().model);
     }
 

@@ -370,6 +370,11 @@ impl Server {
             }
             None => catdb_ml::SplitMode::Exact,
         };
+        let exec_mode = match &req.exec_mode {
+            Some(s) => catdb_pipeline::ExecMode::parse(s)
+                .map_err(|e| format!("bad exec_mode '{s}': {e}"))?,
+            None => catdb_pipeline::ExecMode::Seq,
+        };
         let cfg = CatDbConfig {
             prompt: PromptOptions { beta: req.beta.max(1), alpha: req.alpha, ..Default::default() },
             seed: req.seed,
@@ -377,6 +382,7 @@ impl Server {
             llm_cache: Some(self.inner.cache.clone()),
             split_mode,
             profile_mode,
+            exec_mode,
             ..Default::default()
         };
         let result = catdb_pipgen(&entry, &prepared, &sched, &cfg)

@@ -95,16 +95,48 @@ impl ChunkedTable {
         opts: &CsvOptions,
         chunk_rows: usize,
     ) -> Result<ChunkedTable> {
-        Self::from_csv_path_block(path.as_ref(), opts, chunk_rows, INGEST_BLOCK)
+        Self::from_csv_path_block_observed(path.as_ref(), opts, chunk_rows, INGEST_BLOCK, None)
+    }
+
+    /// Streaming ingestion with a per-chunk observer: `observe` is
+    /// called once per materialized chunk, in chunk order, with exactly
+    /// the columns being spilled (typed pages before any later dtype
+    /// degradation — the same content [`ChunkedTable::chunk`] renders
+    /// back). Lets single-pass consumers (sketch profiling) fold each
+    /// chunk as it streams by instead of re-reading the spill file.
+    pub fn from_csv_path_observed(
+        path: impl AsRef<Path>,
+        opts: &CsvOptions,
+        chunk_rows: usize,
+        observe: &mut dyn FnMut(&Table),
+    ) -> Result<ChunkedTable> {
+        Self::from_csv_path_block_observed(
+            path.as_ref(),
+            opts,
+            chunk_rows,
+            INGEST_BLOCK,
+            Some(observe),
+        )
     }
 
     /// Ingestion with an explicit block size, so tests can exercise the
     /// window-carry machinery without multi-megabyte fixtures.
+    #[cfg(test)]
     pub(crate) fn from_csv_path_block(
         path: &Path,
         opts: &CsvOptions,
         chunk_rows: usize,
         block: usize,
+    ) -> Result<ChunkedTable> {
+        Self::from_csv_path_block_observed(path, opts, chunk_rows, block, None)
+    }
+
+    fn from_csv_path_block_observed(
+        path: &Path,
+        opts: &CsvOptions,
+        chunk_rows: usize,
+        block: usize,
+        observe: Option<&mut dyn FnMut(&Table)>,
     ) -> Result<ChunkedTable> {
         let _span = catdb_trace::span(csv::SPAN_CSV_INGEST);
         let chunk_rows = chunk_rows.max(1);
@@ -112,7 +144,7 @@ impl ChunkedTable {
         let file = File::open(path)?;
         let spill_path = fresh_spill_path();
         let mut w = CountingWriter::new(BufWriter::new(File::create(&spill_path)?));
-        let result = stream_ingest(file, opts, chunk_rows, block, &mut w)
+        let result = stream_ingest(file, opts, chunk_rows, block, &mut w, observe)
             .and_then(|ok| w.flush().map_err(TableError::from).map(|()| ok));
         match result {
             Ok((schema, chunks, n_rows)) => {
@@ -282,6 +314,7 @@ fn stream_ingest<W: Write>(
     chunk_rows: usize,
     block: usize,
     w: &mut CountingWriter<W>,
+    mut observe: Option<&mut dyn FnMut(&Table)>,
 ) -> Result<(Schema, Vec<ChunkMeta>, usize)> {
     let mut buf: Vec<u8> = Vec::new();
     let mut eof = false;
@@ -425,6 +458,12 @@ fn stream_ingest<W: Write>(
             chunks.push(ChunkMeta { rows: k as u32, offset });
             n_rows += k;
             taken += k;
+            if let Some(observe) = observe.as_deref_mut() {
+                let names = header.as_ref().expect("header fixed before first chunk");
+                let chunk =
+                    Table::from_columns(names.iter().cloned().zip(out.cols).collect::<Vec<_>>())?;
+                observe(&chunk);
+            }
         }
 
         // Carry: keep everything from the first unconsumed record on.

@@ -45,6 +45,14 @@ SKETCH_PROFILE_MS="${SKETCH_LINE#*profile_ms=}"; SKETCH_PROFILE_MS="${SKETCH_PRO
 SKETCH_RPS="${SKETCH_LINE#*profile_rows_per_sec=}"; SKETCH_RPS="${SKETCH_RPS%% *}"
 SKETCH_BYTES="${SKETCH_LINE#*csv_bytes=}"; SKETCH_BYTES="${SKETCH_BYTES%% *}"
 
+echo "== DAG executor vs sequential (65-step pipeline, 8 threads) =="
+DAG_LINE="$(CATDB_THREADS=8 cargo run -q --release -p catdb-bench --bin dag_bench | tail -1)"
+echo "$DAG_LINE"
+DAG_STEPS="${DAG_LINE#*steps=}"; DAG_STEPS="${DAG_STEPS%% *}"
+DAG_SEQ_MS="${DAG_LINE#*seq_ms=}"; DAG_SEQ_MS="${DAG_SEQ_MS%% *}"
+DAG_DAG_MS="${DAG_LINE#*dag_ms=}"; DAG_DAG_MS="${DAG_DAG_MS%% *}"
+DAG_SPEEDUP="${DAG_LINE#*speedup=}"; DAG_SPEEDUP="${DAG_SPEEDUP%% *}"
+
 # Pre-PR baselines (300 ms budget, same machine class): mean ms/iter before
 # the shared runtime, profile memo, and incremental tree-split scan landed.
 BASE_PROFILING_MS=240.818
@@ -56,7 +64,9 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     -v serve_clients="$SERVE_CLIENTS" -v serve_cold_ms="$SERVE_COLD_MS" \
     -v serve_warm_ms="$SERVE_WARM_MS" -v serve_warm_rps="$SERVE_WARM_RPS" \
     -v sketch_ingest_ms="$SKETCH_INGEST_MS" -v sketch_profile_ms="$SKETCH_PROFILE_MS" \
-    -v sketch_rps="$SKETCH_RPS" -v sketch_bytes="$SKETCH_BYTES" '
+    -v sketch_rps="$SKETCH_RPS" -v sketch_bytes="$SKETCH_BYTES" \
+    -v dag_steps="$DAG_STEPS" -v dag_seq_ms="$DAG_SEQ_MS" \
+    -v dag_dag_ms="$DAG_DAG_MS" -v dag_speedup="$DAG_SPEEDUP" '
   # Convert a criterion duration token ("4.508ms", "127.3µs", "1.2s") to ms.
   function to_ms(s,  v) {
     v = s; gsub(/[^0-9.]/, "", v); v += 0
@@ -147,6 +157,12 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "      \"ingest_ms\": %.1f,\n", sketch_ingest_ms >> out
     printf "      \"profile_ms\": %.1f,\n", sketch_profile_ms >> out
     printf "      \"profile_rows_per_sec\": %.0f\n", sketch_rps >> out
+    printf "    },\n" >> out
+    printf "    \"pipeline/dag_parallel\": {\n" >> out
+    printf "      \"steps\": %d,\n", dag_steps >> out
+    printf "      \"seq_ms\": %.1f,\n", dag_seq_ms >> out
+    printf "      \"dag_ms\": %.1f,\n", dag_dag_ms >> out
+    printf "      \"speedup\": %.2f\n", dag_speedup >> out
     printf "    }\n" >> out
     printf "  }\n" >> out
     printf "}\n" >> out
@@ -159,6 +175,7 @@ awk -v out="$OUT" -v budget_ms="$BUDGET_MS" \
     printf "csv       : %.3f ms ingest vs %.3f ms seed reader (%.2fx); %.3f ms write+read roundtrip\n", csv_ingest_ms, csv_seed_ms, csv_seed_ms / csv_ingest_ms, csv_rt_ms
     printf "serve     : %d clients, %.1f ms cold vs %.1f ms warm batch (%.1f req/sec warm)\n", serve_clients, serve_cold_ms, serve_warm_ms, serve_warm_rps
     printf "sketch    : 10M rows out-of-core, %.1f ms ingest + %.1f ms profile (%.0f rows/sec)\n", sketch_ingest_ms, sketch_profile_ms, sketch_rps
+    printf "dag       : %d-step pipeline, %.1f ms seq vs %.1f ms dag at 8 threads (%.2fx)\n", dag_steps, dag_seq_ms, dag_dag_ms, dag_speedup
   }
 ' "$RAW"
 

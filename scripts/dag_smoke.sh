@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# DAG executor smoke: one multi-step generated pipeline run under
+# --exec-mode seq and --exec-mode dag at CATDB_THREADS 1 and 8, then:
+#   (a) all four runs are byte-identical on stdout (the final pipeline
+#       code) — DAG scheduling leaks neither mode nor thread count into
+#       results,
+#   (b) --dag-out writes a JSON step DAG with nodes and edges,
+#   (c) the pipeline/dag_parallel bench shows the DAG executor strictly
+#       faster than sequential at 8 threads.
+# Used directly as a CI gate (any violated assertion exits nonzero).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build -q --release -p catdb-serve --bin catdb
+cargo build -q --release -p catdb-bench --bin dag_bench
+
+# A small mixed-type dataset: two numerics with gaps, two categoricals,
+# a binary target — enough surface for a multi-step generated pipeline.
+awk 'BEGIN {
+  print "age,income,city,plan,churn"
+  for (i = 0; i < 400; i++) {
+    age = (i % 11 == 0) ? "" : 20 + (i * 7) % 50
+    income = (i % 13 == 0) ? "" : 20000 + (i * 137) % 60000
+    city = (i % 3 == 0) ? "york" : ((i % 3 == 1) ? "leeds" : "bath")
+    plan = (i % 2 == 0) ? "basic" : "pro"
+    churn = ((i * 29) % 97 < 48) ? "no" : "yes"
+    print age "," income "," city "," plan "," churn
+  }
+}' > "$TMP/churn.csv"
+
+run_catdb() { # $1 threads, $2 exec mode, $3 stdout file, extra args...
+  local threads="$1" mode="$2" out="$3"
+  shift 3
+  CATDB_THREADS="$threads" ./target/release/catdb run \
+    --csv "$TMP/churn.csv" --target churn --task binary \
+    --seed 7 --exec-mode "$mode" "$@" > "$out" 2> "$out.err"
+}
+
+if ! run_catdb 1 seq "$TMP/seq-1.out"; then
+  echo "dag_smoke: sequential run failed at 1 thread" >&2
+  cat "$TMP/seq-1.out.err" >&2
+  exit 1
+fi
+for variant in "1 dag" "8 seq" "8 dag"; do
+  set -- $variant
+  if ! run_catdb "$1" "$2" "$TMP/$2-$1.out"; then
+    echo "dag_smoke: $2 run failed at $1 thread(s)" >&2
+    cat "$TMP/$2-$1.out.err" >&2
+    exit 1
+  fi
+  if ! diff "$TMP/seq-1.out" "$TMP/$2-$1.out" > /dev/null; then
+    echo "dag_smoke: $2 at $1 thread(s) diverged from sequential at 1 thread" >&2
+    diff "$TMP/seq-1.out" "$TMP/$2-$1.out" >&2 || true
+    exit 1
+  fi
+done
+
+if [ ! -s "$TMP/seq-1.out" ]; then
+  echo "dag_smoke: run produced no pipeline code on stdout" >&2
+  exit 1
+fi
+
+run_catdb 8 dag "$TMP/export.out" --dag-out "$TMP/dag.json"
+if ! grep -q '"nodes"' "$TMP/dag.json" || ! grep -q '"deps"' "$TMP/dag.json"; then
+  echo "dag_smoke: --dag-out did not write a step DAG with nodes and deps" >&2
+  cat "$TMP/dag.json" >&2 || true
+  exit 1
+fi
+
+BENCH_LINE="$(CATDB_THREADS=8 ./target/release/dag_bench | tail -1)"
+echo "$BENCH_LINE"
+SEQ_MS="${BENCH_LINE#*seq_ms=}"; SEQ_MS="${SEQ_MS%% *}"
+DAG_MS="${BENCH_LINE#*dag_ms=}"; DAG_MS="${DAG_MS%% *}"
+if ! awk -v s="$SEQ_MS" -v d="$DAG_MS" 'BEGIN { exit !(d < s) }'; then
+  echo "dag_smoke: DAG executor not faster than sequential at 8 threads (seq ${SEQ_MS} ms vs dag ${DAG_MS} ms)" >&2
+  exit 1
+fi
+
+echo "dag_smoke: ok (stdout byte-identical across {seq,dag} x CATDB_THREADS {1,8}; DAG exported; dag ${DAG_MS} ms vs seq ${SEQ_MS} ms at 8 threads)"

@@ -1,0 +1,262 @@
+//! DAG executor integration: `--exec-mode dag` must be observationally
+//! identical to sequential execution — same evaluation, same
+//! `PipelineOp` event stream, same counters (minus the DAG's own
+//! bookkeeping) — at every `CATDB_THREADS` setting; compiled schedules
+//! must be topologically valid on arbitrary dependency graphs; and a
+//! fault injected into one step must re-execute that step alone, with
+//! every completed sibling served from the shared [`StepCache`].
+
+use catdb_ml::TaskKind;
+use catdb_pipeline::{
+    execute, parse, topo_order, DagError, Environment, Evaluation, ExecMode, ExecutionConfig,
+    StepCache, StepDag, COUNTER_DAG_WAVES, COUNTER_STEP_CACHE_HITS, COUNTER_STEP_CACHE_MISSES,
+};
+use catdb_table::{Column, Table};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A pipeline whose first six steps split into three parallel waves:
+/// {impute a, impute b, encode c, encode d} → {scale a, scale b} →
+/// {model}. Columns c and d are independent of a and b throughout.
+const PROGRAM: &str = "pipeline {\n  impute \"a\" strategy mean;\n  scale \"a\" method standard;\n  impute \"b\" strategy mean;\n  scale \"b\" method minmax;\n  encode \"c\" method onehot;\n  encode \"d\" method hash buckets 8;\n  model classifier decision_tree target \"y\";\n}";
+
+fn dataset() -> (Table, Table) {
+    let n = 80;
+    let a: Vec<Option<f64>> =
+        (0..n).map(|i| if i % 9 == 0 { None } else { Some(i as f64 * 0.7 - 5.0) }).collect();
+    let b: Vec<Option<f64>> =
+        (0..n).map(|i| if i % 7 == 0 { None } else { Some((i as f64).sin() * 3.0) }).collect();
+    let c: Vec<&str> = (0..n).map(|i| ["red", "green", "blue"][i % 3]).collect();
+    let d: Vec<String> = (0..n).map(|i| format!("tag{}", i % 11)).collect();
+    let y: Vec<&str> = (0..n).map(|i| if (i * 13) % 17 < 8 { "n" } else { "p" }).collect();
+    let t = Table::from_columns(vec![
+        ("a", Column::Float(a)),
+        ("b", Column::Float(b)),
+        ("c", Column::from_strings(c)),
+        ("d", Column::from_strings(d.iter().map(|s| s.as_str()).collect::<Vec<_>>())),
+        ("y", Column::from_strings(y)),
+    ])
+    .unwrap();
+    t.train_test_split(0.7, 0).unwrap()
+}
+
+fn config(mode: ExecMode) -> ExecutionConfig {
+    ExecutionConfig { exec_mode: mode, ..ExecutionConfig::new(TaskKind::BinaryClassification) }
+}
+
+/// Canonical form of an evaluation: wall-clock zeroed, everything else
+/// byte-compared through `Debug`.
+fn canon(mut eval: Evaluation) -> String {
+    eval.elapsed_seconds = 0.0;
+    format!("{eval:?}")
+}
+
+/// Counters with cache/scheduling bookkeeping removed: the DAG's own
+/// (`dag.*`, `step_cache.*`), the work-stealing pool's (`runtime.*`,
+/// whose steal counts depend on thread interleaving by construction),
+/// and the process-global value-dictionary memo (`dict.*`, whose
+/// hit/miss split depends on what ran earlier in the process).
+/// Everything else must match sequential exactly.
+fn without_sched_counters(counters: &BTreeMap<String, f64>) -> BTreeMap<String, f64> {
+    counters
+        .iter()
+        .filter(|(k, _)| {
+            !k.starts_with("dag.")
+                && !k.starts_with("step_cache.")
+                && !k.starts_with("runtime.")
+                && !k.starts_with("dict.")
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+fn traced_run(cfg: &ExecutionConfig) -> (Evaluation, String, BTreeMap<String, f64>) {
+    let (train, test) = dataset();
+    let program = parse(PROGRAM).unwrap();
+    let sink = Arc::new(catdb_trace::TraceSink::new());
+    let guard = catdb_trace::install(sink.clone());
+    let eval = execute(&program, &train, &test, &Environment::default(), cfg).unwrap();
+    drop(guard);
+    let t = sink.snapshot();
+    // Zero the per-op wall-clock payload: order, ops, and row counts
+    // are the determinism-comparable parts of the stream.
+    let events: Vec<catdb_trace::TraceEvent> = t
+        .events_modulo_timing()
+        .into_iter()
+        .map(|e| match e {
+            catdb_trace::TraceEvent::PipelineOp { op, rows_in, rows_out, .. } => {
+                catdb_trace::TraceEvent::PipelineOp { op, rows_in, rows_out, micros: 0 }
+            }
+            other => other,
+        })
+        .collect();
+    (eval, format!("{events:?}"), t.counters.clone())
+}
+
+#[test]
+fn dag_matches_seq_outputs_and_traces() {
+    let (seq_eval, seq_events, seq_counters) = traced_run(&config(ExecMode::Seq));
+    let (dag_eval, dag_events, dag_counters) = traced_run(&config(ExecMode::Dag));
+    assert_eq!(canon(seq_eval), canon(dag_eval));
+    assert_eq!(seq_events, dag_events, "PipelineOp streams must be identical");
+    assert_eq!(without_sched_counters(&seq_counters), without_sched_counters(&dag_counters));
+    // The schedule actually parallelized: 7 steps collapsed into 3
+    // waves (4 independent steps, then 2, then the model barrier).
+    assert_eq!(dag_counters.get(COUNTER_DAG_WAVES), Some(&3.0));
+    assert!(!seq_counters.contains_key(COUNTER_DAG_WAVES));
+}
+
+/// Re-runs this test binary as a worker under `CATDB_THREADS` ∈
+/// {1, 2, 8}: the thread pool sizes itself once per process, so each
+/// setting needs its own process. Every worker's evaluation, event
+/// stream, and counter map must be byte-identical, and must match the
+/// in-process sequential baseline.
+#[test]
+fn dag_output_identical_across_thread_counts() {
+    if std::env::var("CATDB_DAG_WORKER").is_ok() {
+        let (eval, events, counters) = traced_run(&config(ExecMode::Dag));
+        println!("DAG_WORKER_BEGIN");
+        println!("{}", canon(eval));
+        println!("{events}");
+        // Steal counts vary with thread interleaving; everything else
+        // (including the DAG's own wave count) must not.
+        println!("{:?}", without_sched_counters(&counters));
+        println!("{:?}", counters.get(catdb_pipeline::COUNTER_DAG_WAVES));
+        println!("DAG_WORKER_END");
+        return;
+    }
+    let exe = std::env::current_exe().unwrap();
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "dag_output_identical_across_thread_counts", "--nocapture"])
+            .env("CATDB_DAG_WORKER", "1")
+            .env("CATDB_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "worker at {threads} threads failed");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let begin = stdout.find("DAG_WORKER_BEGIN").expect("begin marker");
+        let end = stdout.find("DAG_WORKER_END").expect("end marker");
+        outputs.push(stdout[begin..end].to_string());
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+    let (seq_eval, seq_events, _) = traced_run(&config(ExecMode::Seq));
+    assert!(outputs[0].contains(&canon(seq_eval)), "dag evaluation differs from sequential");
+    assert!(outputs[0].contains(&seq_events), "dag event stream differs from sequential");
+}
+
+#[test]
+fn compiled_schedule_is_topologically_valid_and_parallel() {
+    let program = parse(PROGRAM).unwrap();
+    let dag = StepDag::compile(&program);
+    let initial: Vec<String> = ["a", "b", "c", "d", "y"].iter().map(|s| s.to_string()).collect();
+    let order = dag.validate(&initial).unwrap();
+    let mut pos = vec![0usize; dag.nodes.len()];
+    for (p, n) in order.iter().enumerate() {
+        pos[*n] = p;
+    }
+    for node in &dag.nodes {
+        for dep in &node.deps {
+            assert!(pos[*dep] < pos[node.index], "step {} scheduled before dep {dep}", node.index);
+        }
+    }
+    // Independent column groups share no edge: `impute b` (2) does not
+    // depend on `impute a` (0), and both encoders are parentless.
+    assert!(dag.nodes[2].deps.is_empty());
+    assert!(dag.nodes[4].deps.is_empty());
+    assert!(dag.nodes[5].deps.is_empty());
+    // The model is a barrier over everything before it.
+    assert_eq!(dag.nodes[6].deps, vec![0, 1, 2, 3, 4, 5]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random acyclic graphs (every edge points to a lower index)
+    /// always schedule, and the order respects every edge.
+    #[test]
+    fn topo_order_schedules_random_dags(
+        spec in prop::collection::vec(
+            prop::collection::vec(0usize..1_000, 0..4),
+            1..24,
+        ),
+    ) {
+        // Edges only point downward (dep = draw mod index), so the
+        // graph is acyclic by construction.
+        let deps: Vec<Vec<usize>> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                if i == 0 { Vec::new() } else { ds.iter().map(|d| d % i).collect() }
+            })
+            .collect();
+        let order = topo_order(&deps).expect("graphs with downward edges are acyclic");
+        prop_assert_eq!(order.len(), deps.len());
+        let mut pos = vec![0usize; deps.len()];
+        for (p, n) in order.iter().enumerate() {
+            pos[*n] = p;
+        }
+        for (n, ds) in deps.iter().enumerate() {
+            for d in ds {
+                prop_assert!(pos[*d] < pos[n], "node {} before its dep {}", n, d);
+            }
+        }
+    }
+
+    /// Closing a random chain back on itself is always rejected as a
+    /// cycle, never mis-scheduled.
+    #[test]
+    fn topo_order_rejects_random_cycles(
+        len in 3usize..16,
+        k in 0usize..1_000,
+    ) {
+        let mut deps: Vec<Vec<usize>> =
+            (0..len).map(|i| if i == 0 { Vec::new() } else { vec![i - 1] }).collect();
+        deps[k % (len - 1)].push(len - 1);
+        prop_assert!(matches!(topo_order(&deps), Err(DagError::Cycle { .. })));
+    }
+}
+
+#[test]
+fn failed_step_retries_alone_with_cached_siblings() {
+    let (train, test) = dataset();
+    let program = parse(PROGRAM).unwrap();
+    let cache = Arc::new(StepCache::new());
+    let env = Environment::default();
+
+    // First attempt: the model step (index 6) fails. Every earlier
+    // step completed and was memoized before the failure surfaced.
+    let mut cfg = config(ExecMode::Dag);
+    cfg.step_cache = Some(cache.clone());
+    cfg.inject_fault_step = Some(6);
+    let err = execute(&program, &train, &test, &env, &cfg).unwrap_err();
+    assert!(err.message.contains("injected fault at step 6"), "got: {}", err.message);
+    assert_eq!(cache.len(), 6, "all six preprocessing steps memoized despite the failure");
+
+    // Retry without the fault: only the failed step re-executes; the
+    // six completed siblings are step-cache hits.
+    cfg.inject_fault_step = None;
+    let sink = Arc::new(catdb_trace::TraceSink::new());
+    let guard = catdb_trace::install(sink.clone());
+    let eval = execute(&program, &train, &test, &env, &cfg).unwrap();
+    drop(guard);
+    let t = sink.snapshot();
+    assert_eq!(t.counters.get(COUNTER_STEP_CACHE_HITS), Some(&6.0));
+    assert_eq!(t.counters.get(COUNTER_STEP_CACHE_MISSES), Some(&1.0));
+
+    // The recovered run is indistinguishable from a clean sequential one.
+    let seq = execute(&program, &train, &test, &env, &config(ExecMode::Seq)).unwrap();
+    assert_eq!(canon(seq), canon(eval));
+
+    // A third run over the warm cache re-executes nothing.
+    let sink = Arc::new(catdb_trace::TraceSink::new());
+    let guard = catdb_trace::install(sink.clone());
+    execute(&program, &train, &test, &env, &cfg).unwrap();
+    drop(guard);
+    let t = sink.snapshot();
+    assert_eq!(t.counters.get(COUNTER_STEP_CACHE_HITS), Some(&7.0));
+    assert!(!t.counters.contains_key(COUNTER_STEP_CACHE_MISSES));
+}
