@@ -1,0 +1,36 @@
+use catdb_ml::TaskKind;
+use catdb_pipeline::{execute, parse, Environment, ExecMode, ExecutionConfig, StepDag};
+use catdb_table::{Column, Table};
+
+fn dataset() -> (Table, Table) {
+    let n = 60;
+    let c: Vec<Option<&str>> = (0..n).map(|i| if i % 7 == 0 { None } else { Some(["red", "green", "blue"][i % 3]) }).collect();
+    let d: Vec<&str> = (0..n).map(|i| ["x", "y"][i % 2]).collect();
+    let a: Vec<Option<f64>> = (0..n).map(|i| Some(i as f64)).collect();
+    let y: Vec<&str> = (0..n).map(|i| if i % 3 == 0 { "n" } else { "p" }).collect();
+    let t = Table::from_columns(vec![
+        ("a", Column::Float(a)),
+        ("c", Column::from_opt_strings(c)),
+        ("d", Column::from_strings(d)),
+        ("y", Column::from_strings(y)),
+    ]).unwrap();
+    t.train_test_split(0.7, 0).unwrap()
+}
+
+const P: &str = "pipeline {\n  impute \"c\" strategy constant \"z\";\n  encode \"c\" method onehot;\n  encode \"d\" method onehot;\n  model classifier decision_tree target \"y\";\n}";
+
+#[test]
+fn column_order_dag_vs_seq() {
+    let (train, test) = dataset();
+    let program = parse(P).unwrap();
+    let dag_c = StepDag::compile(&program);
+    for n in &dag_c.nodes { println!("node {} deps {:?} barrier {}", n.index, n.deps, n.barrier); }
+    let env = Environment::default();
+    let mk = |m: ExecMode| ExecutionConfig { exec_mode: m, ..ExecutionConfig::new(TaskKind::BinaryClassification) };
+    let seq = execute(&program, &train, &test, &env, &mk(ExecMode::Seq)).unwrap();
+    let dag = execute(&program, &train, &test, &env, &mk(ExecMode::Dag)).unwrap();
+    let mut s = format!("{seq:?}"); let mut g = format!("{dag:?}");
+    println!("seq: {s}");
+    println!("dag: {g}");
+    assert_eq!(s, g);
+}
